@@ -1,0 +1,94 @@
+"""Ablation: Arrow on the wire vs Arrow in storage (Sections 5 & 6.3).
+
+The paper's closing argument: "Using Arrow as a drop-in replacement wire
+protocol in the current architecture does not achieve its full potential.
+Instead, storing data in a common format reduces this cost and boosts data
+export performance."  This bench isolates the two effects by exporting the
+same frozen table through:
+
+- the row-based PostgreSQL protocol (baseline),
+- the vectorized wire protocol (better batching, still converts),
+- Arrow **on the wire only** (converts every value into Arrow at export),
+- Arrow **native** (Flight: ships the storage buffers as-is).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.bench.reporting import format_table
+from repro.export import TableExporter
+
+from conftest import publish, scaled
+
+ROWS = scaled(8000, minimum=3000)
+METHODS = ["postgres", "vectorized", "arrow-wire", "flight"]
+
+
+@pytest.fixture(scope="module")
+def frozen_table():
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("payload", UTF8)],
+        block_size=1 << 16,
+        watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(ROWS):
+            info.table.insert(txn, {0: i, 1: f"payload-{i}-long-enough-to-spill"})
+    db.freeze_table("t")
+    return db, info
+
+
+def test_arrow_wire_export(benchmark, frozen_table):
+    db, info = frozen_table
+    exporter = TableExporter(db.txn_manager, info.table)
+    result = benchmark.pedantic(lambda: exporter.export("arrow-wire"), rounds=1, iterations=1)
+    assert result.rows == ROWS
+
+
+def test_native_flight_export(benchmark, frozen_table):
+    db, info = frozen_table
+    exporter = TableExporter(db.txn_manager, info.table)
+    result = benchmark.pedantic(lambda: exporter.export("flight"), rounds=1, iterations=1)
+    assert result.rows == ROWS
+
+
+def test_report_arrow_wire_ablation(benchmark, frozen_table):
+    db, info = frozen_table
+    exporter = TableExporter(db.txn_manager, info.table)
+
+    def run():
+        return {m: exporter.export(m) for m in METHODS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_arrow_wire",
+        format_table(
+            "Ablation — Arrow on the wire vs Arrow in storage "
+            f"({ROWS} rows, fully frozen)",
+            ["method", "MB/s", "server ms", "client ms"],
+            [
+                (
+                    m,
+                    f"{r.throughput_mb_per_sec:,.1f}",
+                    f"{r.serialization_seconds * 1000:.1f}",
+                    f"{r.client_seconds * 1000:.1f}",
+                )
+                for m, r in results.items()
+            ],
+        ),
+    )
+    # Arrow on the wire helps (no client parse) but native storage is the
+    # step change: the server-side serialization disappears.
+    assert results["arrow-wire"].client_seconds < results["vectorized"].client_seconds
+    assert (
+        results["flight"].serialization_seconds
+        < results["arrow-wire"].serialization_seconds / 2
+    )
+    assert (
+        results["flight"].throughput_mb_per_sec
+        > results["arrow-wire"].throughput_mb_per_sec
+    )

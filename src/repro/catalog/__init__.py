@@ -1,0 +1,5 @@
+"""The catalog: named tables, their schemas, and their indexes."""
+
+from repro.catalog.catalog import Catalog, TableInfo
+
+__all__ = ["Catalog", "TableInfo"]

@@ -1,0 +1,338 @@
+"""The Database facade: all engine components wired together.
+
+This is the top of the public API — the piece a downstream user
+instantiates.  It owns the catalog, timestamp domain, transaction manager,
+log manager, garbage collector, access observer, and block transformer, in
+the architecture of Figure 4 plus the transformation pipeline of Figure 8.
+
+Example::
+
+    from repro import Database, ColumnSpec, INT64, UTF8
+
+    db = Database()
+    items = db.create_table("item", [
+        ColumnSpec("i_id", INT64), ColumnSpec("i_name", UTF8),
+    ])
+    with db.transaction() as txn:
+        items.table.insert(txn, {0: 1, 1: "widget"})
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from typing import BinaryIO, Iterator, Literal
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.gc_engine.collector import GarbageCollector
+from repro.storage.block_store import BlockStore
+from repro.storage.constants import BLOCK_SIZE
+from repro.storage.layout import ColumnSpec
+from repro.transform.access_observer import AccessObserver
+from repro.transform.transformer import BlockTransformer
+from repro.txn.context import TransactionContext
+from repro.txn.manager import TransactionManager
+from repro.wal.manager import LogManager
+from repro.wal.recovery import RecoveryManager
+
+
+class Database:
+    """An in-memory, Arrow-native, multi-versioned OLTP database."""
+
+    def __init__(
+        self,
+        log_device: BinaryIO | None = None,
+        logging_enabled: bool = True,
+        cold_threshold_epochs: int = 1,
+        compaction_group_size: int = 50,
+        cold_format: Literal["gather", "dictionary"] = "gather",
+        optimal_compaction: bool = False,
+    ) -> None:
+        self.block_store = BlockStore()
+        self.catalog = Catalog(self.block_store)
+        self.log_manager = (
+            LogManager(device=log_device or io.BytesIO()) if logging_enabled else None
+        )
+        self.txn_manager = TransactionManager(log_manager=self.log_manager)
+        self.access_observer = AccessObserver(threshold_epochs=cold_threshold_epochs)
+        self.gc = GarbageCollector(self.txn_manager, access_observer=self.access_observer)
+        self.transformer = BlockTransformer(
+            self.txn_manager,
+            self.gc,
+            self.access_observer,
+            compaction_group_size=compaction_group_size,
+            cold_format=cold_format,
+            optimal_compaction=optimal_compaction,
+        )
+
+    # ------------------------------------------------------------------ #
+    # DDL                                                                 #
+    # ------------------------------------------------------------------ #
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[ColumnSpec],
+        block_size: int = BLOCK_SIZE,
+        watch_cold: bool = False,
+    ) -> TableInfo:
+        """Create a table; ``watch_cold=True`` opts it into the hot→cold
+        pipeline (the paper only watches tables that generate cold data)."""
+        info = self.catalog.create_table(name, columns, block_size=block_size)
+        if watch_cold:
+            self.access_observer.watch_table(info.table)
+        return info
+
+    def create_index(self, table_name: str, index_name: str, key_columns: list[str],
+                     kind: Literal["bplus", "hash"] = "bplus"):
+        """Create an index on an (empty or populated) table."""
+        backfill = self.txn_manager.begin()
+        try:
+            return self.catalog.create_index(
+                table_name, index_name, key_columns, kind, backfill_txn=backfill
+            )
+        finally:
+            self.txn_manager.commit(backfill)
+
+    # ------------------------------------------------------------------ #
+    # transactions                                                        #
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> TransactionContext:
+        """Start a transaction."""
+        return self.txn_manager.begin()
+
+    def commit(self, txn: TransactionContext) -> int:
+        """Commit; returns the commit timestamp."""
+        return self.txn_manager.commit(txn)
+
+    def abort(self, txn: TransactionContext) -> None:
+        """Roll back."""
+        self.txn_manager.abort(txn)
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[TransactionContext]:
+        """Context manager committing on success, aborting on exception."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn)
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def run_transaction(self, body, retries: int = 3):
+        """Run ``body(txn)`` with automatic retry on write-write conflicts.
+
+        ``body`` must be safe to re-execute (it is rerun from scratch on
+        conflict, against a fresh snapshot).  Returns ``body``'s result.
+        Raises :class:`~repro.errors.TransactionAborted` once retries are
+        exhausted.
+        """
+        from repro.errors import TransactionAborted
+
+        attempts = retries + 1
+        for attempt in range(attempts):
+            txn = self.begin()
+            try:
+                result = body(txn)
+            except TransactionAborted:
+                if txn.is_active:
+                    self.abort(txn)
+                if attempt == attempts - 1:
+                    raise
+                continue
+            except BaseException:
+                if txn.is_active:
+                    self.abort(txn)
+                raise
+            if txn.must_abort:
+                self.abort(txn)
+                if attempt == attempts - 1:
+                    raise TransactionAborted(
+                        f"write-write conflict persisted across {attempts} attempts"
+                    )
+                continue
+            if txn.is_active:
+                self.commit(txn)
+            return result
+
+    # ------------------------------------------------------------------ #
+    # background work                                                     #
+    # ------------------------------------------------------------------ #
+
+    def run_maintenance(self, passes: int = 1) -> int:
+        """Run GC + transformation passes; returns blocks frozen."""
+        frozen = 0
+        for _ in range(passes):
+            frozen += self.transformer.run_pass()
+        return frozen
+
+    def quiesce(self, max_passes: int = 16) -> None:
+        """Drain GC and deferred work (tests and orderly shutdown)."""
+        self.gc.run_until_quiet(max_passes)
+        if self.log_manager is not None:
+            self.log_manager.flush()
+
+    def freeze_table(self, name: str, max_passes: int = 8) -> int:
+        """Drive a table's blocks to FROZEN (bulk-load → export workflows)."""
+        info = self.catalog.get(name)
+        if info.table not in self.access_observer._tables:
+            self.access_observer.watch_table(info.table)
+        frozen = 0
+        for _ in range(max_passes):
+            frozen += self.run_maintenance()
+            from repro.storage.constants import BlockState
+
+            states = info.table.block_states()
+            if states[BlockState.HOT] == 0 and states[BlockState.COOLING] == 0:
+                break
+        return frozen
+
+    def start_background(
+        self,
+        gc_interval: float = 0.005,
+        transform_interval: float = 0.01,
+        log_interval: float = 0.005,
+    ) -> None:
+        """Start the dedicated maintenance threads of Section 6.1.
+
+        The paper's deployment runs one logging thread, one GC thread, and
+        one transformation thread alongside the workers; this starts the
+        same trio as daemons.  Idempotent; stop with
+        :meth:`stop_background`.
+        """
+        if getattr(self, "_background_stop", None) is not None:
+            return
+        import threading
+
+        self._background_stop = threading.Event()
+
+        def gc_loop() -> None:
+            while not self._background_stop.wait(gc_interval):
+                self.gc.run()
+
+        def transform_loop() -> None:
+            while not self._background_stop.wait(transform_interval):
+                self.transformer.process_queue()
+                self.transformer.process_freeze_pending()
+
+        self._background_threads = [
+            threading.Thread(target=gc_loop, daemon=True, name="gc"),
+            threading.Thread(target=transform_loop, daemon=True, name="transform"),
+        ]
+        for thread in self._background_threads:
+            thread.start()
+        if self.log_manager is not None:
+            self.log_manager.start_background(log_interval)
+
+    def stop_background(self) -> None:
+        """Stop the maintenance threads and drain outstanding work."""
+        stop = getattr(self, "_background_stop", None)
+        if stop is None:
+            return
+        stop.set()
+        for thread in self._background_threads:
+            thread.join()
+        self._background_stop = None
+        self._background_threads = []
+        if self.log_manager is not None:
+            self.log_manager.stop_background()
+        self.quiesce()
+
+    # ------------------------------------------------------------------ #
+    # durability                                                          #
+    # ------------------------------------------------------------------ #
+
+    def log_contents(self) -> bytes:
+        """The serialized write-ahead log (in-memory devices only)."""
+        if self.log_manager is None:
+            return b""
+        return self.log_manager.contents()
+
+    def recover_from(self, raw: bytes, tolerate_torn_tail: bool = True) -> int:
+        """Replay a log into this (fresh) database; returns txns replayed.
+
+        By default a torn final transaction (crash mid-flush) is dropped —
+        it never committed durably.
+        """
+        recovery = RecoveryManager(self.txn_manager, self.catalog.data_tables())
+        return recovery.replay(raw, tolerate_torn_tail=tolerate_torn_tail)
+
+    def checkpoint(self) -> bytes:
+        """Write a quiescent checkpoint and truncate the log.
+
+        The caller must ensure no concurrent writers (Section 3.4's
+        checkpoints; fuzzy checkpointing is out of scope).  After this call
+        the log contains only post-checkpoint transactions, so recovery is
+        ``recover_with_checkpoint(checkpoint, log_contents())``.
+        """
+        from repro.wal.checkpoint import write_checkpoint
+
+        if self.log_manager is not None:
+            self.log_manager.flush()
+        snapshot = write_checkpoint(self)
+        if self.log_manager is not None:
+            self.log_manager.device = io.BytesIO()
+            self.log_manager.bytes_written = 0
+        return snapshot
+
+    def recover_with_checkpoint(self, checkpoint: bytes, log_suffix: bytes) -> int:
+        """Load a checkpoint then replay the log suffix into this (fresh)
+        database; returns transactions replayed from the log."""
+        from repro.wal.checkpoint import recover
+
+        return recover(self, checkpoint, log_suffix)
+
+    # ------------------------------------------------------------------ #
+    # observability                                                       #
+    # ------------------------------------------------------------------ #
+
+    def verify_integrity(self):
+        """Physical integrity pass over every table (see
+        :mod:`repro.storage.integrity`); returns the report."""
+        from repro.storage.integrity import check_database
+
+        return check_database(self)
+
+    def metrics(self) -> dict:
+        """One snapshot of every component's counters.
+
+        Stable keys intended for dashboards and tests; values are plain
+        ints/floats.
+        """
+        from repro.storage.constants import BlockState
+
+        states = {state.name: 0 for state in BlockState}
+        live_tuples = 0
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            for state, count in table.block_states().items():
+                states[state.name] += count
+            live_tuples += table.live_tuple_count()
+        transform = self.transformer.stats
+        gc_stats = self.gc.stats
+        return {
+            "tables": len(self.catalog),
+            "blocks_live": self.block_store.live_count,
+            "blocks_freed": self.block_store.freed_count,
+            "block_states": states,
+            "live_tuples": live_tuples,
+            "txns_active": self.txn_manager.active_count,
+            "txns_pending_gc": self.txn_manager.pending_gc_count,
+            "gc_passes": gc_stats.passes,
+            "gc_records_unlinked": gc_stats.records_unlinked,
+            "gc_deferred_pending": len(self.gc.deferred),
+            "transform_groups_compacted": transform.groups_compacted,
+            "transform_tuples_moved": transform.tuples_moved,
+            "transform_blocks_frozen": transform.blocks_frozen,
+            "transform_freezes_preempted": transform.freezes_preempted,
+            "index_maintenance_ops": self.catalog.index_manager.total_maintenance_ops(),
+            "wal_bytes_written": (
+                self.log_manager.bytes_written if self.log_manager else 0
+            ),
+            "wal_flushes": self.log_manager.flush_count if self.log_manager else 0,
+        }

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the engine.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch engine failures without also swallowing programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ArrowFormatError(ReproError):
+    """The Arrow-format layer was asked to build or parse invalid data."""
+
+
+class StorageError(ReproError):
+    """A block, layout, or data-table invariant was violated."""
+
+
+class BlockStateError(StorageError):
+    """An operation was attempted in an incompatible block state."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-engine failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back.
+
+    Raised from :meth:`repro.txn.manager.TransactionManager.commit` when the
+    transaction had previously been marked ``must_abort``, and from write
+    paths when a write-write conflict forces an abort.
+    """
+
+
+class WriteWriteConflict(TransactionAborted):
+    """Two concurrent transactions tried to write the same tuple.
+
+    The paper's engine disallows write-write conflicts outright to avoid
+    cascading rollbacks (Section 3.1); the loser aborts immediately.
+    """
+
+
+class SerializationError(ReproError):
+    """A wire protocol failed to encode or decode a message."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or driver was configured inconsistently."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed or a definition conflicted."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (named with a trailing underscore to avoid
+    shadowing the builtin :class:`IndexError`)."""
+
+
+class RecoveryError(ReproError):
+    """The write-ahead log could not be replayed."""

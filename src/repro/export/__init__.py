@@ -1,0 +1,21 @@
+"""Data export to external tools (Sections 5 and 6.3).
+
+Four export mechanisms over one simulated network:
+
+- :mod:`repro.export.postgres_wire` — the row-based PostgreSQL protocol,
+- :mod:`repro.export.vectorized` — the columnar wire protocol of Raasveldt
+  & Mühleisen [46],
+- :mod:`repro.export.flight` — Arrow Flight RPC: frozen blocks ship as raw
+  Arrow buffers with no per-value serialization; hot blocks are first
+  materialized through a transactional snapshot,
+- :mod:`repro.export.rdma` — client-side RDMA: no server CPU serialization
+  at all, bounded by NIC bandwidth.
+
+CPU costs (serialization, parsing) are *measured* on the real serializers;
+wire time is *modeled* by :class:`~repro.export.network.SimulatedNetwork`.
+"""
+
+from repro.export.network import NetworkProfile, SimulatedNetwork
+from repro.export.exporter import ExportResult, TableExporter
+
+__all__ = ["ExportResult", "NetworkProfile", "SimulatedNetwork", "TableExporter"]

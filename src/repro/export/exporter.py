@@ -1,0 +1,187 @@
+"""The unified export API: one table out, five ways (Figure 15 + §5).
+
+``TableExporter.export(method)`` runs the full server-side path (real CPU
+work: transactional materialization where needed, wire-format conversion
+where the protocol demands it), models the network transfer, runs the real
+client-side parse, and reports a throughput figure comparable across
+methods.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal
+
+from repro.errors import SerializationError
+from repro.export import flight as flight_mod
+from repro.export import postgres_wire, rdma, vectorized
+from repro.export.network import NetworkProfile, SimulatedNetwork
+
+if TYPE_CHECKING:
+    from repro.storage.data_table import DataTable
+    from repro.txn.manager import TransactionManager
+
+ExportMethod = Literal["postgres", "vectorized", "arrow-wire", "flight", "rdma"]
+
+#: Messages per Flight/RDMA block and rows per row-protocol message are
+#: protocol facts the wire model needs.
+_VECTORIZED_BATCH_ROWS = vectorized.DEFAULT_BATCH_ROWS
+
+
+@dataclass
+class ExportResult:
+    """Timing breakdown of one export run."""
+
+    method: str
+    payload_bytes: int
+    wire_bytes: int
+    serialization_seconds: float
+    wire_seconds: float
+    client_seconds: float
+    rows: int
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time: server CPU + wire + client CPU."""
+        return self.serialization_seconds + self.wire_seconds + self.client_seconds
+
+    @property
+    def throughput_mb_per_sec(self) -> float:
+        """Payload megabytes per second of end-to-end time."""
+        if self.total_seconds == 0:
+            return float("inf")
+        return self.payload_bytes / 1e6 / self.total_seconds
+
+
+class TableExporter:
+    """Exports one table through any of the five mechanisms."""
+
+    def __init__(
+        self,
+        txn_manager: "TransactionManager",
+        table: "DataTable",
+        profile: NetworkProfile | None = None,
+        rdma_profile: NetworkProfile | None = None,
+    ) -> None:
+        self.txn_manager = txn_manager
+        self.table = table
+        self.profile = profile or NetworkProfile.TEN_GBE
+        self.rdma_profile = rdma_profile or NetworkProfile.RDMA_10_GBE
+
+    def export(self, method: ExportMethod) -> ExportResult:
+        """Run one export; returns its timing breakdown."""
+        if method == "postgres":
+            return self._export_postgres()
+        if method == "vectorized":
+            return self._export_vectorized()
+        if method == "arrow-wire":
+            return self._export_arrow_wire()
+        if method == "flight":
+            return self._export_flight()
+        if method == "rdma":
+            return self._export_rdma()
+        raise SerializationError(f"unknown export method {method!r}")
+
+    # ------------------------------------------------------------------ #
+    # method implementations                                              #
+    # ------------------------------------------------------------------ #
+
+    def _scan_rows(self) -> list[tuple]:
+        txn = self.txn_manager.begin()
+        rows = [tuple(row.to_dict().values()) for _, row in self.table.scan(txn)]
+        self.txn_manager.commit(txn)
+        return rows
+
+    def _payload_bytes(self, rows: list[tuple]) -> int:
+        total = 0
+        for row in rows:
+            for value in row:
+                if value is None:
+                    continue
+                if isinstance(value, (bytes, str)):
+                    total += len(value)
+                else:
+                    total += 8
+        return total
+
+    def _export_postgres(self) -> ExportResult:
+        began = time.perf_counter()
+        rows = self._scan_rows()
+        raw, messages = postgres_wire.encode_rows(rows)
+        serialization = time.perf_counter() - began
+        network = SimulatedNetwork(self.profile)
+        wire = network.transmit(len(raw), messages)
+        began = time.perf_counter()
+        decoded = postgres_wire.decode_rows(raw)
+        client = time.perf_counter() - began
+        return ExportResult(
+            "postgres", self._payload_bytes(rows), len(raw), serialization, wire,
+            client, len(decoded),
+        )
+
+    def _export_vectorized(self) -> ExportResult:
+        began = time.perf_counter()
+        rows = self._scan_rows()
+        if rows:
+            columns = [list(col) for col in zip(*rows)]
+        else:
+            columns = [[] for _ in range(self.table.layout.num_columns)]
+        raw, batches = vectorized.encode_table(columns) if rows else (b"", 0)
+        serialization = time.perf_counter() - began
+        network = SimulatedNetwork(self.profile)
+        wire = network.transmit(len(raw), batches)
+        began = time.perf_counter()
+        decoded = vectorized.decode_table(raw) if raw else columns
+        client = time.perf_counter() - began
+        rows_out = len(decoded[0]) if decoded else 0
+        return ExportResult(
+            "vectorized", self._payload_bytes(rows), len(raw), serialization, wire,
+            client, rows_out,
+        )
+
+    def _export_arrow_wire(self) -> ExportResult:
+        from repro.export import arrow_wire
+
+        began = time.perf_counter()
+        payload = arrow_wire.export_arrow_wire(self.txn_manager, self.table)
+        serialization = time.perf_counter() - began
+        network = SimulatedNetwork(self.profile)
+        batches = max(1, len(payload) // (1 << 16))
+        wire = network.transmit(len(payload), batches)
+        began = time.perf_counter()
+        received = arrow_wire.client_receive(payload)
+        client = time.perf_counter() - began
+        return ExportResult(
+            "arrow-wire", len(payload), len(payload), serialization, wire,
+            client, received.num_rows,
+        )
+
+    def _export_flight(self) -> ExportResult:
+        began = time.perf_counter()
+        stream = flight_mod.export_stream(self.txn_manager, self.table)
+        serialization = time.perf_counter() - began
+        network = SimulatedNetwork(self.profile)
+        wire = network.transmit(len(stream.payload), max(stream.batches, 1))
+        began = time.perf_counter()
+        received = flight_mod.client_receive(stream.payload)
+        client = time.perf_counter() - began
+        return ExportResult(
+            "flight", len(stream.payload), len(stream.payload), serialization, wire,
+            client, received.num_rows,
+        )
+
+    def _export_rdma(self) -> ExportResult:
+        began = time.perf_counter()
+        transfer = rdma.export_rdma(self.txn_manager, self.table)
+        serialization = time.perf_counter() - began  # materialization only
+        network = SimulatedNetwork(self.rdma_profile)
+        wire = network.transmit(
+            int(transfer.effective_bytes),
+            transfer.frozen_blocks + transfer.materialized_blocks,
+        )
+        # The client's CPU is idle during RDMA; data lands ready to use.
+        return ExportResult(
+            "rdma", transfer.total_bytes, transfer.total_bytes, serialization, wire,
+            0.0, -1,
+        )

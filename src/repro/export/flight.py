@@ -1,0 +1,157 @@
+"""Arrow Flight RPC export (Section 5, "Improved Wire Protocol"++).
+
+Flight transmits Arrow record batches with no per-value serialization: the
+batch body *is* the storage buffers.  For FROZEN blocks the server takes a
+read lock (the reader counter), wraps the block's buffers zero-copy, and
+streams them.  For hot blocks it must start a transaction and materialize a
+snapshot first — the cost that makes Flight degrade to the vectorized
+protocol when everything is hot (Figure 15).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.arrowfmt import ipc
+from repro.arrowfmt.table import RecordBatch, Table
+from repro.storage.constants import BlockState
+from repro.transform.arrow_view import block_to_record_batch, table_schema
+from repro.transform.transformer import snapshot_transform
+
+if TYPE_CHECKING:
+    from repro.storage.data_table import DataTable
+    from repro.txn.manager import TransactionManager
+
+
+@dataclass
+class FlightStream:
+    """One encoded Flight response."""
+
+    payload: bytes
+    batches: int
+    frozen_blocks: int
+    materialized_blocks: int
+
+
+def export_stream(
+    txn_manager: "TransactionManager", table: "DataTable"
+) -> FlightStream:
+    """Encode the whole table as an Arrow IPC stream, block by block."""
+    out = io.BytesIO()
+    import json
+    import struct
+
+    schema = table_schema(table.layout)
+    out.write(ipc.MAGIC)
+    header = json.dumps(schema.to_json()).encode("utf-8")
+    out.write(struct.pack("<i", len(header)))
+    out.write(header)
+    frozen = materialized = batches = 0
+    for block in list(table.blocks):
+        batch = _block_batch(txn_manager, table, block)
+        if batch is None:
+            continue
+        if batch.num_rows == 0:
+            continue
+        was_frozen = block.state is BlockState.FROZEN
+        # Dictionary-encoded frozen batches use a different schema; for a
+        # homogeneous stream we decode them through the same zero-copy view.
+        if batch.schema != schema:
+            batch = _decode_dictionary_batch(batch, schema)
+        ipc.write_batch(out, batch)
+        batches += 1
+        if was_frozen:
+            frozen += 1
+        else:
+            materialized += 1
+    out.write(b"EOS\x00")
+    return FlightStream(out.getvalue(), batches, frozen, materialized)
+
+
+def _block_batch(txn_manager, table, block) -> RecordBatch | None:
+    if block.begin_frozen_read():
+        try:
+            return block_to_record_batch(block)
+        finally:
+            block.end_frozen_read()
+    # Hot (or cooling/freezing) block: materialize transactionally.
+    return snapshot_transform(txn_manager, table, block)
+
+
+def _decode_dictionary_batch(batch: RecordBatch, schema) -> RecordBatch:
+    from repro.arrowfmt.array import DictionaryArray
+    from repro.arrowfmt.builder import VarBinaryBuilder
+
+    columns = []
+    for field, column in zip(schema, batch.columns):
+        if isinstance(column, DictionaryArray):
+            builder = VarBinaryBuilder(field.dtype)
+            builder.extend(column.to_pylist())
+            columns.append(builder.finish())
+        else:
+            columns.append(column)
+    return RecordBatch(schema, columns)
+
+
+def client_receive(payload: bytes) -> Table:
+    """The client side: land the stream as Arrow with zero value parsing."""
+    return ipc.read_table(payload)
+
+
+@dataclass
+class IncrementalStream:
+    """One delta export: payload + the cursor for the next call."""
+
+    payload: bytes
+    cursor: int
+    frozen_blocks_shipped: int
+    hot_blocks_shipped: int
+    blocks_skipped: int
+
+
+def incremental_export(
+    txn_manager: "TransactionManager",
+    table: "DataTable",
+    since: int = 0,
+) -> IncrementalStream:
+    """Ship only what changed since the last export — ETL without the E.
+
+    Frozen blocks whose ``frozen_at`` stamp predates ``since`` are skipped
+    (the previous export already carried them, and FROZEN means unmodified
+    since).  Blocks frozen later, and all currently-hot blocks (their
+    contents may have changed), are shipped.  Feed the returned ``cursor``
+    into the next call.
+
+    This replaces the nightly ETL job the paper's introduction criticizes:
+    repeated exports cost O(changed data), not O(database).
+    """
+    import json
+    import struct
+
+    out = io.BytesIO()
+    schema = table_schema(table.layout)
+    out.write(ipc.MAGIC)
+    header = json.dumps(schema.to_json()).encode("utf-8")
+    out.write(struct.pack("<i", len(header)))
+    out.write(header)
+    cursor = txn_manager.timestamps.checkpoint()
+    frozen = hot = skipped = 0
+    for block in list(table.blocks):
+        if block.state is BlockState.FROZEN and block.frozen_at <= since:
+            skipped += 1
+            continue
+        batch = _block_batch(txn_manager, table, block)
+        if batch is None or batch.num_rows == 0:
+            continue
+        was_frozen = block.state is BlockState.FROZEN
+        if batch.schema != schema:
+            batch = _decode_dictionary_batch(batch, schema)
+        ipc.write_batch(out, batch)
+        if was_frozen:
+            frozen += 1
+        else:
+            hot += 1
+    out.write(b"EOS\x00")
+    return IncrementalStream(out.getvalue(), cursor, frozen, hot, skipped)

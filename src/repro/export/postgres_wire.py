@@ -1,0 +1,82 @@
+"""The row-based PostgreSQL wire protocol (the Figure 15 baseline).
+
+Faithful to the shape of the v3 protocol's ``DataRow`` messages: each tuple
+becomes one message of text-encoded fields, each prefixed by its length.
+The costs this reproduces are the real ones: per-value text conversion on
+the server, one message per row on the wire, and per-value parsing on the
+client — the serialization bottleneck Section 6.3 identifies.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SerializationError
+
+_NULL = -1
+
+
+def encode_row(values: Sequence[Any]) -> bytes:
+    """Encode one tuple as a DataRow-style message."""
+    body = io.BytesIO()
+    body.write(struct.pack("<H", len(values)))
+    for value in values:
+        if value is None:
+            body.write(struct.pack("<i", _NULL))
+            continue
+        if isinstance(value, bytes):
+            raw = value
+        elif isinstance(value, float):
+            raw = repr(value).encode("ascii")
+        elif isinstance(value, bool):
+            raw = b"t" if value else b"f"
+        else:
+            raw = str(value).encode("utf-8")
+        body.write(struct.pack("<i", len(raw)))
+        body.write(raw)
+    payload = body.getvalue()
+    return struct.pack("<cI", b"D", len(payload)) + payload
+
+
+def encode_rows(rows: Iterable[Sequence[Any]]) -> tuple[bytes, int]:
+    """Encode many tuples; returns (stream, message count)."""
+    out = io.BytesIO()
+    count = 0
+    for row in rows:
+        out.write(encode_row(row))
+        count += 1
+    return out.getvalue(), count
+
+
+def decode_rows(raw: bytes) -> list[tuple]:
+    """Client-side parse back into tuples of strings/bytes/None.
+
+    Like a real driver, the client sees text fields; numeric re-typing is
+    the consumer's job (and more client-side cost in real pipelines).
+    """
+    rows = []
+    stream = io.BytesIO(raw)
+    while True:
+        header = stream.read(5)
+        if not header:
+            return rows
+        if len(header) != 5 or header[:1] != b"D":
+            raise SerializationError("corrupt DataRow stream")
+        (length,) = struct.unpack("<I", header[1:])
+        body = stream.read(length)
+        if len(body) != length:
+            raise SerializationError("truncated DataRow message")
+        (field_count,) = struct.unpack_from("<H", body, 0)
+        offset = 2
+        fields: list[Any] = []
+        for _ in range(field_count):
+            (flen,) = struct.unpack_from("<i", body, offset)
+            offset += 4
+            if flen == _NULL:
+                fields.append(None)
+            else:
+                fields.append(body[offset : offset + flen].decode("utf-8", "replace"))
+                offset += flen
+        rows.append(tuple(fields))

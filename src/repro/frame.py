@@ -1,0 +1,223 @@
+"""A minimal columnar DataFrame: the landing zone of Figure 1's pipeline.
+
+The paper's motivation experiment ends with data "loaded into a Pandas
+program".  This module is that destination, self-contained: a column-
+oriented frame constructed zero-copy from an exported Arrow table, with
+the handful of operations the analytics scripts in ``examples/`` need —
+selection, filtering, sorting, summary statistics, CSV round-trip.
+
+It is deliberately not Pandas; it demonstrates that once data is Arrow,
+a useful dataframe is a thin veneer over the buffers.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.arrowfmt.table import Table
+
+
+class FrameError(ReproError):
+    """A DataFrame operation was invalid."""
+
+
+class DataFrame:
+    """Named columns of equal length; numeric columns are numpy arrays."""
+
+    def __init__(self, columns: dict[str, Any]) -> None:
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise FrameError(f"ragged columns: lengths {sorted(lengths)}")
+        self._columns: dict[str, Any] = {}
+        for name, values in columns.items():
+            self._columns[name] = self._coerce(values)
+        self.num_rows = lengths.pop() if lengths else 0
+
+    @staticmethod
+    def _coerce(values: Any) -> Any:
+        if isinstance(values, np.ndarray):
+            return values
+        values = list(values)
+        if values and all(
+            isinstance(v, (int, float, np.integer, np.floating))
+            and not isinstance(v, bool)
+            for v in values
+        ):
+            return np.array(values)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrow(cls, table: "Table") -> "DataFrame":
+        """Build from an exported Arrow table.
+
+        Null-free fixed-width columns arrive as numpy: zero-copy for a
+        single batch, one C-speed concatenate across batches.  Varlen (and
+        nullable) columns materialize to Python lists — the same work any
+        dataframe library does when leaving the Arrow representation.
+        """
+        from repro.arrowfmt.array import FixedSizeArray
+
+        columns: dict[str, Any] = {}
+        for index, field in enumerate(table.schema):
+            arrays = [batch.columns[index] for batch in table.batches]
+            all_numeric = arrays and all(
+                isinstance(a, FixedSizeArray) and a.null_count == 0 for a in arrays
+            )
+            if all_numeric:
+                if len(arrays) == 1:
+                    columns[field.name] = arrays[0].to_numpy()
+                else:
+                    columns[field.name] = np.concatenate(
+                        [a.to_numpy() for a in arrays]
+                    )
+            else:
+                values: list[Any] = []
+                for array in arrays:
+                    values.extend(array.to_pylist())
+                columns[field.name] = values
+        return cls(columns)
+
+    # ------------------------------------------------------------------ #
+    # access                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise FrameError(f"no column {name!r}") from None
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Yield rows as name-keyed dicts."""
+        names = self.column_names
+        vectors = [self._columns[n] for n in names]
+        for i in range(self.num_rows):
+            yield {
+                n: (v[i].item() if isinstance(v, np.ndarray) else v[i])
+                for n, v in zip(names, vectors)
+            }
+
+    # ------------------------------------------------------------------ #
+    # transformation                                                      #
+    # ------------------------------------------------------------------ #
+
+    def select(self, names: Sequence[str]) -> "DataFrame":
+        """Column projection (shares vectors)."""
+        return DataFrame({n: self[n] for n in names})
+
+    def head(self, n: int = 5) -> "DataFrame":
+        """The first ``n`` rows."""
+        return self._take(slice(0, n))
+
+    def filter(self, name: str, predicate: Callable[[Any], Any]) -> "DataFrame":
+        """Rows where ``predicate(column value)`` holds.
+
+        numpy columns receive the whole vector (return a boolean array);
+        list columns are filtered per value.
+        """
+        vector = self[name]
+        if isinstance(vector, np.ndarray):
+            mask = np.asarray(predicate(vector), dtype=bool)
+            if mask.shape != vector.shape:
+                raise FrameError("vectorized predicate must return one bool per row")
+        else:
+            mask = np.array(
+                [v is not None and bool(predicate(v)) for v in vector], dtype=bool
+            )
+        return self._take(mask)
+
+    def sort_values(self, name: str, descending: bool = False) -> "DataFrame":
+        """Rows reordered by one column (nulls last)."""
+        vector = self[name]
+        if isinstance(vector, np.ndarray):
+            order = np.argsort(vector, kind="stable")
+        else:
+            keyed = sorted(
+                range(self.num_rows),
+                key=lambda i: (vector[i] is None, vector[i] if vector[i] is not None else ""),
+            )
+            order = np.array(keyed, dtype=np.int64)
+        if descending:
+            order = order[::-1]
+        return self._take(order)
+
+    def _take(self, selector) -> "DataFrame":
+        out: dict[str, Any] = {}
+        for name, vector in self._columns.items():
+            if isinstance(vector, np.ndarray):
+                out[name] = vector[selector]
+            elif isinstance(selector, slice):
+                out[name] = vector[selector]
+            else:
+                indices = np.arange(self.num_rows)[selector] if (
+                    isinstance(selector, np.ndarray) and selector.dtype == bool
+                ) else selector
+                out[name] = [vector[int(i)] for i in indices]
+        return DataFrame(out)
+
+    # ------------------------------------------------------------------ #
+    # summarization                                                       #
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """count / mean / min / max for each numeric column."""
+        stats: dict[str, dict[str, float]] = {}
+        for name, vector in self._columns.items():
+            if isinstance(vector, np.ndarray) and vector.dtype.kind in "iuf":
+                if len(vector):
+                    stats[name] = {
+                        "count": float(len(vector)),
+                        "mean": float(vector.mean()),
+                        "min": float(vector.min()),
+                        "max": float(vector.max()),
+                    }
+                else:
+                    stats[name] = {"count": 0.0, "mean": float("nan"),
+                                   "min": float("nan"), "max": float("nan")}
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # interchange                                                         #
+    # ------------------------------------------------------------------ #
+
+    def to_csv(self, separator: str = ",") -> str:
+        """Serialize with a header row; ``None`` becomes empty."""
+        out = io.StringIO()
+        names = self.column_names
+        out.write(separator.join(names) + "\n")
+        for row in self.iter_rows():
+            out.write(
+                separator.join(
+                    "" if row[n] is None else str(row[n]) for n in names
+                )
+                + "\n"
+            )
+        return out.getvalue()
+
+    def to_dict(self) -> dict[str, list]:
+        """Plain lists per column."""
+        return {
+            n: (v.tolist() if isinstance(v, np.ndarray) else list(v))
+            for n, v in self._columns.items()
+        }
+
+    def __repr__(self) -> str:
+        return f"DataFrame(rows={self.num_rows}, columns={self.column_names})"

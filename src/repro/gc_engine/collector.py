@@ -1,0 +1,157 @@
+"""The two-phase garbage collector (Section 3.3).
+
+Because all versioning information lives in transaction-private undo
+buffers, the collector only ever examines transaction objects.  Each pass:
+
+1. computes the visibility horizon (oldest active start timestamp),
+2. runs deferred deallocations whose unlink epoch has safely passed,
+3. drains completed transactions below the horizon and unlinks their delta
+   records from the version chains (each chain touched once), registering
+   the actual memory release as a deferred action stamped with the unlink
+   timestamp, and
+4. reports the modifications it saw to the access observer — the free ride
+   that Section 4.2 uses for cold-block detection without touching the
+   transaction critical path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.gc_engine.epoch import DeferredActionQueue
+from repro.storage.varlen import read_entry
+from repro.txn.manager import TransactionManager
+from repro.txn.undo import UndoRecord, UpdateUndoRecord
+
+if TYPE_CHECKING:
+    from repro.storage.block import RawBlock
+
+
+class AccessObserver(Protocol):
+    """Receiver for block-modification observations (Section 4.2)."""
+
+    def observe_modification(self, block: "RawBlock", epoch: int) -> None:
+        """Record that ``block`` was modified around GC epoch ``epoch``."""
+
+    def on_gc_pass(self, epoch: int) -> None:
+        """Hook run at the end of every GC pass."""
+
+
+class GcStats:
+    """Counters exposed for tests and benchmarks."""
+
+    __slots__ = ("passes", "transactions_processed", "records_unlinked", "deferred_executed")
+
+    def __init__(self) -> None:
+        self.passes = 0
+        self.transactions_processed = 0
+        self.records_unlinked = 0
+        self.deferred_executed = 0
+
+
+class GarbageCollector:
+    """Prunes version chains and frees memory behind the visibility horizon."""
+
+    def __init__(
+        self,
+        txn_manager: TransactionManager,
+        access_observer: AccessObserver | None = None,
+    ) -> None:
+        self.txn_manager = txn_manager
+        self.deferred = DeferredActionQueue()
+        self.access_observer = access_observer
+        self.stats = GcStats()
+        #: Monotone count of GC invocations: the "GC epoch" that stands in
+        #: for wall-clock time in cold-block detection.
+        self.epoch = 0
+
+    def run(self) -> int:
+        """One GC pass; returns the number of records unlinked."""
+        self.epoch += 1
+        horizon = self.txn_manager.oldest_active_start()
+        self.stats.deferred_executed += self.deferred.process(horizon)
+        completed = self.txn_manager.drain_completed(horizon)
+        unlinked = 0
+        touched_blocks: dict[int, "RawBlock"] = {}
+        from repro.errors import StorageError
+
+        for txn in completed:
+            unlink_ts = self.txn_manager.timestamps.checkpoint()
+            for record in txn.undo_buffer:
+                try:
+                    block = record.table._block(record.slot.block_id)
+                except StorageError:
+                    # The block was recycled by compaction after emptying;
+                    # its chains (and heaps) died with it.
+                    continue
+                touched_blocks[block.block_id] = block
+                self._unlink(block, record)
+                unlinked += 1
+                action = self._deallocation_for(block, record)
+                if action is not None:
+                    self.deferred.register(unlink_ts, action)
+            self.stats.transactions_processed += 1
+        if self.access_observer is not None:
+            for block in touched_blocks.values():
+                block.last_modified_epoch = self.epoch
+                self.access_observer.observe_modification(block, self.epoch)
+            self.access_observer.on_gc_pass(self.epoch)
+        self.stats.passes += 1
+        self.stats.records_unlinked += unlinked
+        return unlinked
+
+    def run_until_quiet(self, max_passes: int = 16) -> None:
+        """Run passes until nothing remains to unlink or defer (tests)."""
+        for _ in range(max_passes):
+            self.run()
+            if (
+                self.txn_manager.pending_gc_count == 0
+                and len(self.deferred) == 0
+            ):
+                return
+
+    def _unlink(self, block: "RawBlock", record: UndoRecord) -> None:
+        """Remove one record from its chain under the block's write latch.
+
+        Lingering traversals that already hold a reference simply continue
+        on the detached suffix — Python's reference counting provides the
+        use-after-free protection the paper's deallocation epoch guards.
+        """
+        offset = record.slot.offset
+        with block.write_latch:
+            head = block.version_ptrs[offset]
+            if head is record:
+                block.version_ptrs[offset] = record.next
+                return
+            node = head
+            while node is not None and node.next is not record:
+                node = node.next
+            if node is not None:
+                node.next = record.next
+
+    def _deallocation_for(self, block: "RawBlock", record: UndoRecord):
+        """Build the deferred free for a record, if it owns any memory.
+
+        Only committed updates release varlen bytes here: their before-image
+        entries became unreachable when the update overwrote the block.
+        Aborted updates already freed the loser's new value during rollback,
+        and deletes keep tuple contents in place until compaction recycles
+        the slot.
+        """
+        if not isinstance(record, UpdateUndoRecord) or record.aborted:
+            return None
+        to_free: list[tuple[int, int]] = []
+        for column_id, raw in record.before_raw.items():
+            import numpy as np
+
+            entry = read_entry(np.frombuffer(raw, dtype=np.uint8))
+            if entry.owns_buffer:
+                to_free.append((column_id, entry.pointer))
+        if not to_free:
+            return None
+
+        def _free() -> None:
+            for column_id, heap_id in to_free:
+                block.varlen_heaps[column_id].free(heap_id)
+
+        return _free

@@ -1,0 +1,49 @@
+"""Epoch-protected deferred actions (Sections 3.3 and 4.4).
+
+An action registered with timestamp *t* runs only once the oldest active
+transaction in the system started after *t* — at that point no running
+transaction can observe state from before the action, so destructive work
+(freeing unlinked version records, reclaiming pre-transformation varlen
+buffers) is safe.  This mirrors the epoch-protection framework of FASTER
+that the paper cites.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable
+
+
+class DeferredActionQueue:
+    """A timestamp-ordered queue of deferred callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._tiebreak = itertools.count()
+        self.executed_count = 0
+
+    def register(self, timestamp: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run once the horizon passes ``timestamp``."""
+        with self._lock:
+            heapq.heappush(self._heap, (timestamp, next(self._tiebreak), action))
+
+    def process(self, horizon: int) -> int:
+        """Run every action whose timestamp is strictly below ``horizon``.
+
+        ``horizon`` is the oldest active start timestamp; actions tagged
+        before it can no longer be observed.  Returns the number executed.
+        """
+        ready: list[Callable[[], None]] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] < horizon:
+                ready.append(heapq.heappop(self._heap)[2])
+        for action in ready:
+            action()
+        self.executed_count += len(ready)
+        return len(ready)
+
+    def __len__(self) -> int:
+        return len(self._heap)

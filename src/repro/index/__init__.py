@@ -1,0 +1,14 @@
+"""Indexes mapping logical keys to TupleSlots.
+
+The paper's DB-X uses the OpenBw-Tree; this reproduction provides a B+-tree
+with the same logical contract (ordered keys → tuple slots, range scans)
+plus a hash index for point lookups.  :class:`IndexManager` wires index
+maintenance into the transaction lifecycle and counts the index updates
+that tuple movement causes — the write amplification of Figure 13.
+"""
+
+from repro.index.bplus_tree import BPlusTree
+from repro.index.hash_index import HashIndex
+from repro.index.manager import IndexManager, TableIndex
+
+__all__ = ["BPlusTree", "HashIndex", "IndexManager", "TableIndex"]

@@ -1,0 +1,125 @@
+"""Vectorized operators over column batches: filter, aggregate, group-by."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.query.scan import ColumnBatch, TableScanner
+
+Predicate = Callable[[Any], Any]
+
+
+@dataclass
+class AggregateResult:
+    """Running aggregate state, combinable across batches."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean, or ``None`` when no rows were seen."""
+        return self.total / self.count if self.count else None
+
+    def update(self, values: np.ndarray | list) -> None:
+        """Fold a vector of non-null numeric values into the state."""
+        if isinstance(values, np.ndarray):
+            if not len(values):
+                return
+            self.count += len(values)
+            self.total += float(values.sum())
+            low, high = float(values.min()), float(values.max())
+        else:
+            clean = [v for v in values if v is not None]
+            if not clean:
+                return
+            self.count += len(clean)
+            self.total += float(sum(clean))
+            low, high = float(min(clean)), float(max(clean))
+        self.minimum = low if self.minimum is None else min(self.minimum, low)
+        self.maximum = high if self.maximum is None else max(self.maximum, high)
+
+
+def filter_mask(batch: ColumnBatch, column_id: int, predicate: Predicate) -> np.ndarray:
+    """Boolean mask of rows where ``predicate(value)`` is true.
+
+    For numpy-backed columns the predicate is applied vectorized (it
+    receives the whole array and must return a boolean array); for list
+    columns it is applied per value.
+    """
+    vector = batch.column(column_id)
+    if isinstance(vector, np.ndarray):
+        mask = predicate(vector)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != vector.shape:
+            raise StorageError("vectorized predicate must return one bool per row")
+        return mask
+    return np.array([v is not None and bool(predicate(v)) for v in vector], dtype=bool)
+
+
+def _masked(vector, mask: np.ndarray):
+    if isinstance(vector, np.ndarray):
+        return vector[mask]
+    return [v for v, keep in zip(vector, mask) if keep]
+
+
+def aggregate(
+    scanner: TableScanner,
+    value_column: int,
+    filter_column: int | None = None,
+    predicate: Predicate | None = None,
+) -> AggregateResult:
+    """COUNT/SUM/MIN/MAX/AVG of one column, optionally filtered."""
+    result = AggregateResult()
+    for batch in scanner.batches():
+        vector = batch.column(value_column)
+        if filter_column is not None and predicate is not None:
+            mask = filter_mask(batch, filter_column, predicate)
+            vector = _masked(vector, mask)
+        if isinstance(vector, np.ndarray):
+            result.update(vector)
+        else:
+            result.update(vector)
+    return result
+
+
+def group_by_aggregate(
+    scanner: TableScanner,
+    key_column: int,
+    value_column: int,
+) -> dict[Any, AggregateResult]:
+    """Per-key aggregates of ``value_column`` grouped by ``key_column``."""
+    groups: dict[Any, AggregateResult] = {}
+    for batch in scanner.batches():
+        keys = batch.column(key_column)
+        values = batch.column(value_column)
+        if isinstance(keys, np.ndarray) and isinstance(values, np.ndarray):
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            sorted_values = values[order]
+            boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_keys)]))
+            for start, end in zip(starts, ends):
+                key = sorted_keys[start].item()
+                groups.setdefault(key, AggregateResult()).update(
+                    sorted_values[start:end]
+                )
+        else:
+            keys_list = keys.tolist() if isinstance(keys, np.ndarray) else keys
+            values_list = (
+                values.tolist() if isinstance(values, np.ndarray) else values
+            )
+            per_key: dict[Any, list] = {}
+            for key, value in zip(keys_list, values_list):
+                if value is not None:
+                    per_key.setdefault(key, []).append(value)
+            for key, vals in per_key.items():
+                groups.setdefault(key, AggregateResult()).update(vals)
+    return groups

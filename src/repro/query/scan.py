@@ -1,0 +1,142 @@
+"""Hybrid table scans: in-place over frozen blocks, MVCC over hot ones.
+
+A :class:`TableScanner` yields :class:`ColumnBatch` objects — per-block
+column vectors.  For FROZEN blocks the fixed-width vectors are zero-copy
+numpy views of the block buffer and varlen columns come from the gathered
+Arrow buffers; for hot blocks the scanner materializes a transactional
+snapshot.  This is the "elide version checking for cold blocks" fast path
+of Sections 3.1/4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro.arrowfmt.datatypes import FixedWidthType
+from repro.errors import StorageError
+from repro.storage.tuple_slot import TupleSlot
+from repro.transform.arrow_view import block_to_record_batch
+
+if TYPE_CHECKING:
+    from repro.storage.data_table import DataTable
+    from repro.txn.manager import TransactionManager
+
+
+@dataclass
+class ColumnBatch:
+    """One block's worth of column vectors.
+
+    Fixed-width columns are numpy arrays (zero-copy for frozen blocks);
+    varlen columns are Python lists of str/bytes/None.
+    """
+
+    columns: dict[int, Any]
+    num_rows: int
+    from_frozen: bool
+
+    def column(self, column_id: int) -> Any:
+        """The vector for ``column_id``."""
+        try:
+            return self.columns[column_id]
+        except KeyError:
+            raise StorageError(f"column {column_id} not in this scan") from None
+
+
+class TableScanner:
+    """Streams a table as column batches, fast-pathing frozen blocks."""
+
+    def __init__(
+        self,
+        txn_manager: "TransactionManager",
+        table: "DataTable",
+        column_ids: list[int] | None = None,
+        range_filters: dict[int, tuple[float | None, float | None]] | None = None,
+    ) -> None:
+        """``range_filters`` maps column id → (low, high) bounds (either
+        side ``None`` for open).  Frozen blocks whose zone maps prove the
+        range empty are skipped without being read; the caller still has to
+        apply the predicate row-wise (zone maps only prune, never filter)."""
+        self.txn_manager = txn_manager
+        self.table = table
+        self.column_ids = (
+            column_ids
+            if column_ids is not None
+            else list(range(table.layout.num_columns))
+        )
+        self.range_filters = dict(range_filters or {})
+        self.frozen_blocks_scanned = 0
+        self.hot_blocks_scanned = 0
+        self.blocks_pruned = 0
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        """Yield one batch per block that has any visible rows."""
+        for block in list(self.table.blocks):
+            if block.begin_frozen_read():
+                try:
+                    if self._pruned_by_zone_map(block):
+                        self.blocks_pruned += 1
+                        continue
+                    batch = self._frozen_batch(block)
+                finally:
+                    block.end_frozen_read()
+                self.frozen_blocks_scanned += 1
+            else:
+                batch = self._hot_batch(block)
+                self.hot_blocks_scanned += 1
+            if batch.num_rows:
+                yield batch
+
+    def _pruned_by_zone_map(self, block) -> bool:
+        for column_id, (low, high) in self.range_filters.items():
+            zone = block.zone_maps.get(column_id)
+            if zone is None:
+                continue
+            zone_min, zone_max = zone
+            if low is not None and zone_max < low:
+                return True
+            if high is not None and zone_min > high:
+                return True
+        return False
+
+    def _frozen_batch(self, block) -> ColumnBatch:
+        record_batch = block_to_record_batch(block)
+        columns: dict[int, Any] = {}
+        for column_id in self.column_ids:
+            spec = self.table.layout.columns[column_id]
+            array = record_batch.columns[column_id]
+            if isinstance(spec.dtype, FixedWidthType) and array.null_count == 0:
+                columns[column_id] = array.to_numpy()
+            else:
+                columns[column_id] = array.to_pylist()
+        return ColumnBatch(columns, record_batch.num_rows, from_frozen=True)
+
+    def _hot_batch(self, block) -> ColumnBatch:
+        txn = self.txn_manager.begin()
+        rows: list[dict[int, Any]] = []
+        for offset in range(block.insert_head):
+            slot = TupleSlot(block.block_id, offset)
+            if (
+                not block.allocation_bitmap.get(offset)
+                and block.version_ptrs[offset] is None
+            ):
+                continue
+            row = self.table.select(txn, slot, self.column_ids)
+            if row is not None:
+                rows.append(row.to_dict())
+        self.txn_manager.commit(txn)
+        columns: dict[int, Any] = {}
+        for column_id in self.column_ids:
+            spec = self.table.layout.columns[column_id]
+            values = [r[column_id] for r in rows]
+            if (
+                isinstance(spec.dtype, FixedWidthType)
+                and spec.dtype.numpy_dtype.kind in "iuf"
+                and all(v is not None for v in values)
+            ):
+                columns[column_id] = np.array(values, dtype=spec.dtype.numpy_dtype)
+            else:
+                columns[column_id] = values
+        return ColumnBatch(columns, len(rows), from_frozen=False)

@@ -1,0 +1,40 @@
+"""Block-based storage engine: the paper's relaxed Arrow format.
+
+Storage is organized in 1 MB PAX-style blocks (Section 3.2).  All attributes
+of a tuple live in the same block; each column region and its validity
+bitmap are 8-byte aligned.  Fixed-length columns are Arrow-compliant at all
+times; variable-length columns use the relaxed 16-byte :class:`VarlenEntry`
+representation (Section 4.1) until the transformation pipeline gathers them
+into canonical Arrow buffers.
+"""
+
+from repro.storage.constants import (
+    BLOCK_SIZE,
+    BlockState,
+    OFFSET_BITS,
+    VARLEN_ENTRY_SIZE,
+    VARLEN_INLINE_LIMIT,
+)
+from repro.storage.layout import BlockLayout, ColumnSpec
+from repro.storage.tuple_slot import TupleSlot
+from repro.storage.varlen import VarlenEntry
+from repro.storage.block import RawBlock
+from repro.storage.block_store import BlockStore
+from repro.storage.projection import ProjectedRow
+from repro.storage.data_table import DataTable
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockLayout",
+    "BlockState",
+    "BlockStore",
+    "ColumnSpec",
+    "DataTable",
+    "OFFSET_BITS",
+    "ProjectedRow",
+    "RawBlock",
+    "TupleSlot",
+    "VARLEN_ENTRY_SIZE",
+    "VARLEN_INLINE_LIMIT",
+    "VarlenEntry",
+]

@@ -1,0 +1,48 @@
+"""Storage-engine constants and the block state machine."""
+
+from __future__ import annotations
+
+import enum
+
+#: Block size in bytes.  The paper uses 1 MB blocks aligned at 1 MB
+#: boundaries so that a block pointer's low 20 bits are always zero (Fig. 5).
+BLOCK_SIZE = 1 << 20
+
+#: Bits of a TupleSlot reserved for the offset within the block.  There can
+#: never be more tuples than bytes in a block, so 20 bits suffice.
+OFFSET_BITS = 20
+
+#: Bytes reserved at the head of every block for the header (layout id,
+#: state flag, insert head, padding to an 8-byte boundary).
+BLOCK_HEADER_SIZE = 64
+
+#: Size of the relaxed variable-length value representation (Fig. 6):
+#: 4-byte size + 4-byte prefix + 8-byte pointer, padded to 16 bytes.
+VARLEN_ENTRY_SIZE = 16
+
+#: Values no longer than this are stored entirely inside the VarlenEntry
+#: (prefix + pointer fields), avoiding any out-of-line buffer.
+VARLEN_INLINE_LIMIT = 12
+
+#: Alignment for every column region and bitmap inside a block.
+COLUMN_ALIGNMENT = 8
+
+
+class BlockState(enum.IntEnum):
+    """The hot/cold state machine of Section 4 (Figures 7 and 9).
+
+    - ``HOT``: the block may contain versioned tuples and relaxed varlen
+      entries; readers must materialize through the transaction engine.
+    - ``COOLING``: the transformation thread intends to lock the block; user
+      transactions may preempt by CAS-ing the flag back to ``HOT``.
+    - ``FREEZING``: exclusive lock held by the transformation thread for the
+      short gather critical section; transactional writes must wait/retry.
+    - ``FROZEN``: the block is canonical Arrow; readers access it in place
+      under a reader counter, and the first transactional write flips it
+      back to ``HOT`` after waiting for lingering readers.
+    """
+
+    HOT = 0
+    COOLING = 1
+    FREEZING = 2
+    FROZEN = 3

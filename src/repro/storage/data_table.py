@@ -1,0 +1,443 @@
+"""The Data Table API: transactional access over blocks (Section 3.1).
+
+The data table is the abstraction layer between the transaction engine and
+raw block storage.  It materializes the correct tuple version into the
+transaction on reads, installs before-image delta records on writes, and is
+the only component that understands both the relaxed block format and the
+version-pointer column.
+
+Concurrency model: the C++ engine installs version-chain heads with atomic
+compare-and-swap and relies on aligned 8-byte stores being atomic for
+in-place updates.  Python offers neither, so each block carries a write
+latch that serializes (version-pointer install + in-place write) and the
+snapshot step of reads.  Chain *traversal* happens outside the latch, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.arrowfmt.datatypes import VarBinaryType
+from repro.errors import StorageError
+from repro.storage.block import RawBlock
+from repro.storage.block_store import BlockStore
+from repro.storage.constants import BlockState
+from repro.storage.layout import BlockLayout
+from repro.storage.projection import ProjectedRow
+from repro.storage.tuple_slot import TupleSlot
+from repro.storage.varlen import read_entry, read_value, write_entry
+from repro.txn.redo import RedoRecord
+from repro.txn.undo import (
+    DeleteUndoRecord,
+    InsertUndoRecord,
+    UndoRecord,
+    UpdateUndoRecord,
+)
+
+if TYPE_CHECKING:
+    from repro.txn.context import TransactionContext
+
+
+class DataTable:
+    """One table's tuples, spread over 1 MB blocks of a shared layout."""
+
+    def __init__(self, block_store: BlockStore, layout: BlockLayout, name: str) -> None:
+        self.block_store = block_store
+        self.layout = layout
+        self.name = name
+        self.blocks: list[RawBlock] = []
+        self._blocks_by_id: dict[int, RawBlock] = {}
+        self._insert_lock = threading.Lock()
+        self._insertion_block: RawBlock | None = None
+        #: Listeners notified with (txn, slot, kind, new_values, old_values)
+        #: after each write; index maintenance hooks in here.
+        self._write_listeners: list[Any] = []
+        #: Union of columns any listener needs old values for on deletes.
+        self._indexed_columns: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, txn: "TransactionContext", values: Mapping[int, Any]) -> TupleSlot:
+        """Insert a tuple; returns its :class:`TupleSlot`.
+
+        ``values`` must provide every column (``None`` for SQL NULL).  The
+        insert is invisible to concurrent snapshots until commit, via an
+        insert undo record whose before-image is "slot absent".
+        """
+        self._require_active(txn)
+        missing = set(range(self.layout.num_columns)) - set(values)
+        if missing:
+            raise StorageError(f"insert missing columns {sorted(missing)}")
+        block, offset = self._allocate_slot()
+        slot = TupleSlot(block.block_id, offset)
+        with block.write_latch:
+            record = txn.undo_buffer.append(InsertUndoRecord(txn, self, slot))
+            block.version_ptrs[offset] = record
+            self._write_in_place(block, offset, values.items())
+        txn.redo_buffer.append(
+            RedoRecord(self.name, slot, RedoRecord.INSERT, ProjectedRow(values))
+        )
+        self._notify(txn, slot, "insert", dict(values), None)
+        return slot
+
+    def insert_into(
+        self, txn: "TransactionContext", slot: TupleSlot, values: Mapping[int, Any]
+    ) -> None:
+        """Insert into a *specific* empty slot (compaction's tuple moves).
+
+        The caller (the transformation pipeline) guarantees the slot is a
+        gap; regular inserts go through :meth:`insert`, which allocates.
+        Stale varlen contents left behind by a committed delete are freed
+        here — this is where deleted slots are recycled (Section 3.3).
+        """
+        self._require_active(txn)
+        block = self._block(slot.block_id)
+        block.touch_hot()
+        with block.write_latch:
+            if block.allocation_bitmap.get(slot.offset):
+                raise StorageError(f"{slot} is already allocated")
+            if block.version_ptrs[slot.offset] is not None:
+                raise StorageError(f"{slot} still has a version chain")
+            for column_id in self.layout.varlen_column_ids():
+                if block.validity_bitmaps[column_id].get(slot.offset):
+                    self._free_owned_entry(block, column_id, slot.offset)
+                    block.validity_bitmaps[column_id].clear(slot.offset)
+            block.allocation_bitmap.set(slot.offset)
+            record = txn.undo_buffer.append(InsertUndoRecord(txn, self, slot))
+            block.version_ptrs[slot.offset] = record
+            self._write_in_place(block, slot.offset, values.items())
+        txn.redo_buffer.append(
+            RedoRecord(self.name, slot, RedoRecord.INSERT, ProjectedRow(values))
+        )
+        self._notify(txn, slot, "insert", dict(values), None)
+
+    def update(
+        self, txn: "TransactionContext", slot: TupleSlot, delta: Mapping[int, Any]
+    ) -> bool:
+        """Update a subset of columns in place.
+
+        Returns ``False`` (and marks the transaction ``must_abort``) on a
+        write-write conflict — the engine disallows them outright to avoid
+        cascading rollbacks (Section 3.1).
+        """
+        self._require_active(txn)
+        if not delta:
+            raise StorageError("empty update delta")
+        block = self._block(slot.block_id)
+        block.touch_hot()
+        with block.write_latch:
+            if not self._writable(txn, block, slot.offset):
+                txn.must_abort = True
+                return False
+            column_ids = sorted(delta)
+            before = self._read_in_place(block, slot.offset, column_ids)
+            before_raw = self._capture_raw_varlen(block, slot.offset, column_ids)
+            record = txn.undo_buffer.append(
+                UpdateUndoRecord(txn, self, slot, before, before_raw)
+            )
+            record.next = block.version_ptrs[slot.offset]
+            block.version_ptrs[slot.offset] = record
+            self._write_in_place(block, slot.offset, delta.items())
+        txn.redo_buffer.append(
+            RedoRecord(self.name, slot, RedoRecord.UPDATE, ProjectedRow(delta))
+        )
+        self._notify(txn, slot, "update", dict(delta), before.to_dict())
+        return True
+
+    def delete(self, txn: "TransactionContext", slot: TupleSlot) -> bool:
+        """Delete a tuple: flips its allocation bit, contents untouched."""
+        self._require_active(txn)
+        block = self._block(slot.block_id)
+        block.touch_hot()
+        with block.write_latch:
+            if not self._writable(txn, block, slot.offset):
+                txn.must_abort = True
+                return False
+            if not block.allocation_bitmap.get(slot.offset):
+                raise StorageError(f"{slot} is not allocated")
+            old_indexed = (
+                self._read_in_place(block, slot.offset, sorted(self._indexed_columns)).to_dict()
+                if self._indexed_columns
+                else {}
+            )
+            record = txn.undo_buffer.append(DeleteUndoRecord(txn, self, slot))
+            record.next = block.version_ptrs[slot.offset]
+            block.version_ptrs[slot.offset] = record
+            block.allocation_bitmap.clear(slot.offset)
+        txn.redo_buffer.append(RedoRecord(self.name, slot, RedoRecord.DELETE, None))
+        self._notify(txn, slot, "delete", None, old_indexed)
+        return True
+
+    def select(
+        self,
+        txn: "TransactionContext",
+        slot: TupleSlot,
+        column_ids: list[int] | None = None,
+    ) -> ProjectedRow | None:
+        """Read the version of ``slot`` visible to ``txn``.
+
+        Returns ``None`` when the tuple does not exist in the transaction's
+        snapshot.  This is the early materialization of Section 3.1: the
+        newest version is copied, then invisible delta records are applied
+        newest-to-oldest until a visible one is reached.
+        """
+        self._require_active(txn)
+        block = self._block(slot.block_id)
+        if column_ids is None:
+            column_ids = list(range(self.layout.num_columns))
+        with block.write_latch:
+            present = block.allocation_bitmap.get(slot.offset)
+            chain = block.version_ptrs[slot.offset]
+            if not present and chain is None:
+                return None
+            row = self._read_in_place(block, slot.offset, column_ids)
+        record = chain
+        while record is not None and not record.is_visible_to(txn):
+            present = record.undo_presence(present)
+            record.apply_before_image(row)
+            record = record.next
+        return row if present else None
+
+    def scan(
+        self,
+        txn: "TransactionContext",
+        column_ids: list[int] | None = None,
+    ) -> Iterator[tuple[TupleSlot, ProjectedRow]]:
+        """Yield every tuple visible to ``txn``, block by block."""
+        for block in list(self.blocks):
+            for offset in range(block.insert_head):
+                slot = TupleSlot(block.block_id, offset)
+                if (
+                    not block.allocation_bitmap.get(offset)
+                    and block.version_ptrs[offset] is None
+                ):
+                    continue
+                row = self.select(txn, slot, column_ids)
+                if row is not None:
+                    yield slot, row
+
+    def add_write_listener(
+        self, listener: Any, indexed_columns: set[int] | None = None
+    ) -> None:
+        """Register a ``listener(txn, slot, kind, new_values, old_values)``
+        callable.  ``indexed_columns`` declares which columns the listener
+        needs old values for when tuples are deleted (index key columns)."""
+        self._write_listeners.append(listener)
+        if indexed_columns:
+            self._indexed_columns |= set(indexed_columns)
+
+    # ------------------------------------------------------------------ #
+    # physical helpers (shared with rollback, GC, and the transformer)    #
+    # ------------------------------------------------------------------ #
+
+    def _block(self, block_id: int) -> RawBlock:
+        try:
+            return self._blocks_by_id[block_id]
+        except KeyError:
+            raise StorageError(
+                f"block {block_id} does not belong to table {self.name!r}"
+            ) from None
+
+    def _allocate_slot(self) -> tuple[RawBlock, int]:
+        with self._insert_lock:
+            while True:
+                if self._insertion_block is not None:
+                    offset = self._insertion_block.allocate_slot()
+                    if offset is not None:
+                        block = self._insertion_block
+                        block.touch_hot()
+                        return block, offset
+                self._insertion_block = self.block_store.allocate(self.layout)
+                self.blocks.append(self._insertion_block)
+                self._blocks_by_id[self._insertion_block.block_id] = self._insertion_block
+
+    def adopt_block(self, block: RawBlock) -> None:
+        """Track a block created externally (used by the transformer when
+        compaction recycles blocks within a group)."""
+        if block.block_id not in self._blocks_by_id:
+            self.blocks.append(block)
+            self._blocks_by_id[block.block_id] = block
+
+    def drop_block(self, block: RawBlock) -> None:
+        """Stop tracking an empty block and return it to the store."""
+        if block is self._insertion_block:
+            self._insertion_block = None
+        self.blocks.remove(block)
+        del self._blocks_by_id[block.block_id]
+        self.block_store.release(block)
+
+    def _read_in_place(
+        self, block: RawBlock, offset: int, column_ids: list[int]
+    ) -> ProjectedRow:
+        row = ProjectedRow()
+        for column_id in column_ids:
+            spec = self.layout.columns[column_id]
+            if not block.validity_bitmaps[column_id].get(offset):
+                row.set(column_id, None)
+            elif spec.is_varlen:
+                raw = read_value(
+                    block.varlen_entry_view(column_id, offset),
+                    block.varlen_heaps[column_id],
+                    self._gathered_values(block, column_id),
+                )
+                if isinstance(spec.dtype, VarBinaryType) and spec.dtype.is_utf8:
+                    row.set(column_id, raw.decode("utf-8"))
+                else:
+                    row.set(column_id, raw)
+            else:
+                value = block.column_view(column_id)[offset]
+                if spec.dtype.name == "bool":
+                    row.set(column_id, bool(value))
+                else:
+                    row.set(column_id, value.item())
+        return row
+
+    def _write_in_place(
+        self, block: RawBlock, offset: int, items: Any
+    ) -> None:
+        for column_id, value in items:
+            spec = self.layout.columns[column_id]
+            if value is None:
+                if not self.layout_allows_null(column_id):
+                    raise StorageError(f"column {spec.name!r} does not allow NULL")
+                block.validity_bitmaps[column_id].clear(offset)
+                continue
+            block.validity_bitmaps[column_id].set(offset)
+            if spec.is_varlen:
+                raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+                write_entry(
+                    block.varlen_entry_view(column_id, offset),
+                    raw,
+                    block.varlen_heaps[column_id],
+                )
+            else:
+                block.column_view(column_id)[offset] = value
+
+    def layout_allows_null(self, column_id: int) -> bool:
+        """Whether NULL may be stored in ``column_id``.
+
+        The block format always reserves a validity bitmap; logical NOT NULL
+        constraints belong to the catalog layer, so storage accepts NULLs
+        everywhere.
+        """
+        return True
+
+    def _capture_raw_varlen(
+        self, block: RawBlock, offset: int, column_ids: list[int]
+    ) -> dict[int, bytes]:
+        raw: dict[int, bytes] = {}
+        for column_id in column_ids:
+            if self.layout.columns[column_id].is_varlen:
+                raw[column_id] = block.varlen_entry_view(column_id, offset).tobytes()
+        return raw
+
+    def _gathered_values(self, block: RawBlock, column_id: int) -> np.ndarray | None:
+        gathered = block.gathered.get(column_id)
+        return gathered[1] if gathered is not None else None
+
+    def _writable(self, txn: "TransactionContext", block: RawBlock, offset: int) -> bool:
+        """The write-write conflict rule: the chain head must be either
+        absent, ours, aborted, or committed no later than our snapshot."""
+        head: UndoRecord | None = block.version_ptrs[offset]
+        if head is None or head.aborted:
+            return True
+        if head.txn is txn:
+            return True
+        from repro.txn.timestamps import is_uncommitted
+
+        if is_uncommitted(head.timestamp):
+            return False
+        return head.timestamp <= txn.start_ts
+
+    def _require_active(self, txn: "TransactionContext") -> None:
+        if not txn.is_active:
+            raise StorageError(f"transaction is {txn.state.value}, not active")
+
+    # ------------------------------------------------------------------ #
+    # rollback hooks (called by the transaction manager)                  #
+    # ------------------------------------------------------------------ #
+
+    def rollback_update(self, record: UpdateUndoRecord) -> None:
+        """Restore the before-image of an aborted update, freeing any
+        out-of-line values the aborting transaction allocated."""
+        block = self._block(record.slot.block_id)
+        offset = record.slot.offset
+        with block.write_latch:
+            for column_id in record.before.column_ids:
+                spec = self.layout.columns[column_id]
+                if spec.is_varlen:
+                    self._free_owned_entry(block, column_id, offset)
+                    raw = record.before_raw[column_id]
+                    block.varlen_entry_view(column_id, offset)[:] = np.frombuffer(
+                        raw, dtype=np.uint8
+                    )
+                    before_value = record.before.get(column_id)
+                    if before_value is None:
+                        block.validity_bitmaps[column_id].clear(offset)
+                    else:
+                        block.validity_bitmaps[column_id].set(offset)
+                else:
+                    value = record.before.get(column_id)
+                    if value is None:
+                        block.validity_bitmaps[column_id].clear(offset)
+                    else:
+                        block.validity_bitmaps[column_id].set(offset)
+                        block.column_view(column_id)[offset] = value
+
+    def rollback_insert(self, record: InsertUndoRecord) -> None:
+        """Undo an aborted insert: free its varlens, clear its bits."""
+        block = self._block(record.slot.block_id)
+        offset = record.slot.offset
+        with block.write_latch:
+            for column_id in self.layout.varlen_column_ids():
+                if block.validity_bitmaps[column_id].get(offset):
+                    self._free_owned_entry(block, column_id, offset)
+            for column_id in range(self.layout.num_columns):
+                block.validity_bitmaps[column_id].clear(offset)
+            block.allocation_bitmap.clear(offset)
+
+    def rollback_delete(self, record: DeleteUndoRecord) -> None:
+        """Undo an aborted delete: restore the allocation bit."""
+        block = self._block(record.slot.block_id)
+        with block.write_latch:
+            block.allocation_bitmap.set(record.slot.offset)
+
+    def _free_owned_entry(self, block: RawBlock, column_id: int, offset: int) -> None:
+        entry = read_entry(block.varlen_entry_view(column_id, offset))
+        if entry.owns_buffer:
+            block.varlen_heaps[column_id].free(entry.pointer)
+
+    # ------------------------------------------------------------------ #
+    # statistics                                                          #
+    # ------------------------------------------------------------------ #
+
+    def live_tuple_count(self) -> int:
+        """Physically allocated tuples across all blocks (no snapshots)."""
+        return sum(b.allocation_bitmap.count_set() for b in self.blocks)
+
+    def block_states(self) -> dict[BlockState, int]:
+        """Histogram of block states, as reported in Figure 10b."""
+        histogram = {state: 0 for state in BlockState}
+        for block in self.blocks:
+            histogram[block.state] += 1
+        return histogram
+
+    def _notify(
+        self,
+        txn: "TransactionContext",
+        slot: TupleSlot,
+        kind: str,
+        new_values: dict | None,
+        old_values: dict | None,
+    ) -> None:
+        for listener in self._write_listeners:
+            listener(txn, slot, kind, new_values, old_values)
+
+    def __repr__(self) -> str:
+        return f"DataTable(name={self.name!r}, blocks={len(self.blocks)})"

@@ -1,0 +1,148 @@
+"""Whole-database physical integrity checking.
+
+The storage engine's analogue of ``PRAGMA integrity_check``: walks every
+block of every table and verifies the invariants the rest of the system
+assumes —
+
+- varlen entries of live, non-null slots resolve (no dangling heap ids, no
+  out-of-bounds gathered references),
+- version-chain records point back at their own block and slot,
+- FROZEN blocks are dense prefixes with version-free slots whose Arrow
+  views validate structurally,
+- zone maps (when present) bound the live values they claim to.
+
+Returns findings rather than raising, so callers can assert emptiness in
+tests or log in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.storage.constants import BlockState
+from repro.storage.varlen import read_entry
+
+if TYPE_CHECKING:
+    from repro.db import Database
+    from repro.storage.block import RawBlock
+    from repro.storage.data_table import DataTable
+
+
+@dataclass
+class IntegrityReport:
+    """Findings from one integrity pass (empty = healthy)."""
+
+    findings: list[str] = field(default_factory=list)
+    blocks_checked: int = 0
+    frozen_blocks_validated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, message: str) -> None:
+        self.findings.append(message)
+
+
+def check_table(table: "DataTable") -> IntegrityReport:
+    """Run every check over one table."""
+    report = IntegrityReport()
+    for block in list(table.blocks):
+        report.blocks_checked += 1
+        _check_varlen_entries(table, block, report)
+        _check_version_chains(table, block, report)
+        if block.state is BlockState.FROZEN:
+            _check_frozen(table, block, report)
+    return report
+
+
+def check_database(db: "Database") -> IntegrityReport:
+    """Run every check over every catalog table."""
+    merged = IntegrityReport()
+    for name in db.catalog.table_names():
+        report = check_table(db.catalog.table(name))
+        merged.findings.extend(f"{name}: {f}" for f in report.findings)
+        merged.blocks_checked += report.blocks_checked
+        merged.frozen_blocks_validated += report.frozen_blocks_validated
+    return merged
+
+
+def _check_varlen_entries(table, block: "RawBlock", report: IntegrityReport) -> None:
+    for column_id in table.layout.varlen_column_ids():
+        heap = block.varlen_heaps[column_id]
+        live_ids = heap.live_ids()
+        gathered = block.gathered.get(column_id)
+        gathered_size = len(gathered[1]) if gathered is not None else 0
+        for offset in block.live_slots():
+            if not block.validity_bitmaps[column_id].get(int(offset)):
+                continue
+            entry = read_entry(block.varlen_entry_view(column_id, int(offset)))
+            if entry.is_inlined:
+                continue
+            if entry.pointer >= 0:
+                if entry.pointer not in live_ids:
+                    report.add(
+                        f"block {block.block_id} col {column_id} slot {offset}: "
+                        f"dangling heap id {entry.pointer}"
+                    )
+            else:
+                end = -entry.pointer - 1 + entry.size
+                if end > gathered_size:
+                    report.add(
+                        f"block {block.block_id} col {column_id} slot {offset}: "
+                        f"gathered reference [{-entry.pointer - 1}, {end}) beyond "
+                        f"buffer of {gathered_size} bytes"
+                    )
+
+
+def _check_version_chains(table, block: "RawBlock", report: IntegrityReport) -> None:
+    for offset, record in enumerate(block.version_ptrs):
+        seen = 0
+        node = record
+        while node is not None:
+            if node.slot.block_id != block.block_id or node.slot.offset != offset:
+                report.add(
+                    f"block {block.block_id} slot {offset}: chain record points "
+                    f"at {node.slot}"
+                )
+                break
+            seen += 1
+            if seen > 1_000_000:
+                report.add(f"block {block.block_id} slot {offset}: chain cycle")
+                break
+            node = node.next
+
+
+def _check_frozen(table, block: "RawBlock", report: IntegrityReport) -> None:
+    from repro.arrowfmt.validate import validate_batch
+    from repro.errors import ReproError
+    from repro.transform.arrow_view import block_to_record_batch
+
+    live = block.live_slots()
+    n = len(live)
+    if n and (live[0] != 0 or live[-1] != n - 1):
+        report.add(f"frozen block {block.block_id}: live slots are not a dense prefix")
+        return
+    if block.has_active_versions():
+        report.add(f"frozen block {block.block_id}: version chains present")
+    try:
+        batch = block_to_record_batch(block)
+        validate_batch(batch)
+        report.frozen_blocks_validated += 1
+    except ReproError as exc:
+        report.add(f"frozen block {block.block_id}: arrow view invalid: {exc}")
+        return
+    for column_id, (low, high) in block.zone_maps.items():
+        if not n:
+            continue
+        mask = block.validity_bitmaps[column_id].to_numpy()[:n]
+        values = block.column_view(column_id)[:n][mask]
+        if len(values) and (values.min() < low or values.max() > high):
+            report.add(
+                f"frozen block {block.block_id} col {column_id}: zone map "
+                f"({low}, {high}) does not bound values "
+                f"[{values.min()}, {values.max()}]"
+            )

@@ -1,0 +1,92 @@
+"""Per-block and per-table memory accounting.
+
+Quantifies what the cold formats buy: the relaxed format's out-of-line
+heap bytes versus the gathered contiguous buffer versus the dictionary
+encoding (whose win grows with value repetition — the reason Parquet and
+ORC default to it, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.storage.block import RawBlock
+    from repro.storage.data_table import DataTable
+
+
+@dataclass
+class BlockMemoryReport:
+    """Byte accounting for one block."""
+
+    block_id: int
+    state: str
+    block_bytes: int
+    varlen_heap_bytes: int
+    gathered_bytes: int
+    dictionary_bytes: int
+    live_tuples: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Block buffer + every companion structure."""
+        return (
+            self.block_bytes
+            + self.varlen_heap_bytes
+            + self.gathered_bytes
+            + self.dictionary_bytes
+        )
+
+
+def block_memory(block: "RawBlock") -> BlockMemoryReport:
+    """Account one block's memory."""
+    heap_bytes = sum(h.bytes_used for h in block.varlen_heaps.values())
+    gathered = sum(
+        offsets.nbytes + values.nbytes for offsets, values in block.gathered.values()
+    )
+    dictionary = sum(
+        codes.nbytes + sum(len(w) for w in words)
+        for codes, words in block.dictionaries.values()
+    )
+    return BlockMemoryReport(
+        block_id=block.block_id,
+        state=block.state.name,
+        block_bytes=block.layout.block_size,
+        varlen_heap_bytes=heap_bytes,
+        gathered_bytes=gathered,
+        dictionary_bytes=dictionary,
+        live_tuples=int(block.allocation_bitmap.count_set()),
+    )
+
+
+@dataclass
+class TableMemoryReport:
+    """Aggregated accounting for a whole table."""
+
+    blocks: list[BlockMemoryReport]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.total_bytes for b in self.blocks)
+
+    @property
+    def varlen_heap_bytes(self) -> int:
+        return sum(b.varlen_heap_bytes for b in self.blocks)
+
+    @property
+    def gathered_bytes(self) -> int:
+        return sum(b.gathered_bytes for b in self.blocks)
+
+    @property
+    def dictionary_bytes(self) -> int:
+        return sum(b.dictionary_bytes for b in self.blocks)
+
+    @property
+    def live_tuples(self) -> int:
+        return sum(b.live_tuples for b in self.blocks)
+
+
+def table_memory(table: "DataTable") -> TableMemoryReport:
+    """Account every block of ``table``."""
+    return TableMemoryReport([block_memory(b) for b in table.blocks])

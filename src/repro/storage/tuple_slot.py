@@ -1,0 +1,49 @@
+"""Physiological tuple identifiers (Section 3.2, Figure 5).
+
+A :class:`TupleSlot` packs the identity of a block and a logical offset
+within it into a single 64-bit integer.  The paper achieves this by aligning
+blocks at 1 MB boundaries so a block *pointer*'s low 20 bits are zero; a
+Python process cannot place objects at chosen addresses, so we substitute a
+dense block id for the pointer's high bits.  The packing math — and the
+invariant that the offset fits in the low 20 bits — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.constants import OFFSET_BITS
+
+_OFFSET_MASK = (1 << OFFSET_BITS) - 1
+_MAX_BLOCK_ID = (1 << (64 - OFFSET_BITS)) - 1
+
+
+@dataclass(frozen=True, order=True)
+class TupleSlot:
+    """A (block id, offset) pair addressable as one 64-bit value."""
+
+    block_id: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.offset <= _OFFSET_MASK:
+            raise StorageError(
+                f"offset {self.offset} does not fit in {OFFSET_BITS} bits"
+            )
+        if not 0 <= self.block_id <= _MAX_BLOCK_ID:
+            raise StorageError(f"block id {self.block_id} out of range")
+
+    def pack(self) -> int:
+        """Encode into a single 64-bit integer (Fig. 5)."""
+        return (self.block_id << OFFSET_BITS) | self.offset
+
+    @classmethod
+    def unpack(cls, value: int) -> "TupleSlot":
+        """Decode a value produced by :meth:`pack`."""
+        if not 0 <= value < (1 << 64):
+            raise StorageError(f"{value} is not a 64-bit TupleSlot value")
+        return cls(value >> OFFSET_BITS, value & _OFFSET_MASK)
+
+    def __repr__(self) -> str:
+        return f"TupleSlot(block={self.block_id}, offset={self.offset})"

@@ -1,0 +1,191 @@
+"""Relaxed variable-length value storage (Section 4.1, Figure 6).
+
+Each variable-length attribute occupies a fixed 16-byte ``VarlenEntry``
+inside the block:
+
+====== ===== ========================================================
+bytes  field meaning
+====== ===== ========================================================
+0–3    size  length of the value in bytes (sign bit = ownership flag)
+4–7    prefix first 4 bytes of the value, for fast filtering
+8–15   pointer out-of-line reference, or bytes 4–15 of an inlined value
+====== ===== ========================================================
+
+Values of at most 12 bytes are stored entirely within the entry (prefix +
+pointer fields).  Longer values live out of line; in C++ the pointer field
+holds a raw address, here it holds an id into the owning block's *varlen
+heap* (a Python-level map id → bytes), or — after the gather phase — a
+negative offset into the block's canonical Arrow values buffer, which
+models the paper's "buffer ownership" bit: entries that reference gathered
+storage do not own their bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.constants import VARLEN_ENTRY_SIZE, VARLEN_INLINE_LIMIT
+
+_HEADER = struct.Struct("<i4s8s")  # size, prefix, pointer-or-inline-suffix
+_POINTER = struct.Struct("<q")
+
+
+class VarlenEntry:
+    """Decoded view of one 16-byte varlen entry.
+
+    ``pointer`` semantics:
+
+    - value inlined (``size <= 12``): pointer bytes hold the value suffix;
+    - ``pointer >= 0``: id into the block's varlen heap (entry owns bytes);
+    - ``pointer < 0``: ``-(offset + 1)`` into the block's gathered Arrow
+      values buffer for this column (entry does not own bytes).
+    """
+
+    __slots__ = ("size", "prefix", "pointer", "inline_payload")
+
+    def __init__(
+        self,
+        size: int,
+        prefix: bytes,
+        pointer: int = 0,
+        inline_payload: bytes | None = None,
+    ) -> None:
+        self.size = size
+        self.prefix = prefix
+        self.pointer = pointer
+        self.inline_payload = inline_payload
+
+    @property
+    def is_inlined(self) -> bool:
+        """Whether the full value lives inside the 16-byte entry."""
+        return self.size <= VARLEN_INLINE_LIMIT
+
+    @property
+    def owns_buffer(self) -> bool:
+        """Whether the entry owns its out-of-line bytes (heap reference)."""
+        return not self.is_inlined and self.pointer >= 0
+
+
+def write_entry(view: np.ndarray, value: bytes, heap: "VarlenHeap") -> None:
+    """Encode ``value`` into the 16-byte region ``view``.
+
+    Short values are inlined; longer ones are stored in ``heap`` and the
+    entry keeps the heap id.  If the region previously owned a heap entry,
+    the caller is responsible for freeing it (the engine defers frees to the
+    garbage collector, Section 4.4).
+    """
+    _check_view(view)
+    if len(value) <= VARLEN_INLINE_LIMIT:
+        padded = value.ljust(VARLEN_INLINE_LIMIT, b"\x00")
+        view[:] = np.frombuffer(
+            _HEADER.pack(len(value), padded[:4], padded[4:]), dtype=np.uint8
+        )
+        return
+    heap_id = heap.put(value)
+    view[:] = np.frombuffer(
+        _HEADER.pack(len(value), value[:4], _POINTER.pack(heap_id)), dtype=np.uint8
+    )
+
+
+def write_gathered_entry(view: np.ndarray, value_size: int, prefix: bytes, offset: int) -> None:
+    """Encode an entry that references the gathered Arrow values buffer.
+
+    Used by the gather phase: after compaction the canonical values buffer
+    holds the bytes, and entries keep ``-(offset + 1)`` so transactions can
+    still read values without owning them.
+    """
+    _check_view(view)
+    if value_size <= VARLEN_INLINE_LIMIT:
+        raise StorageError("short values must stay inlined, not gathered")
+    view[:] = np.frombuffer(
+        _HEADER.pack(value_size, prefix[:4].ljust(4, b"\x00"), _POINTER.pack(-(offset + 1))),
+        dtype=np.uint8,
+    )
+
+
+def read_entry(view: np.ndarray) -> VarlenEntry:
+    """Decode the 16-byte region ``view`` into a :class:`VarlenEntry`."""
+    _check_view(view)
+    size, prefix, tail = _HEADER.unpack(view.tobytes())
+    if size < 0:
+        raise StorageError(f"corrupt varlen entry: negative size {size}")
+    if size <= VARLEN_INLINE_LIMIT:
+        payload = (prefix + tail)[:size]
+        return VarlenEntry(size, prefix[: min(size, 4)], 0, payload)
+    (pointer,) = _POINTER.unpack(tail)
+    return VarlenEntry(size, prefix, pointer)
+
+
+def read_value(view: np.ndarray, heap: "VarlenHeap", gathered: bytes | np.ndarray | None) -> bytes:
+    """Materialize the full value behind an entry.
+
+    ``gathered`` is the block's canonical Arrow values buffer for this
+    column (needed only for non-owning entries).
+    """
+    entry = read_entry(view)
+    if entry.is_inlined:
+        assert entry.inline_payload is not None
+        return entry.inline_payload
+    if entry.pointer >= 0:
+        return heap.get(entry.pointer)
+    offset = -entry.pointer - 1
+    if gathered is None:
+        raise StorageError("entry references a gathered buffer that is absent")
+    raw = bytes(gathered[offset : offset + entry.size])
+    if len(raw) != entry.size:
+        raise StorageError("gathered buffer shorter than entry size")
+    return raw
+
+
+def _check_view(view: np.ndarray) -> None:
+    if view.dtype != np.uint8 or view.size != VARLEN_ENTRY_SIZE:
+        raise StorageError("varlen entry view must be 16 uint8 bytes")
+
+
+class VarlenHeap:
+    """Out-of-line storage for one varlen column of one block.
+
+    Models the malloc'd buffers the C++ engine hangs off VarlenEntries.  Ids
+    are monotonically increasing; ``free`` is explicit so the garbage
+    collector can account for deferred deallocation, and double-frees are
+    detected rather than ignored.
+    """
+
+    __slots__ = ("_values", "_next_id", "bytes_used")
+
+    def __init__(self) -> None:
+        self._values: dict[int, bytes] = {}
+        self._next_id = 0
+        self.bytes_used = 0
+
+    def put(self, value: bytes) -> int:
+        """Store ``value`` and return its heap id."""
+        heap_id = self._next_id
+        self._next_id += 1
+        self._values[heap_id] = bytes(value)
+        self.bytes_used += len(value)
+        return heap_id
+
+    def get(self, heap_id: int) -> bytes:
+        """Fetch the bytes behind ``heap_id``."""
+        try:
+            return self._values[heap_id]
+        except KeyError:
+            raise StorageError(f"dangling varlen heap id {heap_id}") from None
+
+    def free(self, heap_id: int) -> None:
+        """Release one entry; freeing an unknown id is an error."""
+        try:
+            self.bytes_used -= len(self._values.pop(heap_id))
+        except KeyError:
+            raise StorageError(f"double free of varlen heap id {heap_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def live_ids(self) -> set[int]:
+        """Ids currently allocated (used by leak-checking tests)."""
+        return set(self._values)

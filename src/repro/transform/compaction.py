@@ -1,0 +1,161 @@
+"""Phase 1 of the transformation: transactional compaction (Section 4.3).
+
+Within a *compaction group* — blocks of the same layout transformed
+together — the planner chooses:
+
+- ``F``: the ⌊t/s⌋ blocks that will end completely full,
+- ``p``: one block left partially filled with ``t mod s`` tuples, and
+- ``E``: the rest, which end empty and are recycled,
+
+then schedules a one-to-one movement of tuples from ``E`` (and ``p``'s
+out-of-prefix slots) into the gaps of ``F`` (and ``p``'s prefix).  Choosing
+``F`` as the fullest blocks makes the approximate plan within ``t mod s``
+movements of optimal; the optimal variant additionally searches every
+candidate for ``p``.  Each movement is a transactional delete + insert, so
+user transactions conflict cleanly with compaction rather than observing
+torn tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.storage.tuple_slot import TupleSlot
+
+if TYPE_CHECKING:
+    from repro.storage.block import RawBlock
+    from repro.storage.data_table import DataTable
+    from repro.txn.context import TransactionContext
+    from repro.txn.manager import TransactionManager
+
+
+@dataclass
+class CompactionPlan:
+    """A fully determined movement schedule for one compaction group."""
+
+    blocks: list["RawBlock"]
+    #: (source, destination) movements; executing them in order empties E.
+    moves: list[tuple[TupleSlot, TupleSlot]] = field(default_factory=list)
+    filled_blocks: list["RawBlock"] = field(default_factory=list)
+    partial_block: "RawBlock | None" = None
+    empty_blocks: list["RawBlock"] = field(default_factory=list)
+    total_tuples: int = 0
+
+    @property
+    def movement_count(self) -> int:
+        """Number of tuple movements — each triggers index updates, so this
+        is the write amplification measured in Figure 13."""
+        return len(self.moves)
+
+
+def plan_compaction(blocks: list["RawBlock"]) -> CompactionPlan:
+    """The approximate planner: ``p`` is chosen arbitrarily (first leftover)."""
+    return _plan(blocks, optimal_partial=False)
+
+
+def plan_compaction_optimal(blocks: list["RawBlock"]) -> CompactionPlan:
+    """The optimal planner: tries every candidate for ``p`` and keeps the one
+    whose prefix needs the fewest fills (one extra pass over the blocks)."""
+    return _plan(blocks, optimal_partial=True)
+
+
+def _plan(blocks: list["RawBlock"], optimal_partial: bool) -> CompactionPlan:
+    if not blocks:
+        raise StorageError("empty compaction group")
+    layouts = {b.layout.layout_key() for b in blocks}
+    if len(layouts) > 1:
+        raise StorageError("compaction group mixes block layouts")
+    slots_per_block = blocks[0].layout.num_slots
+    live = {b.block_id: b.live_slots() for b in blocks}
+    total = sum(len(v) for v in live.values())
+    plan = CompactionPlan(blocks=list(blocks), total_tuples=total)
+    if total == 0:
+        plan.empty_blocks = list(blocks)
+        return plan
+
+    by_fullness = sorted(blocks, key=lambda b: len(live[b.block_id]), reverse=True)
+    full_count, remainder = divmod(total, slots_per_block)
+    plan.filled_blocks = by_fullness[:full_count]
+    leftovers = by_fullness[full_count:]
+
+    if remainder:
+        if optimal_partial:
+            # Best p = fewest gaps within its first `remainder` slots.
+            plan.partial_block = min(
+                leftovers, key=lambda b: _prefix_gaps(live[b.block_id], remainder)
+            )
+        else:
+            plan.partial_block = leftovers[0]
+        plan.empty_blocks = [b for b in leftovers if b is not plan.partial_block]
+    else:
+        plan.empty_blocks = list(leftovers)
+
+    gaps: list[TupleSlot] = []
+    sources: list[TupleSlot] = []
+    for block in plan.filled_blocks:
+        occupied = set(live[block.block_id].tolist())
+        gaps.extend(
+            TupleSlot(block.block_id, s)
+            for s in range(slots_per_block)
+            if s not in occupied
+        )
+    if plan.partial_block is not None:
+        occupied = set(live[plan.partial_block.block_id].tolist())
+        gaps.extend(
+            TupleSlot(plan.partial_block.block_id, s)
+            for s in range(remainder)
+            if s not in occupied
+        )
+        sources.extend(
+            TupleSlot(plan.partial_block.block_id, s)
+            for s in sorted(occupied)
+            if s >= remainder
+        )
+    for block in plan.empty_blocks:
+        sources.extend(
+            TupleSlot(block.block_id, int(s)) for s in live[block.block_id]
+        )
+
+    if len(gaps) != len(sources):
+        raise StorageError(
+            f"planner invariant violated: {len(gaps)} gaps vs {len(sources)} sources"
+        )
+    plan.moves = list(zip(sources, gaps))
+    return plan
+
+
+def _prefix_gaps(live_slots, remainder: int) -> int:
+    return remainder - int((live_slots < remainder).sum())
+
+
+def execute_compaction(
+    txn_manager: "TransactionManager",
+    table: "DataTable",
+    plan: CompactionPlan,
+) -> "TransactionContext | None":
+    """Run the plan's movements inside one transaction.
+
+    Returns the still-open transaction on success (the transformer sets the
+    blocks' COOLING flags *before* committing it, which is what makes the
+    check-and-miss race of Figure 9 detectable).  Returns ``None`` if a
+    conflict with a user transaction forced an abort — the failure mode the
+    two-phase design deliberately keeps cheap.
+    """
+    txn = txn_manager.begin()
+    all_columns = list(range(table.layout.num_columns))
+    for src, dst in plan.moves:
+        row = table.select(txn, src, all_columns)
+        conflict = row is None or not table.delete(txn, src)
+        if not conflict:
+            try:
+                table.insert_into(txn, dst, row.to_dict())
+            except StorageError:
+                # Destination gap had an unpruned chain or got re-used.
+                conflict = True
+        if conflict:
+            if txn.is_active:
+                txn_manager.abort(txn)
+            return None
+    return txn

@@ -1,0 +1,95 @@
+"""Compaction-group formation policies.
+
+Figure 14 shows the trade a fixed group size makes: big groups reclaim
+memory at low emptiness but blow up the compacting transaction's write-set
+(and with it the abort exposure).  The paper defers "an intelligent policy
+that dynamically forms groups of different sizes based on the blocks it is
+compacting" to future work — implemented here:
+
+- :class:`FixedGroupPolicy` — the paper's evaluated baseline.
+- :class:`WriteBudgetPolicy` — dynamic sizing: greedily grow a group until
+  its *estimated movement count* reaches a budget, so every compaction
+  transaction has a bounded write-set regardless of block emptiness.
+  Blocks are considered emptiest-first, which maximizes reclaimable blocks
+  per movement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.storage.block import RawBlock
+
+
+class GroupPolicy(Protocol):
+    """Splits a table's queued blocks into compaction groups."""
+
+    def form_groups(self, blocks: list["RawBlock"]) -> list[list["RawBlock"]]:
+        """Partition ``blocks`` (same layout) into groups."""
+        ...
+
+
+class FixedGroupPolicy:
+    """Chunks of a constant size — the paper's evaluated configuration."""
+
+    def __init__(self, group_size: int = 50) -> None:
+        if group_size < 1:
+            raise ValueError("group size must be positive")
+        self.group_size = group_size
+
+    def form_groups(self, blocks: list["RawBlock"]) -> list[list["RawBlock"]]:
+        return [
+            blocks[start : start + self.group_size]
+            for start in range(0, len(blocks), self.group_size)
+        ]
+
+
+class WriteBudgetPolicy:
+    """Bounds each group's estimated movements by ``movement_budget``.
+
+    The estimate is the planner's own arithmetic: in a group with ``t``
+    live tuples and ``s`` slots per block, movements equal the gaps in the
+    kept blocks, which is at most ``t mod s`` plus the gaps of the filled
+    set — bounded above by the *empty slots of the emptiest blocks we will
+    drain*.  Greedily accumulating emptiest-last keeps the bound tight.
+    """
+
+    def __init__(self, movement_budget: int = 4096, min_group: int = 2) -> None:
+        if movement_budget < 1:
+            raise ValueError("movement budget must be positive")
+        self.movement_budget = movement_budget
+        self.min_group = max(1, min_group)
+
+    def form_groups(self, blocks: list["RawBlock"]) -> list[list["RawBlock"]]:
+        if not blocks:
+            return []
+        # Emptiest blocks are the best movement *sources*: they drain into
+        # the full ones.  Sort fullest-first so each group starts with the
+        # cheap destinations and accumulates sources until the budget.
+        ordered = sorted(blocks, key=lambda b: b.empty_slot_count())
+        groups: list[list["RawBlock"]] = []
+        current: list["RawBlock"] = []
+        estimated = 0
+        for block in ordered:
+            moves = self._estimated_moves(block)
+            over_budget = current and estimated + moves > self.movement_budget
+            if over_budget and len(current) >= self.min_group:
+                groups.append(current)
+                current, estimated = [], 0
+            current.append(block)
+            estimated += moves
+        if current:
+            groups.append(current)
+        return groups
+
+    @staticmethod
+    def _estimated_moves(block: "RawBlock") -> int:
+        """Upper bound on movements this block adds to a group.
+
+        A block contributes movements either as a source (its live tuples
+        move out) or as a destination (its gaps are filled) — whichever its
+        role, the count is bounded by min(live, empty).
+        """
+        live = int(block.allocation_bitmap.count_set())
+        return min(live, block.layout.num_slots - live)

@@ -1,0 +1,47 @@
+"""Multi-version concurrency control (Section 3.1).
+
+The engine is a multi-versioned delta store: blocks hold the newest version
+in place, and each tuple's version chain — newest to oldest — hangs off the
+Arrow-invisible version-pointer column, pointing at before-image delta
+records that live inside transaction-private undo buffers.  Snapshot
+isolation comes from sign-bit-flagged timestamps compared unsigned, so
+uncommitted versions are never visible to other transactions.
+"""
+
+from repro.txn.timestamps import (
+    NULL_TIMESTAMP,
+    UNCOMMITTED_FLAG,
+    TimestampManager,
+    is_aborted,
+    is_uncommitted,
+)
+from repro.txn.undo import (
+    UNDO_SEGMENT_SIZE,
+    DeleteUndoRecord,
+    InsertUndoRecord,
+    UndoBuffer,
+    UndoRecord,
+    UpdateUndoRecord,
+)
+from repro.txn.redo import CommitRecord, RedoBuffer, RedoRecord
+from repro.txn.context import TransactionContext
+from repro.txn.manager import TransactionManager
+
+__all__ = [
+    "CommitRecord",
+    "DeleteUndoRecord",
+    "InsertUndoRecord",
+    "NULL_TIMESTAMP",
+    "RedoBuffer",
+    "RedoRecord",
+    "TimestampManager",
+    "TransactionContext",
+    "TransactionManager",
+    "UNCOMMITTED_FLAG",
+    "UNDO_SEGMENT_SIZE",
+    "UndoBuffer",
+    "UndoRecord",
+    "UpdateUndoRecord",
+    "is_aborted",
+    "is_uncommitted",
+]

@@ -1,0 +1,89 @@
+"""Per-transaction state: timestamps, undo buffer, redo buffer."""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Callable
+
+from repro.txn.redo import RedoBuffer
+from repro.txn.undo import UndoBuffer
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of a transaction context."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionContext:
+    """Everything the engine knows about one running transaction.
+
+    Version deltas live *here*, in the undo buffer, external to Arrow
+    storage (Section 3.1); the version-pointer column points into it.
+    """
+
+    def __init__(self, start_ts: int, txn_id: int) -> None:
+        #: Start timestamp: the snapshot this transaction reads.
+        self.start_ts = start_ts
+        #: Flagged (sign-bit) id stamped on records while in flight.
+        self.txn_id = txn_id
+        #: Commit timestamp, set inside the commit critical section.
+        self.commit_ts: int | None = None
+        self.undo_buffer = UndoBuffer()
+        self.redo_buffer = RedoBuffer()
+        self.state = TxnState.ACTIVE
+        #: Set when a conflict forces this transaction to abort.
+        self.must_abort = False
+        #: Durability signal: fired by the log manager after the commit
+        #: record reaches "disk" (Section 3.4's callback scheme).
+        self._durable = threading.Event()
+        self._durability_callbacks: list[Callable[[], None]] = []
+        #: Compensation actions run (newest first) if the transaction
+        #: aborts; used by index maintenance to undo staged entries.
+        self.abort_actions: list[Callable[[], None]] = []
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the transaction installed no undo records."""
+        return len(self.undo_buffer) == 0
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the transaction can still read and write."""
+        return self.state is TxnState.ACTIVE
+
+    def on_durable(self, callback: Callable[[], None]) -> None:
+        """Register a callback to run once the commit is persistent.
+
+        The DBMS refrains from sending results to the client until then;
+        tests use this to assert the speculative-visibility rule.
+        """
+        if self._durable.is_set():
+            callback()
+        else:
+            self._durability_callbacks.append(callback)
+
+    def signal_durable(self) -> None:
+        """Invoked by the log manager after fsync covers the commit record."""
+        self._durable.set()
+        callbacks, self._durability_callbacks = self._durability_callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def wait_durable(self, timeout: float | None = None) -> bool:
+        """Block until the transaction's commit record is persistent."""
+        return self._durable.wait(timeout)
+
+    @property
+    def is_durable(self) -> bool:
+        """Whether the log manager has persisted the commit record."""
+        return self._durable.is_set()
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionContext(start={self.start_ts}, state={self.state.value}, "
+            f"writes={len(self.undo_buffer)})"
+        )

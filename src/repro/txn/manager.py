@@ -1,0 +1,150 @@
+"""The transaction manager: begin / commit / abort (Section 3.1).
+
+Commits run a small critical section that draws the commit timestamp,
+stamps it on the transaction's delta records, and hands the redo buffer to
+the log manager's flush queue.  Aborts restore before-images in place and
+then "commit" the undo records with an always-invisible timestamp — the
+paper's fix for the A-B-A race that makes unlinking at abort time unsafe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import TransactionAborted
+from repro.txn.context import TransactionContext, TxnState
+from repro.txn.timestamps import TimestampManager
+from repro.txn.undo import DeleteUndoRecord, InsertUndoRecord, UpdateUndoRecord
+
+if TYPE_CHECKING:
+    from repro.wal.manager import LogManager
+
+
+class TransactionManager:
+    """Coordinates transaction lifecycles over one timestamp domain."""
+
+    def __init__(
+        self,
+        timestamps: TimestampManager | None = None,
+        log_manager: "LogManager | None" = None,
+    ) -> None:
+        self.timestamps = timestamps or TimestampManager()
+        self.log_manager = log_manager
+        self._lock = threading.Lock()
+        #: The transactions table: every active transaction, by start ts.
+        self._active: dict[int, TransactionContext] = {}
+        #: Completed (committed or aborted) transactions awaiting GC.
+        self._completed: deque[tuple[int, TransactionContext]] = deque()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> TransactionContext:
+        """Start a transaction; its snapshot is the current clock value."""
+        start_ts, txn_id = self.timestamps.begin()
+        txn = TransactionContext(start_ts, txn_id)
+        with self._lock:
+            self._active[start_ts] = txn
+        return txn
+
+    def commit(
+        self,
+        txn: TransactionContext,
+        callback: Callable[[], None] | None = None,
+    ) -> int:
+        """Commit ``txn``; returns its commit timestamp.
+
+        Raises :class:`TransactionAborted` (after rolling back) when a
+        prior conflict marked the transaction ``must_abort``.
+        """
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionAborted(f"transaction already {txn.state.value}")
+        if txn.must_abort:
+            self.abort(txn)
+            raise TransactionAborted("transaction aborted by write-write conflict")
+        with self._lock:
+            commit_ts = self.timestamps.commit_timestamp()
+            for record in txn.undo_buffer:
+                record.timestamp = commit_ts
+            txn.commit_ts = commit_ts
+            txn.state = TxnState.COMMITTED
+            del self._active[txn.start_ts]
+            self._completed.append((commit_ts, txn))
+        if callback is not None:
+            txn.on_durable(callback)
+        self._submit_to_log(txn, commit_ts)
+        return commit_ts
+
+    def abort(self, txn: TransactionContext) -> None:
+        """Roll back ``txn``: restore before-images newest-first, then stamp
+        records with the aborted sentinel so they are invisible forever."""
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionAborted(f"transaction already {txn.state.value}")
+        for record in txn.undo_buffer.reverse_iter():
+            if isinstance(record, UpdateUndoRecord):
+                record.table.rollback_update(record)
+            elif isinstance(record, InsertUndoRecord):
+                record.table.rollback_insert(record)
+            elif isinstance(record, DeleteUndoRecord):
+                record.table.rollback_delete(record)
+            record.mark_aborted()
+        for compensation in reversed(txn.abort_actions):
+            compensation()
+        with self._lock:
+            abort_ts = self.timestamps.commit_timestamp()
+            txn.state = TxnState.ABORTED
+            del self._active[txn.start_ts]
+            self._completed.append((abort_ts, txn))
+        # An abort needs no durability: its commit record is never written.
+        txn.signal_durable()
+
+    # ------------------------------------------------------------------ #
+    # GC interface                                                        #
+    # ------------------------------------------------------------------ #
+
+    def oldest_active_start(self) -> int:
+        """Start timestamp of the oldest running transaction, or the
+        current clock when the system is idle — the GC horizon."""
+        with self._lock:
+            if self._active:
+                return min(self._active)
+        return self.timestamps.current + 1
+
+    def drain_completed(self, horizon: int) -> list[TransactionContext]:
+        """Pop completed transactions whose end timestamp is below
+        ``horizon``; their version records are invisible to every active
+        transaction and safe to unlink."""
+        drained: list[TransactionContext] = []
+        with self._lock:
+            while self._completed and self._completed[0][0] <= horizon:
+                drained.append(self._completed.popleft()[1])
+        return drained
+
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight transactions."""
+        return len(self._active)
+
+    @property
+    def pending_gc_count(self) -> int:
+        """Completed transactions not yet collected."""
+        return len(self._completed)
+
+    def active_transactions(self) -> Iterable[TransactionContext]:
+        """Snapshot of the active transactions table."""
+        with self._lock:
+            return list(self._active.values())
+
+    def _submit_to_log(self, txn: TransactionContext, commit_ts: int) -> None:
+        from repro.txn.redo import CommitRecord
+
+        commit_record = CommitRecord(commit_ts, None, txn.is_read_only)
+        txn.redo_buffer.seal(commit_record)
+        if self.log_manager is not None:
+            self.log_manager.submit(txn)
+        else:
+            # No durability requested: results are immediately publishable.
+            txn.signal_durable()

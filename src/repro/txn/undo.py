@@ -1,0 +1,187 @@
+"""Undo (delta) records and segmented undo buffers (Section 3.1).
+
+Undo records are physical before-images of the attributes a transaction
+modified, stored newest-to-oldest on each tuple's version chain.  They live
+in per-transaction undo buffers built from fixed-size segments: the version
+chain points physically *into* the buffer, so records can never move — the
+buffer grows by linking new segments, never by reallocating (the paper's
+argument against naive doubling).  Python objects never move, so the
+segment structure here primarily provides faithful space accounting, which
+Figures 14a/14b measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import StorageError
+from repro.storage.projection import ProjectedRow
+from repro.storage.tuple_slot import TupleSlot
+from repro.txn.timestamps import ABORTED_TIMESTAMP, is_aborted, is_uncommitted
+
+if TYPE_CHECKING:
+    from repro.storage.data_table import DataTable
+    from repro.txn.context import TransactionContext
+
+#: Fixed size of one undo-buffer segment, matching the paper's 4096 bytes.
+UNDO_SEGMENT_SIZE = 4096
+
+#: Modeled bytes of fixed overhead per record: timestamp, table/slot ref,
+#: chain pointer, type tag.
+_RECORD_HEADER_BYTES = 32
+
+
+class UndoRecord:
+    """Base class: one link of a tuple's version chain."""
+
+    __slots__ = ("timestamp", "table", "slot", "next", "txn")
+
+    def __init__(
+        self,
+        txn: "TransactionContext",
+        table: "DataTable",
+        slot: TupleSlot,
+    ) -> None:
+        #: Flagged txn id while in flight; commit timestamp after commit;
+        #: the aborted sentinel after rollback.
+        self.timestamp = txn.txn_id
+        self.table = table
+        self.slot = slot
+        #: Next-older record on the version chain.
+        self.next: UndoRecord | None = None
+        self.txn = txn
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the owning transaction rolled back."""
+        return is_aborted(self.timestamp)
+
+    def mark_aborted(self) -> None:
+        """Stamp the aborted sentinel (after in-place state is restored).
+
+        This is the paper's fix for the A-B-A race on aborts: the record is
+        "committed" with a timestamp that makes it invisible to everyone,
+        *after* restoring the correct version, rather than being unlinked.
+        """
+        self.timestamp = ABORTED_TIMESTAMP
+
+    def is_visible_to(self, txn: "TransactionContext") -> bool:
+        """Visibility per Section 3.1: own records always; otherwise the
+        record's timestamp must be committed and ≤ the reader's start
+        (unsigned comparison makes flagged ids never visible)."""
+        if self.txn is txn and not self.aborted:
+            return True
+        if is_uncommitted(self.timestamp) or self.aborted:
+            return False
+        return self.timestamp <= txn.start_ts
+
+    def modeled_size(self) -> int:
+        """Bytes this record would occupy in the C++ engine's buffer."""
+        raise NotImplementedError
+
+    def undo_presence(self, present: bool) -> bool:
+        """Roll the tuple's logical existence back across this record."""
+        return present
+
+    def apply_before_image(self, row: ProjectedRow) -> None:
+        """Overwrite ``row`` with this record's before-image, if any."""
+
+
+class UpdateUndoRecord(UndoRecord):
+    """Before-image of an in-place attribute update."""
+
+    __slots__ = ("before", "before_raw")
+
+    def __init__(
+        self,
+        txn: "TransactionContext",
+        table: "DataTable",
+        slot: TupleSlot,
+        before: ProjectedRow,
+        before_raw: dict[int, bytes],
+    ) -> None:
+        super().__init__(txn, table, slot)
+        #: Logical before-image, applied during version-chain traversal.
+        self.before = before
+        #: Raw 16-byte varlen entries (column id → bytes) captured before the
+        #: update, used for exact rollback and for deferred heap frees.
+        self.before_raw = before_raw
+
+    def apply_before_image(self, row: ProjectedRow) -> None:
+        self.before.apply_onto(row)
+
+    def modeled_size(self) -> int:
+        payload = 0
+        for column_id in self.before.column_ids:
+            payload += self.table.layout.attr_sizes[column_id]
+        return _RECORD_HEADER_BYTES + payload
+
+
+class InsertUndoRecord(UndoRecord):
+    """Marks a slot as created by this transaction (before-image: absent)."""
+
+    __slots__ = ()
+
+    def undo_presence(self, present: bool) -> bool:
+        return False
+
+    def modeled_size(self) -> int:
+        return _RECORD_HEADER_BYTES
+
+
+class DeleteUndoRecord(UndoRecord):
+    """Marks a slot as deleted by this transaction (before-image: present).
+
+    Deletes flip the allocation bitmap, not tuple contents (Section 3.1),
+    so older snapshots that roll the delete back still find the attribute
+    bytes in place.
+    """
+
+    __slots__ = ()
+
+    def undo_presence(self, present: bool) -> bool:
+        return True
+
+    def modeled_size(self) -> int:
+        return _RECORD_HEADER_BYTES
+
+
+class UndoBuffer:
+    """A linked list of fixed-size segments holding a txn's undo records."""
+
+    def __init__(self, segment_size: int = UNDO_SEGMENT_SIZE) -> None:
+        if segment_size <= _RECORD_HEADER_BYTES:
+            raise StorageError("undo segment size too small for any record")
+        self.segment_size = segment_size
+        self._records: list[UndoRecord] = []
+        self._segment_used: int = 0
+        self.segment_count: int = 0
+
+    def append(self, record: UndoRecord) -> UndoRecord:
+        """Reserve space for ``record`` at the end of the buffer.
+
+        Adds a new segment whenever the current one cannot fit the record —
+        the incremental growth scheme that keeps existing records pinned.
+        """
+        size = record.modeled_size()
+        if self.segment_count == 0 or self._segment_used + size > self.segment_size:
+            self.segment_count += 1
+            self._segment_used = 0
+        self._segment_used += min(size, self.segment_size)
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[UndoRecord]:
+        return iter(self._records)
+
+    def reverse_iter(self) -> Iterator[UndoRecord]:
+        """Newest-first iteration, the order rollback must apply."""
+        return reversed(self._records)
+
+    def modeled_bytes(self) -> int:
+        """Total bytes the records would occupy (segments are not padded in
+        this count; ``segment_count`` captures allocation granularity)."""
+        return sum(r.modeled_size() for r in self._records)

@@ -1,0 +1,28 @@
+"""Write-ahead logging and recovery (Section 3.4).
+
+Transactions append physical after-images to private redo buffers; at
+commit the sealed buffer joins the log manager's flush queue.  The log
+manager serializes buffers in commit order (no log sequence numbers — order
+is implied by commit timestamps), fsyncs in groups, and then invokes each
+transaction's durability callback.  A transaction is *speculatively*
+committed the moment its commit record is enqueued, but its results are not
+published to the client until the callback fires.
+"""
+
+from repro.wal.records import (
+    decode_stream,
+    encode_transaction,
+    LoggedOperation,
+    LoggedTransaction,
+)
+from repro.wal.manager import LogManager
+from repro.wal.recovery import RecoveryManager
+
+__all__ = [
+    "LogManager",
+    "LoggedOperation",
+    "LoggedTransaction",
+    "RecoveryManager",
+    "decode_stream",
+    "encode_transaction",
+]

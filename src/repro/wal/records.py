@@ -1,0 +1,192 @@
+"""On-disk log record encoding.
+
+The serialized form of one transaction is::
+
+    'TXN<'  commit_ts:u64  op_count:u32
+    per op: op_tag:u8  table_len:u16 table:utf8  slot:u64  value_count:u16
+            per value: column_id:u16  type_tag:u8  payload
+    '>TXN'
+
+Values are self-describing (type tags) so recovery needs no catalog access
+to parse the stream.  Read-only transactions produce no bytes at all: their
+commit records exist only for the in-memory callback protocol.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.storage.projection import ProjectedRow
+from repro.storage.tuple_slot import TupleSlot
+from repro.txn.context import TransactionContext
+from repro.txn.redo import RedoRecord
+
+_TXN_BEGIN = b"TXN<"
+_TXN_END = b">TXN"
+
+_OP_TAGS = {RedoRecord.INSERT: 0, RedoRecord.UPDATE: 1, RedoRecord.DELETE: 2}
+_OP_NAMES = {v: k for k, v in _OP_TAGS.items()}
+
+_T_NULL, _T_INT, _T_FLOAT, _T_BOOL, _T_BYTES, _T_STR = range(6)
+
+
+def _normalize(value: Any) -> Any:
+    """Fold numpy scalars into Python primitives before tagging."""
+    import numpy as np
+
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+@dataclass
+class LoggedOperation:
+    """One decoded operation from the log."""
+
+    op: str
+    table_name: str
+    slot: TupleSlot
+    values: dict[int, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LoggedTransaction:
+    """One decoded committed transaction."""
+
+    commit_ts: int
+    operations: list[LoggedOperation] = field(default_factory=list)
+
+
+def _encode_value(out: io.BytesIO, column_id: int, value: Any) -> None:
+    value = _normalize(value)
+    out.write(struct.pack("<H", column_id))
+    if value is None:
+        out.write(struct.pack("<B", _T_NULL))
+    elif isinstance(value, bool):
+        out.write(struct.pack("<B?", _T_BOOL, value))
+    elif isinstance(value, int):
+        out.write(struct.pack("<Bq", _T_INT, value))
+    elif isinstance(value, float):
+        out.write(struct.pack("<Bd", _T_FLOAT, value))
+    elif isinstance(value, bytes):
+        out.write(struct.pack("<BI", _T_BYTES, len(value)))
+        out.write(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.write(struct.pack("<BI", _T_STR, len(raw)))
+        out.write(raw)
+    else:
+        raise RecoveryError(f"cannot log value of type {type(value).__name__}")
+
+
+def _decode_value(stream: io.BytesIO) -> tuple[int, Any]:
+    (column_id,) = struct.unpack("<H", _read(stream, 2))
+    (tag,) = struct.unpack("<B", _read(stream, 1))
+    if tag == _T_NULL:
+        return column_id, None
+    if tag == _T_BOOL:
+        return column_id, struct.unpack("<?", _read(stream, 1))[0]
+    if tag == _T_INT:
+        return column_id, struct.unpack("<q", _read(stream, 8))[0]
+    if tag == _T_FLOAT:
+        return column_id, struct.unpack("<d", _read(stream, 8))[0]
+    if tag in (_T_BYTES, _T_STR):
+        (length,) = struct.unpack("<I", _read(stream, 4))
+        raw = _read(stream, length)
+        return column_id, raw.decode("utf-8") if tag == _T_STR else raw
+    raise RecoveryError(f"unknown value tag {tag}")
+
+
+def encode_transaction(txn: TransactionContext) -> bytes:
+    """Serialize a committed transaction's redo stream.
+
+    Returns ``b''`` for read-only transactions — the log manager skips
+    writing their commit records (Section 3.4).
+    """
+    if txn.commit_ts is None:
+        raise RecoveryError("cannot encode an uncommitted transaction")
+    if len(txn.redo_buffer) == 0:
+        return b""
+    out = io.BytesIO()
+    out.write(_TXN_BEGIN)
+    out.write(struct.pack("<QI", txn.commit_ts, len(txn.redo_buffer)))
+    for record in txn.redo_buffer:
+        _encode_record(out, record)
+    out.write(_TXN_END)
+    return out.getvalue()
+
+
+def _encode_record(out: io.BytesIO, record: RedoRecord) -> None:
+    table_raw = record.table_name.encode("utf-8")
+    out.write(struct.pack("<BH", _OP_TAGS[record.op], len(table_raw)))
+    out.write(table_raw)
+    out.write(struct.pack("<Q", record.slot.pack()))
+    values = list(record.after.items()) if record.after is not None else []
+    out.write(struct.pack("<H", len(values)))
+    for column_id, value in values:
+        _encode_value(out, column_id, value)
+
+
+def decode_stream(
+    raw: bytes, tolerate_torn_tail: bool = False
+) -> list[LoggedTransaction]:
+    """Parse a log produced by concatenating :func:`encode_transaction`
+    outputs; transactions come back in commit (write) order.
+
+    With ``tolerate_torn_tail=True``, a truncated *final* transaction —
+    what a crash mid-flush leaves behind — is silently dropped: its commit
+    record never fully reached the device, so it never committed.  Damage
+    anywhere before the tail is still an error.
+    """
+    stream = io.BytesIO(raw)
+    transactions: list[LoggedTransaction] = []
+    while True:
+        marker = stream.read(4)
+        if not marker:
+            return transactions
+        try:
+            if marker != _TXN_BEGIN:
+                raise RecoveryError(f"bad transaction marker {marker!r}")
+            commit_ts, op_count = struct.unpack("<QI", _read(stream, 12))
+            txn = LoggedTransaction(commit_ts)
+            for _ in range(op_count):
+                tag, table_len = struct.unpack("<BH", _read(stream, 3))
+                if tag not in _OP_NAMES:
+                    raise RecoveryError(f"unknown operation tag {tag}")
+                table_name = _read(stream, table_len).decode("utf-8")
+                (packed_slot,) = struct.unpack("<Q", _read(stream, 8))
+                (value_count,) = struct.unpack("<H", _read(stream, 2))
+                values = dict(_decode_value(stream) for _ in range(value_count))
+                txn.operations.append(
+                    LoggedOperation(
+                        _OP_NAMES[tag], table_name, TupleSlot.unpack(packed_slot), values
+                    )
+                )
+            if _read(stream, 4) != _TXN_END:
+                raise RecoveryError("missing transaction end marker")
+        except RecoveryError:
+            if tolerate_torn_tail and stream.read(1) == b"":
+                # The failure consumed the rest of the stream: a torn tail.
+                return transactions
+            raise
+        transactions.append(txn)
+
+
+def redo_from_row(op: str, table_name: str, slot: TupleSlot, row: ProjectedRow | None) -> RedoRecord:
+    """Convenience constructor used by the engine's write paths."""
+    return RedoRecord(table_name, slot, op, row)
+
+
+def _read(stream: io.BytesIO, n: int) -> bytes:
+    raw = stream.read(n)
+    if len(raw) != n:
+        raise RecoveryError("truncated log stream")
+    return raw

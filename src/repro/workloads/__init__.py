@@ -1,0 +1,11 @@
+"""Workloads: TPC-C, TPC-H LINEITEM, and the paper's micro-benchmarks."""
+
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic_table
+from repro.workloads.tpch import LineitemGenerator, TpchConfig
+
+__all__ = [
+    "LineitemGenerator",
+    "SyntheticConfig",
+    "TpchConfig",
+    "build_synthetic_table",
+]

@@ -1,0 +1,100 @@
+"""The row-vs-column micro-benchmark (Figure 11).
+
+The paper simulates a row-store *inside the same engine* by declaring one
+single wide fixed-length column holding all of a tuple's attributes
+contiguously, and compares raw insert/update throughput against the normal
+columnar layout while scaling the number of 8-byte attributes from 1 to 64.
+Index maintenance is excluded (its cost is identical for both models).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal
+
+from repro.arrowfmt.datatypes import INT64, FixedBinaryType
+from repro.storage.layout import ColumnSpec
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+StorageModel = Literal["row", "column"]
+
+
+@dataclass
+class RowColResult:
+    """One measured cell of Figure 11."""
+
+    model: StorageModel
+    operation: str
+    attributes: int
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.operations / self.seconds if self.seconds else 0.0
+
+
+def make_table(db: "Database", name: str, model: StorageModel, attributes: int,
+               block_size: int = 1 << 16):
+    """A table of ``attributes`` 8-byte ints in the chosen storage model."""
+    if model == "row":
+        columns = [ColumnSpec("row", FixedBinaryType(8 * attributes))]
+    else:
+        columns = [ColumnSpec(f"a{i}", INT64) for i in range(attributes)]
+    return db.create_table(name, columns, block_size=block_size)
+
+
+def run_inserts(
+    db: "Database", model: StorageModel, attributes: int, operations: int,
+    updated_attributes: int | None = None,
+) -> RowColResult:
+    """Insert ``operations`` tuples of ``attributes`` ints; time it."""
+    info = make_table(db, f"ins_{model}_{attributes}", model, attributes)
+    if model == "row":
+        payload = {0: b"\x01" * (8 * attributes)}
+    else:
+        payload = {i: i for i in range(attributes)}
+    txn = db.begin()
+    began = time.perf_counter()
+    table = info.table
+    for _ in range(operations):
+        table.insert(txn, payload)
+    elapsed = time.perf_counter() - began
+    db.commit(txn)
+    return RowColResult(model, "insert", attributes, operations, elapsed)
+
+
+def run_updates(
+    db: "Database", model: StorageModel, attributes: int, operations: int,
+    updated_attributes: int | None = None, base_rows: int = 2000,
+) -> RowColResult:
+    """Update ``updated_attributes`` attributes per op (default: all).
+
+    A row-store must write the whole row back regardless of how many
+    attributes change — that is the asymmetry Figure 11 shows.
+    """
+    updated = updated_attributes or attributes
+    info = make_table(db, f"upd_{model}_{attributes}_{updated}", model, attributes)
+    table = info.table
+    if model == "row":
+        payload = {0: b"\x01" * (8 * attributes)}
+    else:
+        payload = {i: i for i in range(attributes)}
+    slots = []
+    with db.transaction() as txn:
+        for _ in range(base_rows):
+            slots.append(table.insert(txn, payload))
+    if model == "row":
+        delta = {0: b"\x02" * (8 * attributes)}  # whole-row write-back
+    else:
+        delta = {i: -1 for i in range(updated)}
+    txn = db.begin()
+    began = time.perf_counter()
+    for i in range(operations):
+        table.update(txn, slots[i % base_rows], delta)
+    elapsed = time.perf_counter() - began
+    db.commit(txn)
+    return RowColResult(model, "update", attributes, operations, elapsed)

@@ -1,0 +1,89 @@
+"""Synthetic tables for the transformation micro-benchmarks (Section 6.2).
+
+The paper's setup: one table of two columns — an 8-byte fixed-length
+integer and a variable-length column with values of 12–24 bytes — filled
+block by block, with "empty tuples inserted at random to simulate deletion"
+at a configurable rate.  Variants with all-fixed or all-varlen columns
+reproduce Figures 12c/12d.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal
+
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.storage.layout import ColumnSpec
+
+if TYPE_CHECKING:
+    from repro.catalog.catalog import TableInfo
+    from repro.db import Database
+
+ColumnMix = Literal["mixed", "fixed", "varlen"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Shape of the synthetic table."""
+
+    n_blocks: int = 4
+    percent_empty: float = 10.0
+    column_mix: ColumnMix = "mixed"
+    varlen_low: int = 12
+    varlen_high: int = 24
+    block_size: int = 1 << 16
+    seed: int = 0
+
+    def columns(self) -> list[ColumnSpec]:
+        """Column specs for the chosen mix."""
+        if self.column_mix == "mixed":
+            return [ColumnSpec("fixed", INT64), ColumnSpec("var", UTF8)]
+        if self.column_mix == "fixed":
+            return [ColumnSpec("fixed_a", INT64), ColumnSpec("fixed_b", INT64)]
+        return [ColumnSpec("var_a", UTF8), ColumnSpec("var_b", UTF8)]
+
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _varlen_value(rng: random.Random, low: int, high: int) -> str:
+    return "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(low, high)))
+
+
+def build_synthetic_table(
+    db: "Database", name: str, config: SyntheticConfig
+) -> "TableInfo":
+    """Create and populate the table; deleted slots hit ``percent_empty``.
+
+    The deletion pattern matches the paper's: tuples are loaded densely,
+    then a random ``percent_empty`` fraction is deleted (and the delete
+    chains GC'd), leaving the gaps compaction has to fill.
+    """
+    rng = random.Random(config.seed)
+    info = db.create_table(name, config.columns(), block_size=config.block_size)
+    slots_per_block = info.table.layout.num_slots
+    total = slots_per_block * config.n_blocks
+    with db.transaction() as txn:
+        for i in range(total):
+            values: dict[int, object] = {}
+            for column_id, spec in enumerate(config.columns()):
+                if spec.is_varlen:
+                    values[column_id] = _varlen_value(
+                        rng, config.varlen_low, config.varlen_high
+                    )
+                else:
+                    values[column_id] = i
+            info.table.insert(txn, values)
+    if config.percent_empty > 0:
+        victims = rng.sample(range(total), int(total * config.percent_empty / 100.0))
+        with db.transaction() as txn:
+            from repro.storage.tuple_slot import TupleSlot
+
+            for index in victims:
+                block = info.table.blocks[index // slots_per_block]
+                info.table.delete(
+                    txn, TupleSlot(block.block_id, index % slots_per_block)
+                )
+    db.quiesce()
+    return info

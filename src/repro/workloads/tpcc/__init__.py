@@ -1,0 +1,20 @@
+"""TPC-C (revision 5.9 [50]): the OLTP workload of Section 6.1.
+
+All nine tables, all five transaction profiles, and the spec's random
+generation rules, scaled by :class:`TpccConfig` so the same code runs both
+spec-sized and laptop-sized databases.
+"""
+
+from repro.workloads.tpcc.schema import TpccConfig, create_tpcc_tables
+from repro.workloads.tpcc.loader import TpccLoader
+from repro.workloads.tpcc.transactions import TpccTransactions
+from repro.workloads.tpcc.driver import TpccDriver, TpccRun
+
+__all__ = [
+    "TpccConfig",
+    "TpccDriver",
+    "TpccLoader",
+    "TpccRun",
+    "TpccTransactions",
+    "create_tpcc_tables",
+]

@@ -1,0 +1,130 @@
+"""TPC-C consistency conditions (spec clause 3.3.2).
+
+The specification defines database-wide invariants that must hold after
+any mix of transactions.  These are the strongest correctness oracle
+available for the engine: they cross-check MVCC, index maintenance, and
+the transformation pipeline all at once.
+
+Implemented conditions:
+
+1. ``W_YTD = sum(D_YTD)`` for every warehouse.
+2. ``D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID)`` per district (when the
+   district has orders / undelivered orders).
+3. ``max(NO_O_ID) - min(NO_O_ID) + 1`` = number of NEW_ORDER rows per
+   district (the backlog is contiguous).
+4. ``O_OL_CNT`` equals the number of ORDER_LINE rows of the order, and
+   ``sum(O_OL_CNT)`` equals the district's ORDER_LINE count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+
+@dataclass
+class ConsistencyReport:
+    """Violations found by one check pass (empty = consistent)."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+
+def _rows(db: "Database", txn, table: str, columns: list[str]) -> list[tuple]:
+    info = db.catalog.get(table)
+    column_ids = [info.column_id(c) for c in columns]
+    return [
+        tuple(row.get(c) for c in column_ids)
+        for _, row in info.table.scan(txn, column_ids)
+    ]
+
+
+def check_consistency(db: "Database") -> ConsistencyReport:
+    """Run all implemented conditions against a consistent snapshot."""
+    report = ConsistencyReport()
+    txn = db.begin()
+    try:
+        _check_ytd(db, txn, report)
+        _check_order_ids(db, txn, report)
+        _check_order_lines(db, txn, report)
+    finally:
+        db.commit(txn)
+    return report
+
+
+def _check_ytd(db, txn, report: ConsistencyReport) -> None:
+    warehouse_ytd = {
+        w_id: ytd for w_id, ytd in _rows(db, txn, "warehouse", ["w_id", "w_ytd"])
+    }
+    district_sums: dict[int, float] = {}
+    for w_id, ytd in _rows(db, txn, "district", ["d_w_id", "d_ytd"]):
+        district_sums[w_id] = district_sums.get(w_id, 0.0) + ytd
+    for w_id, w_ytd in warehouse_ytd.items():
+        d_sum = district_sums.get(w_id, 0.0)
+        if abs(w_ytd - d_sum) > 1e-6 * max(1.0, abs(w_ytd)):
+            report.add(
+                f"condition 1: warehouse {w_id} W_YTD={w_ytd} != sum(D_YTD)={d_sum}"
+            )
+
+
+def _check_order_ids(db, txn, report: ConsistencyReport) -> None:
+    next_o_id = {
+        (w, d): n
+        for d, w, n in _rows(db, txn, "district", ["d_id", "d_w_id", "d_next_o_id"])
+    }
+    max_o_id: dict[tuple[int, int], int] = {}
+    for o_id, d_id, w_id in _rows(db, txn, "oorder", ["o_id", "o_d_id", "o_w_id"]):
+        key = (w_id, d_id)
+        max_o_id[key] = max(max_o_id.get(key, 0), o_id)
+    new_orders: dict[tuple[int, int], list[int]] = {}
+    for o_id, d_id, w_id in _rows(db, txn, "new_order", ["no_o_id", "no_d_id", "no_w_id"]):
+        new_orders.setdefault((w_id, d_id), []).append(o_id)
+
+    for key, next_id in next_o_id.items():
+        if key in max_o_id and max_o_id[key] != next_id - 1:
+            report.add(
+                f"condition 2: district {key} max(O_ID)={max_o_id[key]} "
+                f"!= D_NEXT_O_ID-1={next_id - 1}"
+            )
+    for key, backlog in new_orders.items():
+        if key in next_o_id and max(backlog) != next_o_id[key] - 1:
+            # Only holds when the newest order is undelivered; the strict
+            # spec condition compares against max(NO_O_ID) when present.
+            if max(backlog) > next_o_id[key] - 1:
+                report.add(
+                    f"condition 2: district {key} max(NO_O_ID)={max(backlog)} "
+                    f"beyond D_NEXT_O_ID-1={next_o_id[key] - 1}"
+                )
+        # Condition 3: the undelivered backlog is contiguous.
+        if max(backlog) - min(backlog) + 1 != len(backlog):
+            report.add(
+                f"condition 3: district {key} NEW_ORDER ids not contiguous: "
+                f"[{min(backlog)}, {max(backlog)}] but {len(backlog)} rows"
+            )
+
+
+def _check_order_lines(db, txn, report: ConsistencyReport) -> None:
+    ol_counts: dict[tuple[int, int, int], int] = {}
+    for o_id, d_id, w_id in _rows(
+        db, txn, "order_line", ["ol_o_id", "ol_d_id", "ol_w_id"]
+    ):
+        key = (w_id, d_id, o_id)
+        ol_counts[key] = ol_counts.get(key, 0) + 1
+    for o_id, d_id, w_id, ol_cnt in _rows(
+        db, txn, "oorder", ["o_id", "o_d_id", "o_w_id", "o_ol_cnt"]
+    ):
+        actual = ol_counts.get((w_id, d_id, o_id), 0)
+        if actual != ol_cnt:
+            report.add(
+                f"condition 4: order ({w_id},{d_id},{o_id}) O_OL_CNT={ol_cnt} "
+                f"but {actual} order lines"
+            )

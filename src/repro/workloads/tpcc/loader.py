@@ -1,0 +1,183 @@
+"""TPC-C initial database population (spec clause 4.3.3)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.workloads.tpcc.random_gen import TpccRandom
+from repro.workloads.tpcc.schema import TPCC_TABLES, TpccConfig
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+#: Epoch-micros stand-in for load time.
+LOAD_TIMESTAMP = 1_500_000_000_000_000
+
+
+class TpccLoader:
+    """Populates all nine tables for a configured scale."""
+
+    def __init__(self, db: "Database", config: TpccConfig, seed: int | None = 0) -> None:
+        self.db = db
+        self.config = config
+        self.rand = TpccRandom(seed)
+        self._column_ids = {
+            table: {spec.name: i for i, spec in enumerate(columns)}
+            for table, columns in TPCC_TABLES.items()
+        }
+
+    def load(self) -> None:
+        """Populate the whole database in loader transactions."""
+        self._load_items()
+        for w_id in range(1, self.config.warehouses + 1):
+            self._load_warehouse(w_id)
+
+    # ------------------------------------------------------------------ #
+
+    def _values(self, table: str, **fields: Any) -> dict[int, Any]:
+        ids = self._column_ids[table]
+        return {ids[name]: value for name, value in fields.items()}
+
+    def _insert(self, txn, table: str, **fields: Any) -> None:
+        self.db.catalog.table(table).insert(txn, self._values(table, **fields))
+
+    def _load_items(self) -> None:
+        r = self.rand
+        with self.db.transaction() as txn:
+            for i_id in range(1, self.config.items + 1):
+                self._insert(
+                    txn, "item",
+                    i_id=i_id,
+                    i_im_id=r.uniform(1, 10_000),
+                    i_name=r.a_string(14, 24),
+                    i_price=r.decimal(1.0, 100.0),
+                    i_data=r.data_string(26, 50),
+                )
+
+    def _load_warehouse(self, w_id: int) -> None:
+        r = self.rand
+        with self.db.transaction() as txn:
+            self._insert(
+                txn, "warehouse",
+                w_id=w_id,
+                w_name=r.a_string(6, 10),
+                w_street_1=r.a_string(10, 20),
+                w_street_2=r.a_string(10, 20),
+                w_city=r.a_string(10, 20),
+                w_state=r.a_string(2, 2),
+                w_zip=r.zip_code(),
+                w_tax=r.decimal(0.0, 0.2, 4),
+                # Spec: 300,000 with 10 districts of 30,000 each; keep the
+                # consistency condition W_YTD = sum(D_YTD) at any scale.
+                w_ytd=30_000.0 * self.config.districts_per_warehouse,
+            )
+            for i_id in range(1, self.config.stock_per_warehouse + 1):
+                self._insert(
+                    txn, "stock",
+                    s_i_id=i_id,
+                    s_w_id=w_id,
+                    s_quantity=r.uniform(10, 100),
+                    **{f"s_dist_{d:02d}": r.a_string(24, 24) for d in range(1, 11)},
+                    s_ytd=0,
+                    s_order_cnt=0,
+                    s_remote_cnt=0,
+                    s_data=r.data_string(26, 50),
+                )
+        for d_id in range(1, self.config.districts_per_warehouse + 1):
+            self._load_district(w_id, d_id)
+
+    def _load_district(self, w_id: int, d_id: int) -> None:
+        r = self.rand
+        customers = self.config.customers_per_district
+        orders = min(self.config.initial_orders_per_district, customers)
+        with self.db.transaction() as txn:
+            self._insert(
+                txn, "district",
+                d_id=d_id,
+                d_w_id=w_id,
+                d_name=r.a_string(6, 10),
+                d_street_1=r.a_string(10, 20),
+                d_street_2=r.a_string(10, 20),
+                d_city=r.a_string(10, 20),
+                d_state=r.a_string(2, 2),
+                d_zip=r.zip_code(),
+                d_tax=r.decimal(0.0, 0.2, 4),
+                d_ytd=30_000.0,
+                d_next_o_id=orders + 1,
+            )
+            for c_id in range(1, customers + 1):
+                # Clause 4.3.3.1: first 1000 names iterate, the rest NURand.
+                name_number = (
+                    c_id - 1 if c_id <= 1000 else r.nurand(255, 0, 999)
+                )
+                self._insert(
+                    txn, "customer",
+                    c_id=c_id,
+                    c_d_id=d_id,
+                    c_w_id=w_id,
+                    c_first=r.a_string(8, 16),
+                    c_middle="OE",
+                    c_last=r.last_name(name_number % 1000),
+                    c_street_1=r.a_string(10, 20),
+                    c_street_2=r.a_string(10, 20),
+                    c_city=r.a_string(10, 20),
+                    c_state=r.a_string(2, 2),
+                    c_zip=r.zip_code(),
+                    c_phone=r.n_string(16, 16),
+                    c_since=LOAD_TIMESTAMP,
+                    c_credit="BC" if r.random() < 0.1 else "GC",
+                    c_credit_lim=50_000.0,
+                    c_discount=r.decimal(0.0, 0.5, 4),
+                    c_balance=-10.0,
+                    c_ytd_payment=10.0,
+                    c_payment_cnt=1,
+                    c_delivery_cnt=0,
+                    c_data=r.a_string(100, 200),
+                )
+                self._insert(
+                    txn, "history",
+                    h_c_id=c_id,
+                    h_c_d_id=d_id,
+                    h_c_w_id=w_id,
+                    h_d_id=d_id,
+                    h_w_id=w_id,
+                    h_date=LOAD_TIMESTAMP,
+                    h_amount=10.0,
+                    h_data=r.a_string(12, 24),
+                )
+            # Initial orders: each customer ordered exactly once, in a
+            # random permutation (clause 4.3.3.1).
+            customer_ids = list(range(1, customers + 1))
+            r.shuffle(customer_ids)
+            for o_id, c_id in enumerate(customer_ids[:orders], start=1):
+                ol_cnt = r.uniform(5, 15)
+                delivered = o_id < orders * 0.7
+                self._insert(
+                    txn, "oorder",
+                    o_id=o_id,
+                    o_d_id=d_id,
+                    o_w_id=w_id,
+                    o_c_id=c_id,
+                    o_entry_d=LOAD_TIMESTAMP,
+                    o_carrier_id=r.uniform(1, 10) if delivered else 0,
+                    o_ol_cnt=ol_cnt,
+                    o_all_local=1,
+                )
+                if not delivered:
+                    self._insert(
+                        txn, "new_order", no_o_id=o_id, no_d_id=d_id, no_w_id=w_id
+                    )
+                for number in range(1, ol_cnt + 1):
+                    self._insert(
+                        txn, "order_line",
+                        ol_o_id=o_id,
+                        ol_d_id=d_id,
+                        ol_w_id=w_id,
+                        ol_number=number,
+                        ol_i_id=r.uniform(1, self.config.items),
+                        ol_supply_w_id=w_id,
+                        ol_delivery_d=LOAD_TIMESTAMP if delivered else 0,
+                        ol_quantity=5,
+                        ol_amount=0.0 if delivered else r.decimal(0.01, 9999.99),
+                        ol_dist_info=r.a_string(24, 24),
+                    )

@@ -1,0 +1,92 @@
+"""TPC-C random data generation (spec clause 4.3).
+
+Implements the non-uniform random function NURand, the customer last-name
+syllable scheme, and the a-string/n-string generators the loader and
+transactions share.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: The 10 syllables of clause 4.3.2.3; a last name is three of them.
+SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+#: Runtime constants for NURand (clause 2.1.6); fixed per database.
+C_LAST = 157
+C_C_ID = 91
+C_OL_I_ID = 4211
+
+
+class TpccRandom:
+    """A seeded source of spec-conformant random TPC-C data."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.rng = random.Random(seed)
+
+    def uniform(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self.rng.randint(low, high)
+
+    def nurand(self, a: int, x: int, y: int) -> int:
+        """Non-uniform random (clause 2.1.6): NURand(A, x, y)."""
+        c = {255: C_LAST, 1023: C_C_ID, 8191: C_OL_I_ID}.get(a, 0)
+        return (
+            (self.uniform(0, a) | self.uniform(x, y)) + c
+        ) % (y - x + 1) + x
+
+    def last_name(self, number: int) -> str:
+        """Customer last name from a three-syllable number (clause 4.3.2.3)."""
+        return (
+            SYLLABLES[number // 100]
+            + SYLLABLES[(number // 10) % 10]
+            + SYLLABLES[number % 10]
+        )
+
+    def random_last_name(self, customer_count: int) -> str:
+        """A last name for a running transaction: NURand(255, 0, 999),
+        clamped for scaled-down databases."""
+        number = self.nurand(255, 0, min(999, customer_count - 1))
+        return self.last_name(number)
+
+    def a_string(self, low: int, high: int) -> str:
+        """Alphanumeric string of random length in [low, high]."""
+        length = self.uniform(low, high)
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        return "".join(self.rng.choice(alphabet) for _ in range(length))
+
+    def n_string(self, low: int, high: int) -> str:
+        """Numeric string of random length in [low, high]."""
+        length = self.uniform(low, high)
+        return "".join(self.rng.choice("0123456789") for _ in range(length))
+
+    def zip_code(self) -> str:
+        """A zip: 4 random digits + '11111' (clause 4.3.2.7)."""
+        return self.n_string(4, 4) + "11111"
+
+    def decimal(self, low: float, high: float, digits: int = 2) -> float:
+        """Uniform decimal with fixed precision."""
+        return round(self.rng.uniform(low, high), digits)
+
+    def data_string(self, low: int, high: int, original_rate: float = 0.1) -> str:
+        """An a-string where ~10% embed 'ORIGINAL' (clause 4.3.3.1)."""
+        s = self.a_string(low, high)
+        if self.rng.random() < original_rate and len(s) >= 8:
+            pos = self.uniform(0, len(s) - 8)
+            s = s[:pos] + "ORIGINAL" + s[pos + 8 :]
+        return s
+
+    def choice(self, seq):
+        """Uniform choice from a sequence."""
+        return self.rng.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        """In-place shuffle (used for customer id permutations)."""
+        self.rng.shuffle(seq)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.rng.random()

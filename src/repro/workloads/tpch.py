@@ -1,0 +1,144 @@
+"""TPC-H LINEITEM generation for the Figure 1 motivation experiment.
+
+Figure 1 measures the cost of moving a LINEITEM table from an OLTP system
+into a dataframe three ways: an in-memory columnar hand-off, a CSV
+export/import, and a row-oriented wire protocol ("ODBC").  This module
+generates the 16-column LINEITEM at a configurable scale factor, loads it
+into the engine, and provides the CSV path.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.arrowfmt.datatypes import FLOAT64, INT64, UTF8
+from repro.storage.layout import ColumnSpec
+
+if TYPE_CHECKING:
+    from repro.catalog.catalog import TableInfo
+    from repro.db import Database
+
+#: Rows per unit scale factor in the TPC-H specification.
+ROWS_PER_SF = 6_000_000
+
+LINEITEM_COLUMNS = [
+    ColumnSpec("l_orderkey", INT64),
+    ColumnSpec("l_partkey", INT64),
+    ColumnSpec("l_suppkey", INT64),
+    ColumnSpec("l_linenumber", INT64),
+    ColumnSpec("l_quantity", FLOAT64),
+    ColumnSpec("l_extendedprice", FLOAT64),
+    ColumnSpec("l_discount", FLOAT64),
+    ColumnSpec("l_tax", FLOAT64),
+    ColumnSpec("l_returnflag", UTF8),
+    ColumnSpec("l_linestatus", UTF8),
+    ColumnSpec("l_shipdate", INT64),
+    ColumnSpec("l_commitdate", INT64),
+    ColumnSpec("l_receiptdate", INT64),
+    ColumnSpec("l_shipinstruct", UTF8),
+    ColumnSpec("l_shipmode", UTF8),
+    ColumnSpec("l_comment", UTF8),
+]
+
+_SHIP_INSTRUCT = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+_SHIP_MODE = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+_COMMENT_WORDS = (
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "packages", "accounts", "requests", "foxes", "pending", "ironic",
+)
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """LINEITEM scale configuration."""
+
+    scale_factor: float = 0.001
+    seed: int = 0
+    block_size: int = 1 << 18
+
+    @property
+    def row_count(self) -> int:
+        return max(1, int(ROWS_PER_SF * self.scale_factor))
+
+
+class LineitemGenerator:
+    """Deterministic LINEITEM rows at a given scale factor."""
+
+    def __init__(self, config: TpchConfig) -> None:
+        self.config = config
+
+    def rows(self) -> Iterator[tuple]:
+        """Yield rows in spec column order."""
+        rng = random.Random(self.config.seed)
+        orderkey = 0
+        produced = 0
+        while produced < self.config.row_count:
+            orderkey += rng.randint(1, 4)
+            for linenumber in range(1, rng.randint(1, 7) + 1):
+                if produced >= self.config.row_count:
+                    return
+                quantity = float(rng.randint(1, 50))
+                price = round(quantity * rng.uniform(900.0, 105000.0) / 50, 2)
+                ship = rng.randint(8000, 10_000)
+                yield (
+                    orderkey,
+                    rng.randint(1, 200_000),
+                    rng.randint(1, 10_000),
+                    linenumber,
+                    quantity,
+                    price,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice("RAN"),
+                    rng.choice("OF"),
+                    ship,
+                    ship + rng.randint(-30, 30),
+                    ship + rng.randint(1, 30),
+                    rng.choice(_SHIP_INSTRUCT),
+                    rng.choice(_SHIP_MODE),
+                    " ".join(rng.choice(_COMMENT_WORDS) for _ in range(rng.randint(3, 8))),
+                )
+                produced += 1
+
+    def load_into(self, db: "Database", name: str = "lineitem") -> "TableInfo":
+        """Create and populate the engine-side LINEITEM table."""
+        info = db.create_table(name, LINEITEM_COLUMNS, block_size=self.config.block_size)
+        with db.transaction() as txn:
+            for row in self.rows():
+                info.table.insert(txn, dict(enumerate(row)))
+        db.quiesce()
+        return info
+
+    # ------------------------------------------------------------------ #
+    # the CSV path of Figure 1                                            #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def to_csv(rows: Iterator[tuple]) -> bytes:
+        """Serialize rows as CSV (PostgreSQL COPY's text path)."""
+        out = io.StringIO()
+        for row in rows:
+            out.write("|".join("" if v is None else str(v) for v in row))
+            out.write("\n")
+        return out.getvalue().encode("utf-8")
+
+    @staticmethod
+    def from_csv(raw: bytes) -> list[tuple]:
+        """Parse CSV back into typed rows (the dataframe-load step)."""
+        typed_rows = []
+        types = [spec.dtype for spec in LINEITEM_COLUMNS]
+        for line in raw.decode("utf-8").splitlines():
+            fields = line.split("|")
+            row = []
+            for value, dtype in zip(fields, types):
+                if dtype is INT64:
+                    row.append(int(value))
+                elif dtype is FLOAT64:
+                    row.append(float(value))
+                else:
+                    row.append(value)
+            typed_rows.append(tuple(row))
+        return typed_rows

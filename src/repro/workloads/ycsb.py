@@ -1,0 +1,155 @@
+"""A YCSB-style key-value workload with zipfian skew.
+
+Section 4.1's premise — "typical OLTP workloads modify only a small portion
+of a database at any given time" — is exactly what zipfian access patterns
+produce.  This workload drives the hot/cold split directly: high skew keeps
+writes inside few blocks and lets the rest of the table freeze; uniform
+access keeps reheating everything.
+
+The zipfian generator is the standard YCSB one (Gray et al.'s algorithm),
+deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.errors import TransactionAborted, WorkloadError
+from repro.storage.layout import ColumnSpec
+
+if TYPE_CHECKING:
+    from repro.catalog.catalog import TableInfo
+    from repro.db import Database
+
+
+class ZipfianGenerator:
+    """Draws integers in ``[0, n)`` with zipfian frequency (theta ≈ skew)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int | None = None) -> None:
+        if n < 1:
+            raise WorkloadError("zipfian domain must be non-empty")
+        if not 0.0 <= theta < 1.0:
+            raise WorkloadError("theta must be in [0, 1)")
+        self.n = n
+        self.theta = theta
+        self.rng = random.Random(seed)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta) if theta else 1.0
+        self.eta = (
+            (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self.zeta2 / self.zetan)
+            if theta
+            else 0.0
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """Next sample; item 0 is the most popular."""
+        if self.theta == 0.0:
+            return self.rng.randrange(self.n)
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """Workload shape: record count, field size, operation mix, skew."""
+
+    records: int = 1000
+    field_length: int = 32
+    read_proportion: float = 0.5
+    update_proportion: float = 0.45
+    insert_proportion: float = 0.05
+    zipf_theta: float = 0.9
+    block_size: int = 1 << 14
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion + self.insert_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"operation mix sums to {total}, expected 1.0")
+
+
+YCSB_COLUMNS = [ColumnSpec("key", INT64), ColumnSpec("field0", UTF8)]
+
+
+class YcsbDriver:
+    """Loads and drives the usertable."""
+
+    def __init__(self, db: "Database", config: YcsbConfig, seed: int = 0) -> None:
+        self.db = db
+        self.config = config
+        self.rng = random.Random(seed)
+        self.zipf = ZipfianGenerator(config.records, config.zipf_theta, seed=seed)
+        self.info: "TableInfo | None" = None
+        self._slots: list = []
+        self._next_key = config.records
+        self.reads = self.updates = self.inserts = self.aborts = 0
+
+    def setup(self, watch_cold: bool = True) -> "TableInfo":
+        """Create and load the usertable."""
+        self.info = self.db.create_table(
+            "usertable", YCSB_COLUMNS,
+            block_size=self.config.block_size, watch_cold=watch_cold,
+        )
+        with self.db.transaction() as txn:
+            for key in range(self.config.records):
+                self._slots.append(
+                    self.info.table.insert(txn, {0: key, 1: self._value(key)})
+                )
+        self.db.quiesce()
+        return self.info
+
+    def _value(self, key: int) -> str:
+        return f"v{key}-" + "x" * self.config.field_length
+
+    def run(self, operations: int) -> None:
+        """Execute ``operations`` one-op transactions per the mix."""
+        if self.info is None:
+            raise WorkloadError("setup() must run first")
+        config = self.config
+        for _ in range(operations):
+            pick = self.rng.random()
+            txn = self.db.begin()
+            try:
+                if pick < config.read_proportion:
+                    slot = self._slots[self.zipf.next() % len(self._slots)]
+                    self.info.table.select(txn, slot, [1])
+                    self.reads += 1
+                elif pick < config.read_proportion + config.update_proportion:
+                    slot = self._slots[self.zipf.next() % len(self._slots)]
+                    if not self.info.table.update(
+                        txn, slot, {1: self._value(self.rng.randrange(1 << 30))}
+                    ):
+                        self.db.abort(txn)
+                        self.aborts += 1
+                        continue
+                    self.updates += 1
+                else:
+                    key = self._next_key
+                    self._next_key += 1
+                    self._slots.append(
+                        self.info.table.insert(txn, {0: key, 1: self._value(key)})
+                    )
+                    self.inserts += 1
+                self.db.commit(txn)
+            except TransactionAborted:
+                self.aborts += 1
+
+    def frozen_fraction(self) -> float:
+        """Fraction of the usertable's blocks frozen right now."""
+        from repro.storage.constants import BlockState
+
+        states = self.info.table.block_states()
+        total = sum(states.values())
+        return states[BlockState.FROZEN] / total if total else 0.0

@@ -1,0 +1,101 @@
+"""Tests for the IPC stream serialization."""
+
+import pytest
+
+from repro.arrowfmt.builder import DictionaryBuilder, array_from_pylist
+from repro.arrowfmt.datatypes import (
+    BOOL,
+    DictionaryType,
+    Field,
+    FLOAT64,
+    INT32,
+    INT64,
+    Schema,
+    UTF8,
+)
+from repro.arrowfmt.ipc import MAGIC, read_table, write_table
+from repro.arrowfmt.table import RecordBatch, Table
+from repro.errors import ArrowFormatError
+
+
+def roundtrip(table):
+    return read_table(write_table(table))
+
+
+class TestIpcRoundtrip:
+    def test_mixed_types(self):
+        schema = Schema(
+            [
+                Field("id", INT64, False),
+                Field("price", FLOAT64),
+                Field("name", UTF8),
+                Field("active", BOOL),
+            ]
+        )
+        batch = RecordBatch(
+            schema,
+            [
+                array_from_pylist([1, 2, 3], INT64),
+                array_from_pylist([1.5, None, 3.25], FLOAT64),
+                array_from_pylist(["a", "bb", None], UTF8),
+                array_from_pylist([True, False, None], BOOL),
+            ],
+        )
+        table = Table(schema, [batch])
+        back = roundtrip(table)
+        assert back.to_pydict() == table.to_pydict()
+        assert back.schema == schema
+
+    def test_multiple_batches(self):
+        schema = Schema([Field("x", INT64)])
+        batches = [
+            RecordBatch(schema, [array_from_pylist(list(range(i, i + 4)), INT64)])
+            for i in range(0, 12, 4)
+        ]
+        back = roundtrip(Table(schema, batches))
+        assert len(back.batches) == 3
+        assert back.column_values("x") == list(range(12))
+
+    def test_empty_table(self):
+        schema = Schema([Field("x", INT64)])
+        back = roundtrip(Table(schema))
+        assert back.num_rows == 0
+        assert back.schema == schema
+
+    def test_dictionary_column(self):
+        dtype = DictionaryType(INT32, UTF8)
+        schema = Schema([Field("city", dtype)])
+        codes = DictionaryBuilder(UTF8).extend(["nyc", "sf", None, "nyc"]).finish()
+        back = roundtrip(Table(schema, [RecordBatch(schema, [codes])]))
+        assert back.column_values("city") == ["nyc", "sf", None, "nyc"]
+
+    def test_preserves_metadata(self):
+        schema = Schema([Field("x", INT64)], metadata={"origin": "block-7"})
+        back = roundtrip(Table(schema))
+        assert dict(back.schema.metadata) == {"origin": "block-7"}
+
+
+class TestIpcErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ArrowFormatError):
+            read_table(b"NOTMAGIC" + b"\x00" * 32)
+
+    def test_truncated_stream(self):
+        schema = Schema([Field("x", INT64)])
+        table = Table(schema, [RecordBatch(schema, [array_from_pylist([1], INT64)])])
+        raw = write_table(table)
+        with pytest.raises(ArrowFormatError):
+            read_table(raw[: len(raw) // 2])
+
+    def test_magic_prefix_present(self):
+        schema = Schema([Field("x", INT64)])
+        raw = write_table(Table(schema))
+        assert raw.startswith(MAGIC)
+
+    def test_garbage_after_header(self):
+        schema = Schema([Field("x", INT64)])
+        raw = write_table(Table(schema))
+        # Replace the end marker with junk.
+        corrupted = raw[:-4] + b"JUNK"
+        with pytest.raises(ArrowFormatError):
+            read_table(corrupted)

@@ -1,0 +1,99 @@
+"""Tests for record batches and tables."""
+
+import pytest
+
+from repro.arrowfmt.builder import array_from_pylist
+from repro.arrowfmt.datatypes import Field, INT64, Schema, UTF8
+from repro.arrowfmt.table import RecordBatch, Table
+from repro.errors import ArrowFormatError
+
+
+def make_schema():
+    return Schema([Field("id", INT64, False), Field("name", UTF8)])
+
+
+def make_batch(ids, names):
+    schema = make_schema()
+    return RecordBatch(
+        schema,
+        [array_from_pylist(ids, INT64), array_from_pylist(names, UTF8)],
+    )
+
+
+class TestRecordBatch:
+    def test_basic_accessors(self):
+        batch = make_batch([1, 2], ["a", "b"])
+        assert batch.num_rows == 2
+        assert batch.column("name").to_pylist() == ["a", "b"]
+        assert batch.row(1) == (2, "b")
+
+    def test_to_pydict(self):
+        batch = make_batch([1], ["x"])
+        assert batch.to_pydict() == {"id": [1], "name": ["x"]}
+
+    def test_column_count_mismatch(self):
+        schema = make_schema()
+        with pytest.raises(ArrowFormatError):
+            RecordBatch(schema, [array_from_pylist([1], INT64)])
+
+    def test_column_length_mismatch(self):
+        schema = make_schema()
+        with pytest.raises(ArrowFormatError):
+            RecordBatch(
+                schema,
+                [
+                    array_from_pylist([1, 2], INT64),
+                    array_from_pylist(["a"], UTF8),
+                ],
+            )
+
+    def test_column_type_mismatch(self):
+        schema = make_schema()
+        with pytest.raises(ArrowFormatError):
+            RecordBatch(
+                schema,
+                [
+                    array_from_pylist(["not int"], UTF8),
+                    array_from_pylist(["a"], UTF8),
+                ],
+            )
+
+    def test_non_nullable_rejects_nulls(self):
+        with pytest.raises(ArrowFormatError):
+            make_batch([1, None], ["a", "b"])
+
+    def test_nbytes_positive(self):
+        assert make_batch([1], ["abc"]).nbytes() > 0
+
+
+class TestTable:
+    def test_from_batches(self):
+        table = Table.from_batches([make_batch([1], ["a"]), make_batch([2], ["b"])])
+        assert table.num_rows == 2
+        assert table.column_values("id") == [1, 2]
+
+    def test_from_batches_empty_rejected(self):
+        with pytest.raises(ArrowFormatError):
+            Table.from_batches([])
+
+    def test_append_batch_schema_check(self):
+        table = Table(make_schema())
+        other_schema = Schema([Field("x", INT64)])
+        bad = RecordBatch(other_schema, [array_from_pylist([1], INT64)])
+        with pytest.raises(ArrowFormatError):
+            table.append_batch(bad)
+
+    def test_iter_rows_spans_batches(self):
+        table = Table.from_batches(
+            [make_batch([1, 2], ["a", "b"]), make_batch([3], ["c"])]
+        )
+        assert list(table.iter_rows()) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_to_pydict(self):
+        table = Table.from_batches([make_batch([1], [None])])
+        assert table.to_pydict() == {"id": [1], "name": [None]}
+
+    def test_empty_table(self):
+        table = Table(make_schema())
+        assert table.num_rows == 0
+        assert table.nbytes() == 0

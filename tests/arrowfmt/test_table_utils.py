@@ -1,0 +1,94 @@
+"""Tests for Table.select / slice / concat utilities."""
+
+import pytest
+
+from repro.arrowfmt.builder import array_from_pylist
+from repro.arrowfmt.datatypes import Field, INT64, Schema, UTF8
+from repro.arrowfmt.table import RecordBatch, Table
+from repro.errors import ArrowFormatError
+
+
+def make_table(batch_sizes):
+    schema = Schema([Field("x", INT64), Field("s", UTF8)])
+    batches, base = [], 0
+    for size in batch_sizes:
+        batches.append(
+            RecordBatch(
+                schema,
+                [
+                    array_from_pylist(list(range(base, base + size)), INT64),
+                    array_from_pylist([f"v{base + i}" for i in range(size)], UTF8),
+                ],
+            )
+        )
+        base += size
+    return Table(schema, batches)
+
+
+class TestSelect:
+    def test_projection(self):
+        table = make_table([3, 2])
+        projected = table.select(["s"])
+        assert projected.schema.names == ["s"]
+        assert projected.column_values("s") == [f"v{i}" for i in range(5)]
+
+    def test_reorder(self):
+        table = make_table([2])
+        projected = table.select(["s", "x"])
+        assert projected.schema.names == ["s", "x"]
+        assert list(projected.iter_rows()) == [("v0", 0), ("v1", 1)]
+
+    def test_unknown_column(self):
+        with pytest.raises(ArrowFormatError):
+            make_table([1]).select(["nope"])
+
+    def test_zero_copy(self):
+        table = make_table([3])
+        projected = table.select(["x"])
+        assert projected.batches[0].columns[0] is table.batches[0].columns[0]
+
+
+class TestSlice:
+    def test_within_one_batch(self):
+        table = make_table([10])
+        window = table.slice(2, 4)
+        assert window.column_values("x") == [2, 3, 4, 5]
+
+    def test_across_batches(self):
+        table = make_table([4, 4, 4])
+        window = table.slice(3, 6)
+        assert window.column_values("x") == [3, 4, 5, 6, 7, 8]
+
+    def test_full_and_empty(self):
+        table = make_table([3, 3])
+        assert table.slice(0, 6).column_values("x") == list(range(6))
+        assert table.slice(6, 0).num_rows == 0
+
+    def test_out_of_bounds(self):
+        table = make_table([3])
+        with pytest.raises(ArrowFormatError):
+            table.slice(1, 5)
+        with pytest.raises(ArrowFormatError):
+            table.slice(-1, 1)
+
+    def test_varlen_and_nulls_preserved(self):
+        schema = Schema([Field("s", UTF8)])
+        batch = RecordBatch(schema, [array_from_pylist(["a", None, "c", "d"], UTF8)])
+        window = Table(schema, [batch]).slice(1, 2)
+        assert window.column_values("s") == [None, "c"]
+
+
+class TestConcat:
+    def test_concat(self):
+        merged = Table.concat([make_table([2]), make_table([3])])
+        assert merged.num_rows == 5
+        assert len(merged.batches) == 2
+
+    def test_mismatched_schema(self):
+        other = Table(Schema([Field("y", INT64)]))
+        with pytest.raises(ArrowFormatError):
+            Table.concat([make_table([1]), other])
+
+    def test_empty_list(self):
+        with pytest.raises(ArrowFormatError):
+            Table.concat([])

@@ -1,0 +1,75 @@
+"""Tests for the reporting helpers and the thread-scaling model."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling_model import MachineModel, ScalingModel
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table("T", ["a", "bbb"], [[1, 2.5], [100, 0.001]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert len(lines) == 6
+
+    def test_series_layout(self):
+        text = format_series("S", "x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+        lines = text.splitlines()
+        assert "x" in lines[2] and "y1" in lines[2] and "y2" in lines[2]
+        assert "10" in lines[4] and "30" in lines[4]
+
+    def test_float_formatting(self):
+        text = format_table("T", ["v"], [[1234.5], [0.1234], [3.5], [0.0]])
+        assert "1,234" in text or "1,235" in text
+        assert "0.1234" in text
+        assert "3.50" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestScalingModel:
+    def test_single_worker_identity(self):
+        model = ScalingModel(1000.0)
+        assert model.throughput(1) == pytest.approx(1000.0)
+
+    def test_near_linear_within_cores(self):
+        model = ScalingModel(1000.0)
+        t8 = model.throughput(8)
+        assert 7000 < t8 < 8000
+
+    def test_cliff_beyond_physical_cores(self):
+        model = ScalingModel(1000.0)
+        # 20 workers + background threads oversubscribe the 20 cores.
+        assert model.throughput(20) < model.throughput(16)
+
+    def test_transform_overhead_scales_rate(self):
+        base = ScalingModel(1000.0)
+        loaded = ScalingModel(1000.0, transform_overhead=0.1)
+        for workers in (1, 4, 16):
+            assert loaded.throughput(workers) == pytest.approx(
+                base.throughput(workers) * 0.9
+            )
+
+    def test_zero_workers(self):
+        assert ScalingModel(1000.0).throughput(0) == 0.0
+
+    def test_curve_matches_pointwise(self):
+        model = ScalingModel(500.0)
+        axis = [1, 2, 4]
+        assert model.curve(axis) == [model.throughput(w) for w in axis]
+
+    def test_custom_machine(self):
+        tiny = MachineModel(physical_cores=4)
+        model = ScalingModel(1000.0, machine=tiny)
+        # 4 workers + 2 background threads already oversubscribe 4 cores.
+        assert model.throughput(4) < 4000 * 0.9
+
+    def test_efficiency_floor(self):
+        model = ScalingModel(1000.0)
+        # Even absurd oversubscription never goes below the 30% floor.
+        assert model.throughput(60) > 0

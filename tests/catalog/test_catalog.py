@@ -1,0 +1,118 @@
+"""Tests for the catalog and the Database facade."""
+
+import pytest
+
+from repro import Database, ColumnSpec, INT64, TransactionAborted, UTF8
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+from repro.storage.constants import BlockState
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSpec("id", INT64)])
+        assert "t" in catalog
+        assert catalog.get("t").name == "t"
+        assert catalog.table("t").layout.num_columns == 1
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSpec("id", INT64)])
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", [ColumnSpec("id", INT64)])
+
+    def test_missing_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+    def test_index_by_column_name(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        index = catalog.create_index("t", "pk", ["id"])
+        assert catalog.index("t", "pk") is index
+        with pytest.raises(CatalogError):
+            catalog.index("t", "nope")
+
+    def test_data_tables_mapping(self):
+        catalog = Catalog()
+        catalog.create_table("a", [ColumnSpec("x", INT64)])
+        catalog.create_table("b", [ColumnSpec("y", INT64)])
+        assert set(catalog.data_tables()) == {"a", "b"}
+
+
+class TestDatabaseFacade:
+    def test_transaction_context_manager_commits(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1, 1: "x"})
+        reader = db.begin()
+        assert len(list(info.table.scan(reader))) == 1
+
+    def test_transaction_context_manager_aborts_on_error(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with pytest.raises(ValueError):
+            with db.transaction() as txn:
+                info.table.insert(txn, {0: 1, 1: "x"})
+                raise ValueError("boom")
+        reader = db.begin()
+        assert list(info.table.scan(reader)) == []
+
+    def test_freeze_table_pipeline(self):
+        db = Database(cold_threshold_epochs=1)
+        info = db.create_table(
+            "t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+            block_size=1 << 14, watch_cold=True,
+        )
+        with db.transaction() as txn:
+            for i in range(info.table.layout.num_slots * 2):
+                info.table.insert(txn, {0: i, 1: f"value-{i}"})
+        db.freeze_table("t")
+        states = info.table.block_states()
+        assert states[BlockState.FROZEN] >= 2
+
+    def test_recovery_roundtrip(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with db.transaction() as txn:
+            for i in range(10):
+                info.table.insert(txn, {0: i, 1: f"row{i}"})
+        db.quiesce()
+        log = db.log_contents()
+
+        fresh = Database()
+        fresh.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        assert fresh.recover_from(log) == 1
+        reader = fresh.begin()
+        assert len(list(fresh.catalog.table("t").scan(reader))) == 10
+
+    def test_logging_disabled(self):
+        db = Database(logging_enabled=False)
+        info = db.create_table("t", [ColumnSpec("id", INT64)])
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1})
+        assert db.log_contents() == b""
+
+    def test_commit_conflict_surfaces(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with db.transaction() as txn:
+            slot = info.table.insert(txn, {0: 1, 1: "x"})
+        a, b = db.begin(), db.begin()
+        assert info.table.update(a, slot, {0: 2})
+        assert not info.table.update(b, slot, {0: 3})
+        db.commit(a)
+        with pytest.raises(TransactionAborted):
+            db.commit(b)
+
+    def test_index_through_facade(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 42, 1: "answer"})
+        index = db.create_index("t", "pk", ["id"])
+        reader = db.begin()
+        [(_, row)] = index.lookup(reader, (42,))
+        assert row.get(1) == "answer"

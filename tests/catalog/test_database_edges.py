@@ -1,0 +1,77 @@
+"""Edge-case tests for the Database facade."""
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.errors import CatalogError
+from repro.storage.constants import BlockState
+
+
+class TestFacadeEdges:
+    def test_freeze_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database().freeze_table("ghost")
+
+    def test_freeze_auto_watches(self):
+        db = Database(cold_threshold_epochs=1)
+        info = db.create_table(
+            "t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+            block_size=1 << 13, watch_cold=False,  # not watched initially
+        )
+        with db.transaction() as txn:
+            for i in range(800):
+                info.table.insert(txn, {0: i, 1: "v"})
+        db.freeze_table("t")  # must opt the table in on demand
+        assert info.table.block_states()[BlockState.FROZEN] >= 1
+
+    def test_quiesce_idempotent(self):
+        db = Database()
+        db.quiesce()
+        db.quiesce()
+        assert db.txn_manager.pending_gc_count == 0
+
+    def test_transaction_context_no_double_abort(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64)])
+        with pytest.raises(ValueError):
+            with db.transaction() as txn:
+                info.table.insert(txn, {0: 1})
+                db.abort(txn)  # user aborts inside the context...
+                raise ValueError("then raises")
+        # ...and the context manager must not abort again.
+        assert db.txn_manager.active_count == 0
+
+    def test_commit_inside_context_not_repeated(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64)])
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1})
+            db.commit(txn)
+        assert db.txn_manager.active_count == 0
+
+    def test_metrics_on_empty_database(self):
+        metrics = Database().metrics()
+        assert metrics["tables"] == 0
+        assert metrics["live_tuples"] == 0
+        assert metrics["blocks_live"] == 0
+
+    def test_run_maintenance_on_idle_database(self):
+        db = Database()
+        assert db.run_maintenance(passes=2) == 0
+
+    def test_create_index_on_populated_table_backfills(self):
+        db = Database()
+        info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+        with db.transaction() as txn:
+            for i in range(20):
+                info.table.insert(txn, {0: i, 1: f"v{i}"})
+        index = db.create_index("t", "late_pk", ["id"])
+        assert len(index) == 20
+
+    def test_checkpoint_on_empty_database(self):
+        db = Database()
+        db.create_table("t", [ColumnSpec("id", INT64)])
+        checkpoint = db.checkpoint()
+        fresh = Database()
+        fresh.create_table("t", [ColumnSpec("id", INT64)])
+        assert fresh.recover_with_checkpoint(checkpoint, b"") == 0

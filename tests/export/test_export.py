@@ -1,0 +1,177 @@
+"""Tests for the export protocols and the unified exporter."""
+
+import pytest
+
+from repro import Database, ColumnSpec, FLOAT64, INT64, UTF8
+from repro.export import NetworkProfile, SimulatedNetwork, TableExporter
+from repro.export import postgres_wire, vectorized
+from repro.export.flight import client_receive, export_stream
+from repro.export.rdma import CACHE_BYPASS_PENALTY, export_rdma
+from repro.errors import SerializationError
+from repro.storage.constants import BlockState
+
+
+def build_db(rows=500, freeze=True, block_size=1 << 14):
+    db = Database(cold_threshold_epochs=1)
+    info = db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("name", UTF8), ColumnSpec("x", FLOAT64)],
+        block_size=block_size,
+        watch_cold=freeze,
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            name = None if i % 17 == 0 else f"name-{i}-padded-for-out-of-line"
+            info.table.insert(txn, {0: i, 1: name, 2: i / 4})
+    if freeze:
+        db.freeze_table("t")
+    return db, info
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        net = SimulatedNetwork(NetworkProfile("test", 1e6, 0.001))
+        assert net.transmit(1_000_000, 2) == pytest.approx(1.0 + 0.002)
+        assert net.bytes_sent == 1_000_000
+        assert net.messages_sent == 2
+
+    def test_negative_rejected(self):
+        net = SimulatedNetwork()
+        with pytest.raises(SerializationError):
+            net.transmit(-1)
+
+    def test_rdma_profile_lower_latency(self):
+        assert (
+            NetworkProfile.RDMA_10_GBE.latency_sec_per_message
+            < NetworkProfile.TEN_GBE.latency_sec_per_message
+        )
+
+
+class TestPostgresWire:
+    def test_roundtrip(self):
+        rows = [(1, "hello", 2.5), (2, None, -1.0)]
+        raw, count = postgres_wire.encode_rows(rows)
+        assert count == 2
+        decoded = postgres_wire.decode_rows(raw)
+        assert decoded[0] == ("1", "hello", "2.5")
+        assert decoded[1][1] is None
+
+    def test_corrupt_stream_detected(self):
+        with pytest.raises(SerializationError):
+            postgres_wire.decode_rows(b"Xgarbage")
+
+    def test_one_message_per_row(self):
+        raw, count = postgres_wire.encode_rows([(i,) for i in range(10)])
+        assert count == 10
+
+
+class TestVectorized:
+    def test_roundtrip_mixed_types(self):
+        columns = [
+            [1, 2, None],
+            ["a", None, "ccc"],
+            [1.5, 2.5, 3.5],
+        ]
+        raw, batches = vectorized.encode_table(columns, batch_rows=2)
+        assert batches == 2
+        decoded = vectorized.decode_table(raw)
+        assert decoded == columns
+
+    def test_empty_column_list_rejected(self):
+        with pytest.raises(SerializationError):
+            vectorized.encode_table([])
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(SerializationError):
+            vectorized.encode_batch([[1, 2], [1]])
+
+    def test_batching_counts(self):
+        columns = [[i for i in range(100)]]
+        _, batches = vectorized.encode_table(columns, batch_rows=30)
+        assert batches == 4
+
+
+class TestFlight:
+    def test_zero_copy_roundtrip_frozen(self):
+        db, info = build_db(rows=800)
+        stream = export_stream(db.txn_manager, info.table)
+        assert stream.frozen_blocks >= 1
+        table = client_receive(stream.payload)
+        reader = db.begin()
+        expected = sorted(r.get(0) for _, r in info.table.scan(reader))
+        assert sorted(table.column_values("id")) == expected
+
+    def test_hot_blocks_materialized(self):
+        db, info = build_db(rows=300, freeze=False)
+        stream = export_stream(db.txn_manager, info.table)
+        assert stream.frozen_blocks == 0
+        assert stream.materialized_blocks >= 1
+        table = client_receive(stream.payload)
+        assert table.num_rows == 300
+
+    def test_nulls_preserved(self):
+        db, info = build_db(rows=100)
+        table = client_receive(export_stream(db.txn_manager, info.table).payload)
+        names = table.column_values("name")
+        assert names[0] is None  # i % 17 == 0
+
+    def test_uncommitted_rows_not_exported(self):
+        db, info = build_db(rows=50, freeze=False)
+        pending = db.begin()
+        info.table.insert(pending, {0: 999, 1: "pending", 2: 0.0})
+        table = client_receive(export_stream(db.txn_manager, info.table).payload)
+        assert 999 not in table.column_values("id")
+
+
+class TestRdma:
+    def test_frozen_blocks_are_pure_bandwidth(self):
+        db, info = build_db(rows=800)
+        # A fully frozen prefix: all blocks but the insertion head.
+        transfer = export_rdma(db.txn_manager, info.table)
+        assert transfer.frozen_blocks >= 1
+        assert transfer.frozen_bytes > 0
+
+    def test_hot_blocks_penalized(self):
+        db, info = build_db(rows=300, freeze=False)
+        transfer = export_rdma(db.txn_manager, info.table)
+        assert transfer.materialized_blocks >= 1
+        assert transfer.effective_bytes == pytest.approx(
+            transfer.frozen_bytes + transfer.materialized_bytes * CACHE_BYPASS_PENALTY
+        )
+
+
+class TestTableExporter:
+    def test_all_methods_agree_on_rows(self):
+        db, info = build_db(rows=400)
+        exporter = TableExporter(db.txn_manager, info.table)
+        pg = exporter.export("postgres")
+        vec = exporter.export("vectorized")
+        fl = exporter.export("flight")
+        assert pg.rows == vec.rows == fl.rows == 400
+
+    def test_paper_ordering_when_frozen(self):
+        # Figure 15 at high %frozen: flight and rdma beat the wire formats.
+        db, info = build_db(rows=2000)
+        exporter = TableExporter(db.txn_manager, info.table)
+        results = {m: exporter.export(m) for m in ["postgres", "vectorized", "flight", "rdma"]}
+        assert (
+            results["postgres"].throughput_mb_per_sec
+            < results["vectorized"].throughput_mb_per_sec
+            < results["flight"].throughput_mb_per_sec
+        )
+        assert results["rdma"].throughput_mb_per_sec > results["vectorized"].throughput_mb_per_sec
+
+    def test_unknown_method_rejected(self):
+        db, info = build_db(rows=10, freeze=False)
+        exporter = TableExporter(db.txn_manager, info.table)
+        with pytest.raises(SerializationError):
+            exporter.export("carrier-pigeon")
+
+    def test_result_accounting(self):
+        db, info = build_db(rows=100)
+        result = TableExporter(db.txn_manager, info.table).export("vectorized")
+        assert result.total_seconds == pytest.approx(
+            result.serialization_seconds + result.wire_seconds + result.client_seconds
+        )
+        assert result.payload_bytes > 0
+        assert result.throughput_mb_per_sec > 0

@@ -1,0 +1,115 @@
+"""Tests for the Flight-style RPC service surface."""
+
+import json
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.errors import SerializationError
+from repro.export.flight_server import FlightClient, FlightServer, FlightTicket
+
+
+@pytest.fixture
+def served_db():
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "orders",
+        [ColumnSpec("id", INT64), ColumnSpec("memo", UTF8)],
+        block_size=1 << 13,
+        watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(1000):
+            info.table.insert(txn, {0: i, 1: f"memo-{i}"})
+    db.freeze_table("orders")
+    db.create_table("empty", [ColumnSpec("x", INT64)])
+    return db, info
+
+
+class TestTickets:
+    def test_roundtrip(self):
+        ticket = FlightTicket("t", 2, 5)
+        assert FlightTicket.decode(ticket.encode()) == ticket
+
+    def test_bad_ticket(self):
+        with pytest.raises(SerializationError):
+            FlightTicket.decode(b"not json at all{{")
+        with pytest.raises(SerializationError):
+            FlightTicket.decode(json.dumps({"nope": 1}).encode())
+
+
+class TestServer:
+    def test_list_flights(self, served_db):
+        db, info = served_db
+        flights = {f.table: f for f in FlightServer(db).list_flights()}
+        assert flights["orders"].total_rows == 1000
+        assert flights["orders"].total_blocks == len(info.table.blocks)
+        assert flights["empty"].total_rows == 0
+
+    def test_endpoints_partition_blocks(self, served_db):
+        db, info = served_db
+        server = FlightServer(db, partition_blocks=1)
+        [orders] = [f for f in server.list_flights() if f.table == "orders"]
+        assert len(orders.endpoints) == len(info.table.blocks)
+        covered = sum(e.block_count for e in orders.endpoints)
+        assert covered == len(info.table.blocks)
+
+    def test_get_schema(self, served_db):
+        db, _ = served_db
+        spec = json.loads(FlightServer(db).get_schema("orders"))
+        assert [f["name"] for f in spec["fields"]] == ["id", "memo"]
+
+    def test_do_get_full_table(self, served_db):
+        db, _ = served_db
+        server = FlightServer(db)
+        from repro.arrowfmt import ipc
+
+        table = ipc.read_table(server.do_get(FlightTicket("orders")))
+        assert table.num_rows == 1000
+
+    def test_do_get_block_range(self, served_db):
+        db, info = served_db
+        server = FlightServer(db)
+        from repro.arrowfmt import ipc
+
+        first = ipc.read_table(server.do_get(FlightTicket("orders", 0, 1)))
+        assert 0 < first.num_rows < 1000
+
+    def test_do_get_encoded_ticket(self, served_db):
+        db, _ = served_db
+        server = FlightServer(db)
+        from repro.arrowfmt import ipc
+
+        payload = server.do_get(FlightTicket("orders", 0, None).encode())
+        assert ipc.read_table(payload).num_rows == 1000
+
+
+class TestClient:
+    def test_fetch_table_sharded(self, served_db):
+        db, _ = served_db
+        client = FlightClient(FlightServer(db, partition_blocks=1))
+        table = client.fetch_table("orders")
+        assert sorted(table.column_values("id")) == list(range(1000))
+
+    def test_iter_batches(self, served_db):
+        db, _ = served_db
+        client = FlightClient(FlightServer(db))
+        total = sum(batch.num_rows for batch in client.iter_batches("orders"))
+        assert total == 1000
+
+    def test_unknown_table(self, served_db):
+        db, _ = served_db
+        client = FlightClient(FlightServer(db))
+        with pytest.raises(SerializationError):
+            client.fetch_table("ghost")
+        with pytest.raises(SerializationError):
+            list(client.iter_batches("ghost"))
+
+    def test_hot_blocks_served_transactionally(self, served_db):
+        db, info = served_db
+        # Reheat a block; the server must materialize it.
+        frozen = [b for b in info.table.blocks if b.state.name == "FROZEN"]
+        frozen[0].touch_hot()
+        client = FlightClient(FlightServer(db))
+        table = client.fetch_table("orders")
+        assert table.num_rows == 1000

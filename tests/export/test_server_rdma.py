@@ -1,0 +1,142 @@
+"""Tests for server-side RDMA: leases, directory, writer waits."""
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.errors import StorageError
+from repro.export.server_rdma import (
+    LeaseManager,
+    RdmaDirectory,
+    guarded_touch_hot,
+)
+from repro.storage.constants import BlockState
+
+
+class FakeClock:
+    """An injectable clock tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def frozen_db():
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+        block_size=1 << 13, watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(900):
+            info.table.insert(txn, {0: i, 1: f"v-{i}"})
+    db.freeze_table("t")
+    return db, info
+
+
+class TestLeases:
+    def test_grant_requires_frozen(self, frozen_db):
+        db, info = frozen_db
+        hot = next(b for b in info.table.blocks if b.state is BlockState.HOT)
+        leases = LeaseManager()
+        with pytest.raises(StorageError):
+            leases.grant(hot)
+
+    def test_grant_and_expiry(self, frozen_db):
+        db, info = frozen_db
+        clock = FakeClock()
+        leases = LeaseManager(lease_seconds=1.0, clock=clock)
+        frozen = next(b for b in info.table.blocks if b.state is BlockState.FROZEN)
+        lease = leases.grant(frozen)
+        assert lease.expires_at == 1.0
+        assert leases.lease_remaining(frozen.block_id) == pytest.approx(1.0)
+        clock.advance(1.5)
+        assert leases.lease_remaining(frozen.block_id) < 0
+
+    def test_regrant_extends(self, frozen_db):
+        db, info = frozen_db
+        clock = FakeClock()
+        leases = LeaseManager(lease_seconds=1.0, clock=clock)
+        frozen = next(b for b in info.table.blocks if b.state is BlockState.FROZEN)
+        leases.grant(frozen)
+        clock.advance(0.5)
+        leases.grant(frozen)
+        assert leases.lease_remaining(frozen.block_id) == pytest.approx(1.0)
+
+    def test_writer_wait_counted(self, frozen_db):
+        db, info = frozen_db
+        leases = LeaseManager(lease_seconds=0.02)  # real clock, short lease
+        frozen = next(b for b in info.table.blocks if b.state is BlockState.FROZEN)
+        leases.grant(frozen)
+        guarded_touch_hot(frozen, leases)
+        assert frozen.state is BlockState.HOT
+        assert leases.writer_waits == 1
+
+    def test_unleased_block_reheats_immediately(self, frozen_db):
+        db, info = frozen_db
+        leases = LeaseManager(lease_seconds=10.0)
+        frozen = next(b for b in info.table.blocks if b.state is BlockState.FROZEN)
+        waited = guarded_touch_hot(frozen, leases)
+        assert waited == 0.0
+        assert leases.writer_waits == 0
+
+
+class TestDirectory:
+    def test_describe_advertises_frozen_only(self, frozen_db):
+        db, info = frozen_db
+        leases = LeaseManager(lease_seconds=5.0)
+        directory = RdmaDirectory(info.table, leases)
+        grants = directory.describe()
+        frozen_count = sum(
+            1 for b in info.table.blocks if b.state is BlockState.FROZEN
+        )
+        assert len(grants) == frozen_count >= 1
+        assert all(g.nbytes > 0 for g in grants)
+
+    def test_read_under_lease(self, frozen_db):
+        db, info = frozen_db
+        leases = LeaseManager(lease_seconds=5.0)
+        directory = RdmaDirectory(info.table, leases)
+        grants = directory.describe()
+        total = sum(directory.read_block(g.block_id).num_rows for g in grants)
+        live_in_frozen = sum(
+            b.allocation_bitmap.count_set()
+            for b in info.table.blocks
+            if b.state is BlockState.FROZEN
+        )
+        assert total == live_in_frozen
+
+    def test_expired_lease_refused(self, frozen_db):
+        db, info = frozen_db
+        clock = FakeClock()
+        leases = LeaseManager(lease_seconds=1.0, clock=clock)
+        directory = RdmaDirectory(info.table, leases)
+        [first, *_] = directory.describe()
+        clock.advance(2.0)
+        with pytest.raises(StorageError):
+            directory.read_block(first.block_id)
+
+    def test_unleased_block_refused(self, frozen_db):
+        db, info = frozen_db
+        directory = RdmaDirectory(info.table, LeaseManager())
+        frozen = next(b for b in info.table.blocks if b.state is BlockState.FROZEN)
+        with pytest.raises(StorageError):
+            directory.read_block(frozen.block_id)
+
+    def test_write_after_lease_expiry_is_safe(self, frozen_db):
+        # The full protocol: lease -> expiry -> reheat -> stale reader refused.
+        db, info = frozen_db
+        leases = LeaseManager(lease_seconds=0.01)
+        directory = RdmaDirectory(info.table, leases)
+        grants = directory.describe()
+        target = grants[0].block_id
+        block = info.table._block(target)
+        guarded_touch_hot(block, leases)  # waits out the lease
+        assert block.state is BlockState.HOT
+        with pytest.raises(StorageError):
+            directory.read_block(target)

@@ -1,0 +1,124 @@
+"""Tests for pipelined RDMA export with partial-availability messages."""
+
+import time
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.export.network import NetworkProfile
+from repro.export.streaming import (
+    AVAILABILITY_MESSAGE_BYTES,
+    pipelined_rdma_export,
+    stream_blocks,
+)
+
+
+def build(rows=900, freeze=True):
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+        block_size=1 << 13,
+        watch_cold=freeze,
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            info.table.insert(txn, {0: i, 1: f"value-{i}"})
+    if freeze:
+        db.freeze_table("t")
+    return db, info
+
+
+class TestStreamBlocks:
+    def test_covers_all_rows(self):
+        db, info = build()
+        total = sum(batch.num_rows for batch in stream_blocks(db.txn_manager, info.table))
+        assert total == 900
+
+    def test_mixed_temperatures(self):
+        db, info = build()
+        info.table.blocks[0].touch_hot()
+        total = sum(batch.num_rows for batch in stream_blocks(db.txn_manager, info.table))
+        assert total == 900
+
+
+class TestPipelinedExport:
+    def test_all_chunks_delivered_in_order(self):
+        db, info = build()
+        seen = []
+        result = pipelined_rdma_export(
+            db.txn_manager, info.table, client_work=lambda b: seen.append(b.num_rows)
+        )
+        assert result.total_rows == 900
+        assert [c.index for c in result.chunks] == list(range(len(result.chunks)))
+        assert sum(seen) == 900
+
+    def test_availability_monotone(self):
+        db, info = build()
+        result = pipelined_rdma_export(db.txn_manager, info.table, lambda b: None)
+        availability = [c.available_at for c in result.chunks]
+        assert availability == sorted(availability)
+        assert result.transfer_done_at == pytest.approx(availability[-1])
+
+    def test_pipelining_overlaps_work_and_wire(self):
+        db, info = build(rows=1800)
+
+        def slow_client(batch):
+            time.sleep(0.002)
+
+        # A slow link makes transfers comparable to client work.
+        slow_link = NetworkProfile("slow", 5e6, 1e-4)
+        result = pipelined_rdma_export(
+            db.txn_manager, info.table, slow_client, profile=slow_link
+        )
+        assert result.client_done_at < result.unpipelined_seconds
+        assert result.pipelining_speedup > 1.0
+
+    def test_client_never_reads_before_available(self):
+        db, info = build()
+        result = pipelined_rdma_export(db.txn_manager, info.table, lambda b: None)
+        clock = 0.0
+        for chunk in result.chunks:
+            clock = max(clock, chunk.available_at)
+        assert result.client_done_at >= result.chunks[-1].available_at
+
+    def test_availability_message_charged(self):
+        db, info = build(rows=300)
+        result = pipelined_rdma_export(db.txn_manager, info.table, lambda b: None)
+        # Each chunk's transfer includes the notification's wire time.
+        link = NetworkProfile.RDMA_10_GBE
+        for chunk in result.chunks:
+            floor = (
+                (chunk.nbytes + AVAILABILITY_MESSAGE_BYTES)
+                / link.bandwidth_bytes_per_sec
+                + 2 * link.latency_sec_per_message
+            )
+            assert chunk.transfer_seconds == pytest.approx(floor)
+
+    def test_empty_table(self):
+        db = Database(logging_enabled=False)
+        info = db.create_table("e", [ColumnSpec("x", INT64)])
+        result = pipelined_rdma_export(db.txn_manager, info.table, lambda b: None)
+        assert result.total_rows == 0
+        assert result.pipelining_speedup == 1.0
+
+
+class TestMetrics:
+    def test_metrics_snapshot_keys(self):
+        db, info = build(rows=900)  # several blocks so some can freeze
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1000, 1: "x"})
+        metrics = db.metrics()
+        assert metrics["tables"] == 1
+        assert metrics["live_tuples"] == 901
+        assert metrics["blocks_live"] >= 1
+        assert metrics["transform_blocks_frozen"] >= 1
+        assert metrics["wal_bytes_written"] == 0  # logging disabled
+        assert set(metrics["block_states"]) == {"HOT", "COOLING", "FREEZING", "FROZEN"}
+
+    def test_metrics_reflect_gc(self):
+        db, info = build(rows=50, freeze=False)
+        db.quiesce()
+        metrics = db.metrics()
+        assert metrics["gc_passes"] >= 1
+        assert metrics["txns_pending_gc"] == 0

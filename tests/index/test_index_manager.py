@@ -1,0 +1,170 @@
+"""Tests for transactional index maintenance and write amplification."""
+
+import pytest
+
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.errors import IndexError_
+from repro.index.hash_index import HashIndex
+from repro.index.manager import IndexManager
+from repro.storage.block_store import BlockStore
+from repro.storage.data_table import DataTable
+from repro.storage.layout import BlockLayout, ColumnSpec
+from repro.txn.manager import TransactionManager
+
+
+@pytest.fixture
+def env():
+    layout = BlockLayout(
+        [ColumnSpec("id", INT64), ColumnSpec("name", UTF8)], block_size=1 << 14
+    )
+    tm = TransactionManager()
+    table = DataTable(BlockStore(), layout, "t")
+    manager = IndexManager()
+    index = manager.create_index("t.pk", table, [0])
+    return tm, table, manager, index
+
+
+class TestHashIndex:
+    def test_insert_search_delete(self):
+        idx = HashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert sorted(idx.search("k")) == [1, 2]
+        assert idx.delete("k", 1)
+        assert idx.search("k") == [2]
+        assert not idx.delete("missing", 0)
+        assert len(idx) == 1
+
+
+class TestMaintenance:
+    def test_insert_indexed(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 7, 1: "x"})
+        tm.commit(txn)
+        reader = tm.begin()
+        [(found_slot, row)] = index.lookup(reader, (7,))
+        assert found_slot == slot
+        assert row.get(1) == "x"
+
+    def test_delete_removes_entry(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 7, 1: "x"})
+        tm.commit(txn)
+        txn = tm.begin()
+        table.delete(txn, slot)
+        tm.commit(txn)
+        assert index.structure.search((7,)) == []
+
+    def test_key_update_moves_entry(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 1, 1: "x"})
+        tm.commit(txn)
+        txn = tm.begin()
+        table.update(txn, slot, {0: 2})
+        tm.commit(txn)
+        reader = tm.begin()
+        assert index.lookup(reader, (1,)) == []
+        assert index.lookup(reader, (2,))[0][0] == slot
+
+    def test_non_key_update_ignored(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 1, 1: "x"})
+        tm.commit(txn)
+        ops_before = index.maintenance_ops
+        txn = tm.begin()
+        table.update(txn, slot, {1: "y"})
+        tm.commit(txn)
+        assert index.maintenance_ops == ops_before
+
+    def test_abort_compensates_insert(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        table.insert(txn, {0: 9, 1: "doomed"})
+        tm.abort(txn)
+        assert index.structure.search((9,)) == []
+
+    def test_abort_compensates_delete(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 9, 1: "x"})
+        tm.commit(txn)
+        txn = tm.begin()
+        table.delete(txn, slot)
+        tm.abort(txn)
+        reader = tm.begin()
+        assert index.lookup(reader, (9,))[0][0] == slot
+
+    def test_mvcc_filtering_at_lookup(self, env):
+        tm, table, _, index = env
+        writer = tm.begin()
+        table.insert(writer, {0: 5, 1: "pending"})
+        reader = tm.begin()
+        # The entry exists in the index but the tuple is invisible.
+        assert index.lookup(reader, (5,)) == []
+        tm.commit(writer)
+        assert index.lookup(tm.begin(), (5,))
+
+    def test_range_scan_visible_only(self, env):
+        tm, table, _, index = env
+        txn = tm.begin()
+        for i in range(10):
+            table.insert(txn, {0: i, 1: f"r{i}"})
+        tm.commit(txn)
+        txn = tm.begin()
+        keys = [k for k, _, _ in index.range_scan(txn, (3,), (6,))]
+        assert keys == [(3,), (4,), (5,), (6,)]
+
+
+class TestWriteAmplification:
+    def test_movement_costs_two_ops_per_index(self, env):
+        tm, table, manager, index = env
+        hash_idx = manager.create_index("t.aux", table, [0], kind="hash")
+        txn = tm.begin()
+        slot = table.insert(txn, {0: 1, 1: "x"})
+        tm.commit(txn)
+        base = manager.total_maintenance_ops()
+        # Simulate what compaction does: delete + insert_into elsewhere.
+        from repro.storage.tuple_slot import TupleSlot
+
+        txn = tm.begin()
+        row = table.select(txn, slot)
+        table.delete(txn, slot)
+        table.insert_into(txn, TupleSlot(slot.block_id, slot.offset + 1), row.to_dict())
+        tm.commit(txn)
+        # 2 ops (delete + insert) × 2 indexes.
+        assert manager.total_maintenance_ops() - base == 4
+
+
+class TestManager:
+    def test_duplicate_name_rejected(self, env):
+        _, table, manager, _ = env
+        with pytest.raises(IndexError_):
+            manager.create_index("t.pk", table, [0])
+
+    def test_backfill_existing_rows(self, env):
+        tm, table, manager, _ = env
+        txn = tm.begin()
+        for i in range(5):
+            table.insert(txn, {0: 100 + i, 1: "v"})
+        tm.commit(txn)
+        backfill = tm.begin()
+        late = manager.create_index("t.late", table, [0], backfill_txn=backfill)
+        tm.commit(backfill)
+        assert len(late) == 5
+
+    def test_bad_key_column_rejected(self, env):
+        _, table, manager, _ = env
+        with pytest.raises(IndexError_):
+            manager.create_index("t.bad", table, [42])
+        with pytest.raises(IndexError_):
+            manager.create_index("t.empty", table, [])
+
+    def test_range_scan_requires_btree(self, env):
+        tm, table, manager, _ = env
+        hash_idx = manager.create_index("t.h", table, [0], kind="hash")
+        with pytest.raises(IndexError_):
+            list(hash_idx.range_scan(tm.begin()))

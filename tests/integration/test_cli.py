@@ -1,0 +1,16 @@
+"""Smoke test for the ``python -m repro`` demo entry point."""
+
+from repro.__main__ import main
+
+
+def test_cli_demo_runs(capsys):
+    assert main(["--rows", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "export comparison" in out
+    assert "metrics snapshot" in out
+    assert "flight" in out
+
+
+def test_cli_custom_seed(capsys):
+    assert main(["--rows", "300", "--seed", "42"]) == 0
+    assert "in-engine aggregate" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Stateful property test over the FULL lifecycle, transformation included.
+
+Unlike the slot-keyed MVCC machine (test_mvcc_model.py), this machine keys
+tuples by a unique id column and reaches them through an index, so the
+transformation pipeline — which *moves tuples between slots* — can run as a
+first-class rule.  The reference model is just a dict id → payload; every
+divergence in visibility, index maintenance, compaction, gathering, block
+recycling, or GC shows up as a minimized counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.errors import TransactionAborted
+from repro.storage.constants import BlockState
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database(
+            logging_enabled=True,
+            cold_threshold_epochs=1,
+            compaction_group_size=3,
+        )
+        self.info = self.db.create_table(
+            "t",
+            [ColumnSpec("id", INT64), ColumnSpec("payload", UTF8)],
+            block_size=1 << 12,  # tiny blocks -> frequent transformation
+            watch_cold=True,
+        )
+        self.index = self.db.create_index("t", "pk", ["id"])
+        self.model: dict[int, str] = {}
+        self.next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # rules                                                               #
+    # ------------------------------------------------------------------ #
+
+    @rule(payload=st.text(max_size=40))
+    def insert(self, payload):
+        new_id = self.next_id
+        self.next_id += 1
+        with self.db.transaction() as txn:
+            self.info.table.insert(txn, {0: new_id, 1: payload})
+        self.model[new_id] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.integers(0, 10**6), payload=st.text(max_size=40))
+    def update(self, pick, payload):
+        key = sorted(self.model)[pick % len(self.model)]
+        txn = self.db.begin()
+        hits = self.index.lookup(txn, (key,))
+        assert len(hits) == 1, f"id {key}: expected 1 index hit, got {len(hits)}"
+        slot, _ = hits[0]
+        assert self.info.table.update(txn, slot, {1: payload})
+        self.db.commit(txn)
+        self.model[key] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.integers(0, 10**6))
+    def delete(self, pick):
+        key = sorted(self.model)[pick % len(self.model)]
+        txn = self.db.begin()
+        [(slot, _)] = self.index.lookup(txn, (key,))
+        assert self.info.table.delete(txn, slot)
+        self.db.commit(txn)
+        del self.model[key]
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.integers(0, 10**6))
+    def read_through_index(self, pick):
+        key = sorted(self.model)[pick % len(self.model)]
+        txn = self.db.begin()
+        [(_, row)] = self.index.lookup(txn, (key,))
+        assert row.get(1) == self.model[key]
+        self.db.commit(txn)
+
+    @rule()
+    def gc(self):
+        self.db.gc.run()
+
+    @rule()
+    def maintenance(self):
+        self.db.run_maintenance()
+
+    @rule()
+    def freeze_everything(self):
+        self.db.freeze_table("t", max_passes=4)
+
+    # ------------------------------------------------------------------ #
+    # invariants                                                          #
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def scan_matches_model(self):
+        txn = self.db.begin()
+        state = {
+            row.get(0): row.get(1) for _, row in self.info.table.scan(txn)
+        }
+        self.db.commit(txn)
+        assert state == self.model
+
+    @invariant()
+    def index_matches_model(self):
+        txn = self.db.begin()
+        index_ids = sorted(
+            key[0] for key, _, _ in self.index.range_scan(txn)
+        )
+        self.db.commit(txn)
+        assert index_ids == sorted(self.model)
+
+    @invariant()
+    def live_count_matches(self):
+        # No transaction is in flight when invariants run, so the physical
+        # tuple count must equal the model exactly (moves are delete+insert
+        # pairs inside one committed transaction).
+        assert self.info.table.live_tuple_count() == len(self.model)
+
+    @invariant()
+    def reader_counters_balanced(self):
+        assert all(b.reader_count == 0 for b in self.info.table.blocks)
+
+    @invariant()
+    def physical_integrity_holds(self):
+        report = self.db.verify_integrity()
+        assert report.ok, report.findings
+
+
+LifecycleModelTest = LifecycleMachine.TestCase
+LifecycleModelTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

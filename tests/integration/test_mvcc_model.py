@@ -1,0 +1,242 @@
+"""Stateful property test: the engine vs a reference MVCC model.
+
+Hypothesis drives random interleavings of transactions (begin / insert /
+update / delete / read / scan / commit / abort / GC) against both the real
+engine and a pure-Python snapshot-isolation model.  Any divergence —
+visibility, conflict outcomes, lost updates, GC-induced corruption — fails
+the test with a minimized counterexample.
+
+The model: every transaction sees (committed state at its begin) ∪ (its own
+writes).  A write conflicts iff the tuple's chain head is an uncommitted
+write of another live transaction or a version committed after the writer's
+snapshot.  Commits apply local writes atomically; aborts discard them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.errors import TransactionAborted
+from repro.gc_engine.collector import GarbageCollector
+from repro.storage.block_store import BlockStore
+from repro.storage.data_table import DataTable
+from repro.storage.layout import BlockLayout, ColumnSpec
+from repro.txn.manager import TransactionManager
+
+
+@dataclasses.dataclass
+class ModelTxn:
+    """The reference model's view of one open transaction."""
+
+    snapshot: dict  # slot-key -> row dict (committed state at begin)
+    snapshot_versions: dict  # slot-key -> version counter at begin
+    local: dict = dataclasses.field(default_factory=dict)  # own writes
+    local_deletes: set = dataclasses.field(default_factory=set)
+    written: set = dataclasses.field(default_factory=set)
+    must_abort: bool = False
+
+    def view(self, key):
+        if key in self.local_deletes:
+            return None
+        if key in self.local:
+            return self.local[key]
+        return self.snapshot.get(key)
+
+    def visible_keys(self):
+        keys = (set(self.snapshot) | set(self.local)) - self.local_deletes
+        return {k for k in keys if self.view(k) is not None}
+
+
+class MvccMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        layout = BlockLayout(
+            [ColumnSpec("a", INT64), ColumnSpec("s", UTF8)], block_size=1 << 13
+        )
+        self.tm = TransactionManager()
+        self.table = DataTable(BlockStore(), layout, "m")
+        self.gc = GarbageCollector(self.tm)
+        # committed state and version counters (conflict detection)
+        self.committed: dict = {}
+        self.versions: dict = {}
+        # open transactions: engine txn object + model txn
+        self.open: dict[int, tuple] = {}
+        self.slot_of: dict = {}  # key -> engine TupleSlot
+        self.next_key = 0
+        self.next_txn = 0
+
+    txns = Bundle("txns")
+
+    @rule(target=txns)
+    def begin(self):
+        txn = self.tm.begin()
+        model = ModelTxn(dict(self.committed), dict(self.versions))
+        txn_id = self.next_txn
+        self.next_txn += 1
+        self.open[txn_id] = (txn, model)
+        return txn_id
+
+    def _live(self, txn_id):
+        return txn_id in self.open
+
+    @rule(txn_id=txns, a=st.integers(-100, 100), s=st.one_of(st.none(), st.text(max_size=30)))
+    def insert(self, txn_id, a, s):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open[txn_id]
+        key = self.next_key
+        self.next_key += 1
+        slot = self.table.insert(txn, {0: a, 1: s})
+        self.slot_of[key] = slot
+        model.local[key] = {0: a, 1: s}
+        model.written.add(key)
+
+    @rule(txn_id=txns, key_pick=st.integers(0, 10**6), a=st.integers(-100, 100))
+    def update(self, txn_id, key_pick, a):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open[txn_id]
+        keys = sorted(model.visible_keys())
+        if not keys:
+            return
+        key = keys[key_pick % len(keys)]
+        expected_ok = self._model_writable(txn_id, model, key)
+        ok = self.table.update(txn, self.slot_of[key], {0: a})
+        assert ok == expected_ok, (
+            f"update conflict divergence on key {key}: engine={ok} model={expected_ok}"
+        )
+        if ok:
+            row = dict(model.view(key))
+            row[0] = a
+            model.local[key] = row
+            model.local_deletes.discard(key)
+            model.written.add(key)
+        else:
+            model.must_abort = True
+
+    @rule(txn_id=txns, key_pick=st.integers(0, 10**6))
+    def delete(self, txn_id, key_pick):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open[txn_id]
+        keys = sorted(model.visible_keys())
+        if not keys:
+            return
+        key = keys[key_pick % len(keys)]
+        expected_ok = self._model_writable(txn_id, model, key)
+        if not expected_ok:
+            # The engine may raise (slot physically deallocated by a
+            # concurrent committed delete) or return False; both mean "no".
+            try:
+                ok = self.table.delete(txn, self.slot_of[key])
+            except Exception:
+                ok = False
+                txn.must_abort = True
+        else:
+            ok = self.table.delete(txn, self.slot_of[key])
+        assert ok == expected_ok, (
+            f"delete conflict divergence on key {key}: engine={ok} model={expected_ok}"
+        )
+        if ok:
+            model.local_deletes.add(key)
+            model.local.pop(key, None)
+            model.written.add(key)
+        else:
+            model.must_abort = True
+
+    def _model_writable(self, txn_id, model, key) -> bool:
+        for other_id, (_, other_model) in self.open.items():
+            if other_id != txn_id and key in other_model.written:
+                return False
+        if self.versions.get(key, 0) != model.snapshot_versions.get(key, 0):
+            return False
+        return True
+
+    @rule(txn_id=txns, key_pick=st.integers(0, 10**6))
+    def read(self, txn_id, key_pick):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open[txn_id]
+        all_keys = sorted(self.slot_of)
+        if not all_keys:
+            return
+        key = all_keys[key_pick % len(all_keys)]
+        row = self.table.select(txn, self.slot_of[key])
+        expected = model.view(key)
+        if expected is None:
+            assert row is None, f"key {key} should be invisible, engine saw {row}"
+        else:
+            assert row is not None, f"key {key} should be visible"
+            assert row.get(0) == expected[0]
+            assert row.get(1) == expected[1]
+
+    @rule(txn_id=txns)
+    def scan(self, txn_id):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open[txn_id]
+        engine_rows = {
+            (row.get(0), row.get(1)) for _, row in self.table.scan(txn)
+        }
+        model_rows = {
+            (model.view(k)[0], model.view(k)[1]) for k in model.visible_keys()
+        }
+        assert engine_rows == model_rows
+
+    @rule(txn_id=txns)
+    def commit(self, txn_id):
+        if not self._live(txn_id):
+            return
+        txn, model = self.open.pop(txn_id)
+        if model.must_abort:
+            try:
+                self.tm.commit(txn)
+                raise AssertionError("commit should have raised after conflict")
+            except TransactionAborted:
+                pass
+            return
+        self.tm.commit(txn)
+        for key in model.local_deletes:
+            if key in self.committed:
+                del self.committed[key]
+            self.versions[key] = self.versions.get(key, 0) + 1
+        for key, row in model.local.items():
+            self.committed[key] = row
+            self.versions[key] = self.versions.get(key, 0) + 1
+
+    @rule(txn_id=txns)
+    def abort(self, txn_id):
+        if not self._live(txn_id):
+            return
+        txn, _ = self.open.pop(txn_id)
+        self.tm.abort(txn)
+
+    @rule()
+    def run_gc(self):
+        self.gc.run()
+
+    @invariant()
+    def committed_state_matches_fresh_snapshot(self):
+        txn = self.tm.begin()
+        engine_rows = {
+            (row.get(0), row.get(1)) for _, row in self.table.scan(txn)
+        }
+        self.tm.commit(txn)
+        model_rows = {(row[0], row[1]) for row in self.committed.values()}
+        assert engine_rows == model_rows
+
+
+MvccModelTest = MvccMachine.TestCase
+MvccModelTest.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,196 @@
+"""Tests for the vectorized analytics layer over Arrow-native storage."""
+
+import numpy as np
+import pytest
+
+from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+from repro.query import TableScanner, aggregate, filter_mask, group_by_aggregate
+from repro.query.ops import AggregateResult
+
+
+def build(rows=300, freeze=True, nulls=False):
+    db = Database(logging_enabled=False, cold_threshold_epochs=1)
+    info = db.create_table(
+        "sales",
+        [
+            ColumnSpec("region", INT64),
+            ColumnSpec("amount", FLOAT64),
+            ColumnSpec("note", UTF8),
+        ],
+        block_size=1 << 13,
+        watch_cold=freeze,
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            amount = None if nulls and i % 7 == 0 else float(i % 50)
+            info.table.insert(txn, {0: i % 4, 1: amount, 2: f"note-{i}"})
+    if freeze:
+        db.freeze_table("sales")
+    return db, info
+
+
+class TestScanner:
+    def test_frozen_fast_path_used(self):
+        db, info = build()
+        scanner = TableScanner(db.txn_manager, info.table)
+        total = sum(batch.num_rows for batch in scanner.batches())
+        assert total == 300
+        assert scanner.frozen_blocks_scanned >= 1
+
+    def test_hot_fallback(self):
+        db, info = build(freeze=False)
+        scanner = TableScanner(db.txn_manager, info.table)
+        total = sum(batch.num_rows for batch in scanner.batches())
+        assert total == 300
+        assert scanner.frozen_blocks_scanned == 0
+        assert scanner.hot_blocks_scanned >= 1
+
+    def test_frozen_fixed_columns_are_numpy(self):
+        db, info = build()
+        scanner = TableScanner(db.txn_manager, info.table, column_ids=[0, 1])
+        batch = next(scanner.batches())
+        assert isinstance(batch.column(0), np.ndarray)
+        assert batch.from_frozen
+
+    def test_varlen_columns_are_lists(self):
+        db, info = build()
+        scanner = TableScanner(db.txn_manager, info.table, column_ids=[2])
+        batch = next(scanner.batches())
+        assert isinstance(batch.column(2), list)
+        assert batch.column(2)[0].startswith("note-")
+
+    def test_projection_restricts_columns(self):
+        db, info = build()
+        scanner = TableScanner(db.txn_manager, info.table, column_ids=[1])
+        batch = next(scanner.batches())
+        with pytest.raises(Exception):
+            batch.column(0)
+
+    def test_mixed_hot_and_frozen(self):
+        # Three blocks: two freezable, so reheating one leaves one frozen.
+        db, info = build(rows=600)
+        frozen = [b for b in info.table.blocks if b.state.name == "FROZEN"]
+        assert len(frozen) >= 2
+        frozen[0].touch_hot()
+        scanner = TableScanner(db.txn_manager, info.table)
+        total = sum(b.num_rows for b in scanner.batches())
+        assert total == 600
+        assert scanner.hot_blocks_scanned >= 1
+        assert scanner.frozen_blocks_scanned >= 1
+
+    def test_uncommitted_rows_invisible(self):
+        db, info = build(freeze=False)
+        pending = db.begin()
+        info.table.insert(pending, {0: 9, 1: 1.0, 2: "pending"})
+        scanner = TableScanner(db.txn_manager, info.table)
+        assert sum(b.num_rows for b in scanner.batches()) == 300
+
+
+class TestAggregates:
+    def test_sum_count_min_max_mean(self):
+        db, info = build()
+        result = aggregate(TableScanner(db.txn_manager, info.table), value_column=1)
+        expected = [float(i % 50) for i in range(300)]
+        assert result.count == 300
+        assert result.total == pytest.approx(sum(expected))
+        assert result.minimum == 0.0
+        assert result.maximum == 49.0
+        assert result.mean == pytest.approx(sum(expected) / 300)
+
+    def test_aggregate_matches_hot_path(self):
+        frozen_db, frozen_info = build()
+        hot_db, hot_info = build(freeze=False)
+        frozen = aggregate(TableScanner(frozen_db.txn_manager, frozen_info.table), 1)
+        hot = aggregate(TableScanner(hot_db.txn_manager, hot_info.table), 1)
+        assert frozen.total == pytest.approx(hot.total)
+        assert frozen.count == hot.count
+
+    def test_filtered_aggregate(self):
+        db, info = build()
+        result = aggregate(
+            TableScanner(db.txn_manager, info.table),
+            value_column=1,
+            filter_column=0,
+            predicate=lambda region: region == 2,
+        )
+        expected = [float(i % 50) for i in range(300) if i % 4 == 2]
+        assert result.count == len(expected)
+        assert result.total == pytest.approx(sum(expected))
+
+    def test_nulls_skipped(self):
+        db, info = build(nulls=True)
+        result = aggregate(TableScanner(db.txn_manager, info.table), 1)
+        expected = [float(i % 50) for i in range(300) if i % 7 != 0]
+        assert result.count == len(expected)
+        assert result.total == pytest.approx(sum(expected))
+
+    def test_empty_aggregate(self):
+        db = Database(logging_enabled=False)
+        info = db.create_table("e", [ColumnSpec("x", INT64)])
+        result = aggregate(TableScanner(db.txn_manager, info.table), 0)
+        assert result.count == 0
+        assert result.mean is None
+
+
+class TestGroupBy:
+    def test_group_by_matches_reference(self):
+        db, info = build()
+        groups = group_by_aggregate(
+            TableScanner(db.txn_manager, info.table), key_column=0, value_column=1
+        )
+        reference: dict[int, list[float]] = {}
+        for i in range(300):
+            reference.setdefault(i % 4, []).append(float(i % 50))
+        assert set(groups) == set(reference)
+        for key, values in reference.items():
+            assert groups[key].count == len(values)
+            assert groups[key].total == pytest.approx(sum(values))
+
+    def test_group_by_hot_equals_frozen(self):
+        frozen_db, frozen_info = build()
+        hot_db, hot_info = build(freeze=False)
+        frozen = group_by_aggregate(
+            TableScanner(frozen_db.txn_manager, frozen_info.table), 0, 1
+        )
+        hot = group_by_aggregate(TableScanner(hot_db.txn_manager, hot_info.table), 0, 1)
+        assert {k: v.total for k, v in frozen.items()} == pytest.approx(
+            {k: v.total for k, v in hot.items()}
+        )
+
+
+class TestFilterMask:
+    def test_vectorized_predicate(self):
+        db, info = build()
+        batch = next(TableScanner(db.txn_manager, info.table).batches())
+        mask = filter_mask(batch, 0, lambda col: col > 1)
+        assert mask.dtype == bool
+        assert mask.sum() == sum(1 for v in batch.column(0) if v > 1)
+
+    def test_scalar_predicate_on_varlen(self):
+        db, info = build()
+        batch = next(TableScanner(db.txn_manager, info.table).batches())
+        mask = filter_mask(batch, 2, lambda s: s.endswith("7"))
+        kept = [v for v, m in zip(batch.column(2), mask) if m]
+        assert all(v.endswith("7") for v in kept)
+
+    def test_bad_vectorized_shape_rejected(self):
+        from repro.errors import StorageError
+
+        db, info = build()
+        batch = next(TableScanner(db.txn_manager, info.table).batches())
+        with pytest.raises(StorageError):
+            filter_mask(batch, 0, lambda col: np.array([True]))
+
+
+class TestAggregateResult:
+    def test_update_from_list_with_nones(self):
+        result = AggregateResult()
+        result.update([1.0, None, 3.0])
+        assert result.count == 2
+        assert result.total == 4.0
+
+    def test_update_empty(self):
+        result = AggregateResult()
+        result.update([])
+        result.update(np.array([]))
+        assert result.count == 0

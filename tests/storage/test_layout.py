@@ -1,0 +1,118 @@
+"""Tests for block layout computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arrowfmt.datatypes import FLOAT64, INT8, INT16, INT32, INT64, UTF8
+from repro.errors import StorageError
+from repro.storage.constants import (
+    BLOCK_HEADER_SIZE,
+    BLOCK_SIZE,
+    COLUMN_ALIGNMENT,
+    VARLEN_ENTRY_SIZE,
+)
+from repro.storage.layout import BlockLayout, ColumnSpec
+
+
+class TestColumnSpec:
+    def test_fixed_attr_size(self):
+        assert ColumnSpec("a", INT64).attr_size == 8
+        assert ColumnSpec("a", INT8).attr_size == 1
+
+    def test_varlen_attr_size_is_entry_size(self):
+        spec = ColumnSpec("s", UTF8)
+        assert spec.is_varlen
+        assert spec.attr_size == VARLEN_ENTRY_SIZE
+
+
+class TestBlockLayout:
+    def test_paper_micro_benchmark_layout(self):
+        # Section 6.2: one 8-byte fixed column + one varlen column holds
+        # ~32K tuples per 1 MB block.
+        layout = BlockLayout([ColumnSpec("fixed", INT64), ColumnSpec("var", UTF8)])
+        assert 30_000 < layout.num_slots < 45_000
+
+    def test_capacity_uses_most_of_block(self):
+        layout = BlockLayout([ColumnSpec("a", INT64)])
+        # One more slot must not fit.
+        assert layout._bytes_for(layout.num_slots + 1) > BLOCK_SIZE
+        assert layout.used_bytes <= BLOCK_SIZE
+
+    def test_offsets_are_aligned(self):
+        layout = BlockLayout(
+            [ColumnSpec("a", INT8), ColumnSpec("b", INT64), ColumnSpec("c", UTF8)]
+        )
+        assert layout.allocation_bitmap_offset % COLUMN_ALIGNMENT == 0
+        for offset in layout.validity_offsets + layout.column_offsets:
+            assert offset % COLUMN_ALIGNMENT == 0
+
+    def test_regions_do_not_overlap(self):
+        layout = BlockLayout(
+            [ColumnSpec("a", INT16), ColumnSpec("b", INT64), ColumnSpec("c", UTF8)]
+        )
+        regions = [(layout.allocation_bitmap_offset, (layout.num_slots + 7) // 8)]
+        for i, size in enumerate(layout.attr_sizes):
+            regions.append((layout.validity_offsets[i], (layout.num_slots + 7) // 8))
+            regions.append((layout.column_offsets[i], layout.num_slots * size))
+        regions.sort()
+        assert regions[0][0] >= BLOCK_HEADER_SIZE
+        for (start_a, len_a), (start_b, _) in zip(regions, regions[1:]):
+            assert start_a + len_a <= start_b
+
+    def test_attribute_offset_constant_time_math(self):
+        layout = BlockLayout([ColumnSpec("a", INT32), ColumnSpec("b", INT64)])
+        assert (
+            layout.attribute_offset(1, 10)
+            == layout.column_offsets[1] + 10 * 8
+        )
+
+    def test_attribute_offset_bounds(self):
+        layout = BlockLayout([ColumnSpec("a", INT64)])
+        with pytest.raises(StorageError):
+            layout.attribute_offset(0, layout.num_slots)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(StorageError):
+            BlockLayout([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(StorageError):
+            BlockLayout([ColumnSpec("a", INT64), ColumnSpec("a", INT32)])
+
+    def test_too_wide_tuple_rejected(self):
+        many = [ColumnSpec(f"c{i}", INT64) for i in range(200_000)]
+        with pytest.raises(StorageError):
+            BlockLayout(many)
+
+    def test_layout_key_groups_identical_layouts(self):
+        a = BlockLayout([ColumnSpec("x", INT64), ColumnSpec("y", UTF8)])
+        b = BlockLayout([ColumnSpec("x", INT64), ColumnSpec("y", UTF8)])
+        c = BlockLayout([ColumnSpec("x", INT64), ColumnSpec("z", UTF8)])
+        assert a.layout_key() == b.layout_key()
+        assert a.layout_key() != c.layout_key()
+
+    def test_column_id_helpers(self):
+        layout = BlockLayout(
+            [ColumnSpec("a", INT64), ColumnSpec("s", UTF8), ColumnSpec("f", FLOAT64)]
+        )
+        assert layout.varlen_column_ids() == [1]
+        assert layout.fixed_column_ids() == [0, 2]
+        assert layout.index_of("f") == 2
+        with pytest.raises(StorageError):
+            layout.index_of("nope")
+
+
+@given(
+    st.lists(
+        st.sampled_from([INT8, INT16, INT32, INT64, FLOAT64, UTF8]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_layout_always_fits_block(dtypes):
+    layout = BlockLayout([ColumnSpec(f"c{i}", t) for i, t in enumerate(dtypes)])
+    assert layout.used_bytes <= BLOCK_SIZE
+    assert layout.num_slots >= 1
+    # Greedy maximality: one more slot would overflow.
+    assert layout._bytes_for(layout.num_slots + 1) > BLOCK_SIZE

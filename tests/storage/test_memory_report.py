@@ -1,0 +1,103 @@
+"""Tests for block/table memory accounting and array slicing."""
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8
+from repro.arrowfmt.array import slice_array
+from repro.arrowfmt.builder import array_from_pylist
+from repro.arrowfmt.datatypes import INT64 as AF_INT64, UTF8 as AF_UTF8
+from repro.errors import ArrowFormatError
+from repro.storage.memory_report import block_memory, table_memory
+
+
+def build(rows=400, freeze=False, repeated_values=False):
+    db = Database(logging_enabled=False, cold_threshold_epochs=1,
+                  cold_format="dictionary" if repeated_values else "gather")
+    info = db.create_table(
+        "t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+        block_size=1 << 13, watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            value = (
+                f"repeated-value-{i % 3}" if repeated_values
+                else f"unique-value-{i}-padded-out"
+            )
+            info.table.insert(txn, {0: i, 1: value})
+    if freeze:
+        db.freeze_table("t")
+    return db, info
+
+
+class TestBlockMemory:
+    def test_hot_block_heap_accounted(self):
+        db, info = build()
+        report = block_memory(info.table.blocks[0])
+        assert report.state == "HOT"
+        assert report.varlen_heap_bytes > 0
+        assert report.gathered_bytes == 0
+        assert report.total_bytes > report.block_bytes
+
+    def test_frozen_block_gathered_accounted(self):
+        db, info = build(freeze=True)
+        frozen = [b for b in info.table.blocks if b.state.name == "FROZEN"]
+        report = block_memory(frozen[0])
+        assert report.gathered_bytes > 0
+        assert report.varlen_heap_bytes == 0  # gather reclaimed the heap
+
+    def test_dictionary_block_smaller_when_values_repeat(self):
+        gather_db, gather_info = build(freeze=True, repeated_values=False)
+        dict_db, dict_info = build(freeze=True, repeated_values=True)
+        gather_frozen = [
+            b for b in gather_info.table.blocks if b.state.name == "FROZEN"
+        ][0]
+        dict_frozen = [
+            b for b in dict_info.table.blocks if b.state.name == "FROZEN"
+        ][0]
+        gather_report = block_memory(gather_frozen)
+        dict_report = block_memory(dict_frozen)
+        # 3 distinct values dictionary-encode far below the unique gather.
+        assert dict_report.dictionary_bytes < gather_report.gathered_bytes
+
+    def test_table_rollup(self):
+        db, info = build(rows=900, freeze=True)
+        report = table_memory(info.table)
+        assert report.live_tuples == 900
+        assert len(report.blocks) == len(info.table.blocks)
+        assert report.total_bytes == sum(b.total_bytes for b in report.blocks)
+
+
+class TestSlicedArray:
+    def test_slice_values(self):
+        array = array_from_pylist([10, 20, 30, 40, 50], AF_INT64)
+        window = slice_array(array, 1, 3)
+        assert window.to_pylist() == [20, 30, 40]
+        assert len(window) == 3
+
+    def test_slice_respects_parent_validity(self):
+        array = array_from_pylist(["a", None, "c"], AF_UTF8)
+        window = slice_array(array, 1, 2)
+        assert window.to_pylist() == [None, "c"]
+        assert window.null_count == 1
+
+    def test_nested_slices_flatten(self):
+        array = array_from_pylist(list(range(10)), AF_INT64)
+        inner = slice_array(slice_array(array, 2, 6), 1, 3)
+        assert inner.parent is array
+        assert inner.to_pylist() == [3, 4, 5]
+
+    def test_zero_copy_buffers_shared(self):
+        array = array_from_pylist([1, 2, 3], AF_INT64)
+        window = slice_array(array, 0, 2)
+        assert window.buffers() == array.buffers()
+
+    def test_out_of_bounds_rejected(self):
+        array = array_from_pylist([1, 2, 3], AF_INT64)
+        with pytest.raises(ArrowFormatError):
+            slice_array(array, 2, 5)
+        with pytest.raises(ArrowFormatError):
+            slice_array(array, -1, 1)
+
+    def test_empty_slice(self):
+        array = array_from_pylist([1], AF_INT64)
+        assert slice_array(array, 1, 0).to_pylist() == []

@@ -1,0 +1,53 @@
+"""Tests for ProjectedRow."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.projection import ProjectedRow
+
+
+class TestProjectedRow:
+    def test_get_set(self):
+        row = ProjectedRow({0: 1})
+        row.set(2, "x")
+        assert row.get(0) == 1
+        assert row.get(2) == "x"
+        assert len(row) == 2
+
+    def test_none_is_a_value(self):
+        row = ProjectedRow({1: None})
+        assert row.get(1) is None
+        assert 1 in row
+
+    def test_missing_column_raises(self):
+        with pytest.raises(StorageError):
+            ProjectedRow().get(5)
+
+    def test_column_ids_sorted(self):
+        row = ProjectedRow({3: "c", 1: "a", 2: "b"})
+        assert row.column_ids == [1, 2, 3]
+        assert list(row.items()) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_apply_onto_restricts_to_target_columns(self):
+        # A before-image only overwrites columns the reader projected.
+        before = ProjectedRow({0: "old", 1: "other"})
+        target = ProjectedRow({0: "new"})
+        before.apply_onto(target)
+        assert target.to_dict() == {0: "old"}
+
+    def test_copy_is_independent(self):
+        row = ProjectedRow({0: 1})
+        clone = row.copy()
+        clone.set(0, 2)
+        assert row.get(0) == 1
+
+    def test_equality(self):
+        assert ProjectedRow({0: 1}) == ProjectedRow({0: 1})
+        assert ProjectedRow({0: 1}) != ProjectedRow({0: 2})
+        assert ProjectedRow({0: 1}) != ProjectedRow({1: 1})
+
+    def test_to_dict_is_a_copy(self):
+        row = ProjectedRow({0: 1})
+        exported = row.to_dict()
+        exported[0] = 99
+        assert row.get(0) == 1

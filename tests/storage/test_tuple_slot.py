@@ -1,0 +1,62 @@
+"""Tests for TupleSlot packing (Figure 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.constants import OFFSET_BITS
+from repro.storage.tuple_slot import TupleSlot
+
+
+class TestTupleSlot:
+    def test_pack_layout_matches_figure_5(self):
+        slot = TupleSlot(block_id=0x10DB, offset=1)
+        packed = slot.pack()
+        assert packed == (0x10DB << 20) | 1
+        assert packed & ((1 << OFFSET_BITS) - 1) == 1
+
+    def test_roundtrip(self):
+        slot = TupleSlot(7, 12345)
+        assert TupleSlot.unpack(slot.pack()) == slot
+
+    def test_offset_must_fit_20_bits(self):
+        TupleSlot(0, (1 << OFFSET_BITS) - 1)  # max legal
+        with pytest.raises(StorageError):
+            TupleSlot(0, 1 << OFFSET_BITS)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            TupleSlot(-1, 0)
+        with pytest.raises(StorageError):
+            TupleSlot(0, -1)
+
+    def test_block_id_range(self):
+        max_block = (1 << (64 - OFFSET_BITS)) - 1
+        assert TupleSlot(max_block, 0).pack() < (1 << 64)
+        with pytest.raises(StorageError):
+            TupleSlot(max_block + 1, 0)
+
+    def test_unpack_rejects_non_64_bit(self):
+        with pytest.raises(StorageError):
+            TupleSlot.unpack(1 << 64)
+        with pytest.raises(StorageError):
+            TupleSlot.unpack(-1)
+
+    def test_ordering_is_block_then_offset(self):
+        assert TupleSlot(1, 5) < TupleSlot(2, 0)
+        assert TupleSlot(1, 5) < TupleSlot(1, 6)
+
+    def test_hashable_for_write_sets(self):
+        assert len({TupleSlot(1, 2), TupleSlot(1, 2), TupleSlot(1, 3)}) == 2
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 44) - 1),
+    st.integers(min_value=0, max_value=(1 << 20) - 1),
+)
+def test_pack_unpack_roundtrip_property(block_id, offset):
+    slot = TupleSlot(block_id, offset)
+    packed = slot.pack()
+    assert 0 <= packed < (1 << 64)
+    assert TupleSlot.unpack(packed) == slot

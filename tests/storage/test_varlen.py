@@ -1,0 +1,142 @@
+"""Tests for the relaxed VarlenEntry format (Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.constants import VARLEN_ENTRY_SIZE, VARLEN_INLINE_LIMIT
+from repro.storage.varlen import (
+    VarlenHeap,
+    read_entry,
+    read_value,
+    write_entry,
+    write_gathered_entry,
+)
+
+
+def fresh_view():
+    return np.zeros(VARLEN_ENTRY_SIZE, dtype=np.uint8)
+
+
+class TestInlineValues:
+    def test_figure_6_short_value_inlined(self):
+        # "Data" "base4all" (12 bytes) fits entirely within the entry.
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"Database4all", heap)
+        entry = read_entry(view)
+        assert entry.is_inlined
+        assert len(heap) == 0
+        assert read_value(view, heap, None) == b"Database4all"
+
+    def test_empty_value(self):
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"", heap)
+        assert read_value(view, heap, None) == b""
+
+    def test_boundary_twelve_bytes_inlined(self):
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"x" * VARLEN_INLINE_LIMIT, heap)
+        assert read_entry(view).is_inlined
+        assert len(heap) == 0
+
+    def test_thirteen_bytes_out_of_line(self):
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"x" * (VARLEN_INLINE_LIMIT + 1), heap)
+        assert not read_entry(view).is_inlined
+        assert len(heap) == 1
+
+    def test_prefix_of_short_value(self):
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"Tran", heap)
+        entry = read_entry(view)
+        assert entry.prefix == b"Tran"
+        assert entry.size == 4
+
+
+class TestOutOfLineValues:
+    def test_figure_6_long_value(self):
+        view, heap = fresh_view(), VarlenHeap()
+        value = b"Transactions on Arrow"
+        write_entry(view, value, heap)
+        entry = read_entry(view)
+        assert entry.size == 21
+        assert entry.prefix == b"Tran"
+        assert entry.owns_buffer
+        assert read_value(view, heap, None) == value
+
+    def test_update_is_constant_size(self):
+        # The core of Section 4.1: an update only rewrites the 16-byte entry.
+        view, heap = fresh_view(), VarlenHeap()
+        write_entry(view, b"a much longer initial value", heap)
+        write_entry(view, b"the replacement value, also long", heap)
+        assert read_value(view, heap, None) == b"the replacement value, also long"
+
+    def test_heap_accounting(self):
+        heap = VarlenHeap()
+        view = fresh_view()
+        write_entry(view, b"x" * 100, heap)
+        assert heap.bytes_used == 100
+        heap.free(read_entry(view).pointer)
+        assert heap.bytes_used == 0
+
+    def test_heap_double_free_detected(self):
+        heap = VarlenHeap()
+        heap_id = heap.put(b"x" * 20)
+        heap.free(heap_id)
+        with pytest.raises(StorageError):
+            heap.free(heap_id)
+
+    def test_heap_dangling_read_detected(self):
+        with pytest.raises(StorageError):
+            VarlenHeap().get(0)
+
+
+class TestGatheredEntries:
+    def test_gathered_entry_reads_from_buffer(self):
+        view, heap = fresh_view(), VarlenHeap()
+        gathered = np.frombuffer(b"aaaaHello, gathered world!zzz", dtype=np.uint8)
+        write_gathered_entry(view, 22, b"Hell", offset=4)
+        entry = read_entry(view)
+        assert not entry.owns_buffer
+        assert read_value(view, heap, gathered) == b"Hello, gathered world!"
+
+    def test_gathered_entry_missing_buffer(self):
+        view = fresh_view()
+        write_gathered_entry(view, 20, b"abcd", offset=0)
+        with pytest.raises(StorageError):
+            read_value(view, VarlenHeap(), None)
+
+    def test_short_values_must_not_be_gathered(self):
+        with pytest.raises(StorageError):
+            write_gathered_entry(fresh_view(), 5, b"abcd", offset=0)
+
+    def test_gathered_buffer_too_short(self):
+        view = fresh_view()
+        write_gathered_entry(view, 50, b"abcd", offset=0)
+        short = np.frombuffer(b"tooshort", dtype=np.uint8)
+        with pytest.raises(StorageError):
+            read_value(view, VarlenHeap(), short)
+
+
+class TestEntryValidation:
+    def test_bad_view_size(self):
+        with pytest.raises(StorageError):
+            read_entry(np.zeros(8, dtype=np.uint8))
+
+    def test_corrupt_negative_size(self):
+        view = fresh_view()
+        view[0:4] = np.frombuffer(np.int32(-5).tobytes(), dtype=np.uint8)
+        with pytest.raises(StorageError):
+            read_entry(view)
+
+
+@given(st.binary(max_size=200))
+def test_write_read_roundtrip_property(value):
+    view, heap = fresh_view(), VarlenHeap()
+    write_entry(view, value, heap)
+    assert read_value(view, heap, None) == value
+    entry = read_entry(view)
+    assert entry.size == len(value)
+    assert entry.is_inlined == (len(value) <= VARLEN_INLINE_LIMIT)

@@ -1,0 +1,180 @@
+"""Tests for the compaction planner and executor (Section 4.3 Phase 1)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.constants import BlockState
+from repro.transform.compaction import (
+    execute_compaction,
+    plan_compaction,
+    plan_compaction_optimal,
+)
+
+from tests.transform.conftest import MiniEngine
+
+
+def delete_every_kth(engine, slots, k):
+    txn = engine.tm.begin()
+    victims = [s for i, s in enumerate(slots) if i % k == 0]
+    for slot in victims:
+        engine.table.delete(txn, slot)
+    engine.tm.commit(txn)
+    return [s for s in slots if s not in set(victims)]
+
+
+class TestPlanner:
+    def test_logical_contiguity_targets(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=3, delete_fraction=0.0)
+        delete_every_kth(engine, slots, 4)
+        plan = plan_compaction(engine.table.blocks)
+        s = engine.layout.num_slots
+        t = plan.total_tuples
+        assert len(plan.filled_blocks) == t // s
+        expected_partial = 1 if t % s else 0
+        assert (plan.partial_block is not None) == bool(expected_partial)
+        assert (
+            len(plan.filled_blocks)
+            + expected_partial
+            + len(plan.empty_blocks)
+            == len(plan.blocks)
+        )
+
+    def test_no_moves_for_dense_block(self):
+        engine = MiniEngine()
+        engine.fill(n_blocks=1, delete_fraction=0.0)
+        # Fill the single block completely so there are no gaps.
+        block = engine.table.blocks[0]
+        plan = plan_compaction([block])
+        assert plan.movement_count == 0
+        assert plan.empty_blocks == []
+
+    def test_all_empty_group(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=1, delete_fraction=0.0)
+        txn = engine.tm.begin()
+        for slot in slots:
+            engine.table.delete(txn, slot)
+        engine.tm.commit(txn)
+        plan = plan_compaction(engine.table.blocks)
+        assert plan.total_tuples == 0
+        assert plan.empty_blocks == engine.table.blocks
+        assert plan.movement_count == 0
+
+    def test_gap_source_pairing_is_exact(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=4, delete_fraction=0.0)
+        delete_every_kth(engine, slots, 3)
+        plan = plan_compaction(engine.table.blocks)
+        destinations = [dst for _, dst in plan.moves]
+        sources = [src for src, _ in plan.moves]
+        assert len(set(destinations)) == len(destinations)
+        assert len(set(sources)) == len(sources)
+        assert not set(destinations) & set(sources)
+
+    def test_mixed_layout_group_rejected(self):
+        a = MiniEngine()
+        b = MiniEngine()
+        a.fill(n_blocks=1)
+        b.fill(n_blocks=1)
+        other_layout_block = b.table.blocks[0]
+        other_layout_block.layout = b.layout  # same layout object class...
+        from repro.arrowfmt.datatypes import INT64
+        from repro.storage.layout import BlockLayout, ColumnSpec
+
+        different = BlockLayout([ColumnSpec("x", INT64)], block_size=1 << 14)
+        other_layout_block.layout = different
+        with pytest.raises(StorageError):
+            plan_compaction([a.table.blocks[0], other_layout_block])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(StorageError):
+            plan_compaction([])
+
+    def test_optimal_never_worse_than_approximate(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=5, delete_fraction=0.0)
+        delete_every_kth(engine, slots, 2)
+        approx = plan_compaction(engine.table.blocks)
+        optimal = plan_compaction_optimal(engine.table.blocks)
+        assert optimal.movement_count <= approx.movement_count
+
+    def test_approximate_within_bound_of_optimal(self):
+        # The paper's bound: approx - optimal <= t mod s.
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=5, delete_fraction=0.0, seed=13)
+        delete_every_kth(engine, slots, 3)
+        s = engine.layout.num_slots
+        approx = plan_compaction(engine.table.blocks)
+        optimal = plan_compaction_optimal(engine.table.blocks)
+        assert approx.movement_count - optimal.movement_count <= approx.total_tuples % s
+
+
+class TestExecutor:
+    def test_moves_preserve_visible_contents(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=3, delete_fraction=0.3)
+        before = engine.visible_ids()
+        engine.gc.run_until_quiet()  # prune delete chains off the gap slots
+        plan = plan_compaction(engine.table.blocks)
+        txn = execute_compaction(engine.tm, engine.table, plan)
+        assert txn is not None
+        engine.tm.commit(txn)
+        assert engine.visible_ids() == before
+
+    def test_compaction_produces_dense_prefixes(self):
+        engine = MiniEngine()
+        engine.fill(n_blocks=3, delete_fraction=0.4)
+        engine.gc.run_until_quiet()
+        plan = plan_compaction(engine.table.blocks)
+        txn = execute_compaction(engine.tm, engine.table, plan)
+        engine.tm.commit(txn)
+        import numpy as np
+
+        for block in plan.filled_blocks:
+            assert block.empty_slot_count() == 0
+        if plan.partial_block is not None:
+            live = plan.partial_block.live_slots()
+            assert np.array_equal(live, np.arange(len(live)))
+        for block in plan.empty_blocks:
+            assert block.is_empty()
+
+    def test_varlen_values_copied_not_aliased(self):
+        engine = MiniEngine()
+        engine.fill(n_blocks=2, delete_fraction=0.5)
+        engine.gc.run_until_quiet()
+        plan = plan_compaction(engine.table.blocks)
+        txn = execute_compaction(engine.tm, engine.table, plan)
+        engine.tm.commit(txn)
+        # Values moved into filled blocks must live in those blocks' heaps.
+        reader = engine.tm.begin()
+        for _, row in engine.table.scan(reader):
+            assert row.get(1) is not None
+
+    def test_conflicting_user_txn_aborts_compaction(self):
+        engine = MiniEngine()
+        slots = engine.fill(n_blocks=2, delete_fraction=0.3)
+        engine.gc.run_until_quiet()
+        # A user transaction holds an uncommitted write on a source tuple.
+        plan = plan_compaction(engine.table.blocks)
+        src, _ = plan.moves[0]
+        user = engine.tm.begin()
+        assert engine.table.update(user, src, {1: "user write"})
+        txn = execute_compaction(engine.tm, engine.table, plan)
+        assert txn is None  # compaction yielded
+        engine.tm.commit(user)
+        assert engine.tm.active_count == 0
+
+    def test_old_snapshots_see_premove_state(self):
+        engine = MiniEngine()
+        engine.fill(n_blocks=2, delete_fraction=0.4)
+        engine.gc.run_until_quiet()
+        old_reader = engine.tm.begin()
+        before = sorted(r.get(0) for _, r in engine.table.scan(old_reader))
+        plan = plan_compaction(engine.table.blocks)
+        txn = execute_compaction(engine.tm, engine.table, plan)
+        engine.tm.commit(txn)
+        after_for_old = sorted(r.get(0) for _, r in engine.table.scan(old_reader))
+        # The old snapshot must see exactly the same logical rows (moved
+        # copies are invisible inserts; originals are invisible deletes).
+        assert after_for_old == before

@@ -1,0 +1,185 @@
+"""Tests for the gather phase and dictionary compression (Phase 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BlockStateError, StorageError
+from repro.storage.constants import BlockState
+from repro.storage.tuple_slot import TupleSlot
+from repro.storage.varlen import read_entry
+from repro.transform.dictionary import dictionary_compress_block
+from repro.transform.gather import gather_block, live_prefix_length
+
+from tests.transform.conftest import MiniEngine
+
+
+def dense_engine(values, fixed=None):
+    """An engine with one block holding exactly `values` (dense prefix)."""
+    engine = MiniEngine()
+    txn = engine.tm.begin()
+    for i, value in enumerate(values):
+        engine.table.insert(txn, {0: fixed[i] if fixed else i, 1: value})
+    engine.tm.commit(txn)
+    engine.gc.run_until_quiet()
+    return engine
+
+
+class TestLivePrefix:
+    def test_dense_block_ok(self):
+        engine = dense_engine(["a", "b", "c"])
+        assert live_prefix_length(engine.table.blocks[0]) == 3
+
+    def test_gap_detected(self):
+        engine = dense_engine(["a", "b", "c"])
+        txn = engine.tm.begin()
+        engine.table.delete(txn, TupleSlot(engine.table.blocks[0].block_id, 1))
+        engine.tm.commit(txn)
+        with pytest.raises(StorageError):
+            live_prefix_length(engine.table.blocks[0])
+
+    def test_empty_block_ok(self):
+        engine = MiniEngine()
+        engine.table._allocate_slot  # ensure table exists; no tuples
+        txn = engine.tm.begin()
+        slot = engine.table.insert(txn, {0: 1, 1: "x"})
+        engine.tm.commit(txn)
+        txn = engine.tm.begin()
+        engine.table.delete(txn, slot)
+        engine.tm.commit(txn)
+        # slot 0 deleted -> empty prefix is fine
+        assert live_prefix_length(engine.table.blocks[0]) == 0
+
+
+class TestGather:
+    def gathered_block(self, values):
+        engine = dense_engine(values)
+        block = engine.table.blocks[0]
+        block.set_state(BlockState.FREEZING)
+        stats = gather_block(block)
+        block.set_state(BlockState.FROZEN)
+        return engine, block, stats
+
+    def test_requires_freezing_state(self):
+        engine = dense_engine(["a"])
+        with pytest.raises(BlockStateError):
+            gather_block(engine.table.blocks[0])
+
+    def test_offsets_and_values_canonical(self):
+        values = ["short", "a considerably longer value", None, ""]
+        engine, block, stats = self.gathered_block(values)
+        offsets, buffer = block.gathered[1]
+        assert offsets[0] == 0
+        assert list(np.diff(offsets)) == [5, 27, 0, 0]
+        assert bytes(buffer) == b"short" + b"a considerably longer value"
+        assert stats.null_counts[1] == 1
+
+    def test_long_entries_rewritten_to_non_owning(self):
+        values = ["tiny", "a long value exceeding twelve bytes"]
+        engine, block, stats = self.gathered_block(values)
+        long_entry = read_entry(block.varlen_entry_view(1, 1))
+        assert not long_entry.owns_buffer
+        short_entry = read_entry(block.varlen_entry_view(1, 0))
+        assert short_entry.is_inlined
+        assert stats.entries_rewritten == 1
+
+    def test_heap_reclaimed_after_gather(self):
+        values = ["a long value exceeding twelve bytes"] * 3
+        engine, block, stats = self.gathered_block(values)
+        assert stats.heap_entries_reclaimed == 3
+        assert len(block.varlen_heaps[1]) == 0
+
+    def test_transactional_reads_after_gather(self):
+        values = ["inline", "a long value exceeding twelve bytes", None]
+        engine, block, _ = self.gathered_block(values)
+        reader = engine.tm.begin()
+        got = [r.get(1) for _, r in engine.table.scan(reader)]
+        assert got == values
+
+    def test_deferred_reclamation(self):
+        engine = dense_engine(["a long value exceeding twelve bytes"])
+        block = engine.table.blocks[0]
+        block.set_state(BlockState.FREEZING)
+        deferred = []
+        gather_block(block, defer=deferred.append)
+        assert len(block.varlen_heaps[1]) == 1  # not yet freed
+        for action in deferred:
+            action()
+        assert len(block.varlen_heaps[1]) == 0
+
+    def test_regather_after_hot_cycle(self):
+        # freeze -> write (hot, entry points into stale buffer) -> refreeze
+        engine, block, _ = self.gathered_block(
+            ["first long value over twelve bytes", "second long value over twelve!"]
+        )
+        txn = engine.tm.begin()
+        slot = TupleSlot(block.block_id, 0)
+        engine.table.update(txn, slot, {1: "replacement long value over twelve"})
+        engine.tm.commit(txn)
+        assert block.state is BlockState.HOT
+        engine.gc.run_until_quiet()
+        block.set_state(BlockState.FREEZING)
+        gather_block(block)
+        block.set_state(BlockState.FROZEN)
+        reader = engine.tm.begin()
+        got = sorted(r.get(1) for _, r in engine.table.scan(reader))
+        assert got == sorted(
+            ["replacement long value over twelve", "second long value over twelve!"]
+        )
+
+    def test_fixed_null_counts_reported(self):
+        engine = MiniEngine()
+        txn = engine.tm.begin()
+        engine.table.insert(txn, {0: None, 1: "x"})
+        engine.table.insert(txn, {0: 5, 1: "y"})
+        engine.tm.commit(txn)
+        block = engine.table.blocks[0]
+        block.set_state(BlockState.FREEZING)
+        stats = gather_block(block)
+        assert stats.null_counts[0] == 1
+
+
+class TestDictionaryCompression:
+    def compressed_block(self, values):
+        engine = dense_engine(values)
+        block = engine.table.blocks[0]
+        block.set_state(BlockState.FREEZING)
+        stats = dictionary_compress_block(block)
+        block.set_state(BlockState.FROZEN)
+        return engine, block, stats
+
+    def test_dictionary_is_sorted_and_deduplicated(self):
+        values = ["beta", "alpha", "beta", "gamma", "alpha"]
+        _, block, stats = self.compressed_block(values)
+        codes, words = block.dictionaries[1]
+        assert words == [b"alpha", b"beta", b"gamma"]
+        assert list(codes) == [1, 0, 1, 2, 0]
+        assert stats.dictionary_sizes[1] == 3
+
+    def test_requires_freezing_state(self):
+        engine = dense_engine(["a"])
+        with pytest.raises(BlockStateError):
+            dictionary_compress_block(engine.table.blocks[0])
+
+    def test_transactional_reads_after_compression(self):
+        values = [
+            "a repeated long value over twelve bytes",
+            "a repeated long value over twelve bytes",
+            "unique-short",
+            None,
+        ]
+        engine, block, _ = self.compressed_block(values)
+        reader = engine.tm.begin()
+        got = [r.get(1) for _, r in engine.table.scan(reader)]
+        assert got == values
+
+    def test_long_entries_point_into_dictionary(self):
+        values = ["one long repeated value over twelve"] * 2
+        _, block, _ = self.compressed_block(values)
+        entries = [read_entry(block.varlen_entry_view(1, i)) for i in range(2)]
+        assert all(not e.owns_buffer for e in entries)
+        # Both entries reference the SAME dictionary word offset.
+        assert entries[0].pointer == entries[1].pointer
+
+    def test_nulls_counted(self):
+        _, _, stats = self.compressed_block(["a", None, None])
+        assert stats.null_counts[1] == 2

@@ -1,0 +1,81 @@
+"""Tests for parallel transformation (Section 4.4)."""
+
+from repro.storage.constants import BlockState
+
+from tests.transform.conftest import MiniEngine
+
+
+class TestParallelTransform:
+    def run_parallel(self, engine, threads=3, passes=6):
+        for _ in range(passes):
+            engine.gc.run()
+            engine.transformer.process_queue_parallel(num_threads=threads)
+            engine.gc.run()
+            engine.transformer.process_freeze_pending()
+            engine.gc.run()
+
+    def test_contents_preserved(self):
+        engine = MiniEngine(group_size=1)  # one group per block -> parallelism
+        engine.fill(n_blocks=4, delete_fraction=0.2)
+        before = engine.visible_ids()
+        self.run_parallel(engine)
+        assert engine.visible_ids() == before
+
+    def test_blocks_frozen(self):
+        engine = MiniEngine(group_size=1)
+        engine.fill(n_blocks=4, delete_fraction=0.0)
+        self.run_parallel(engine)
+        states = engine.table.block_states()
+        assert states[BlockState.FROZEN] >= 3
+
+    def test_stats_consistent(self):
+        engine = MiniEngine(group_size=1)
+        engine.fill(n_blocks=4, delete_fraction=0.1)
+        self.run_parallel(engine)
+        stats = engine.transformer.stats
+        assert stats.groups_compacted <= stats.groups_attempted
+        assert stats.blocks_frozen >= 1
+
+    def test_single_thread_degenerates_to_serial(self):
+        engine = MiniEngine(group_size=2)
+        engine.fill(n_blocks=3, delete_fraction=0.3)
+        before = engine.visible_ids()
+        for _ in range(6):
+            engine.gc.run()
+            engine.transformer.process_queue_parallel(num_threads=1)
+            engine.gc.run()
+            engine.transformer.process_freeze_pending()
+            engine.gc.run()
+        assert engine.visible_ids() == before
+
+    def test_concurrent_user_writes_during_parallel_transform(self):
+        import random
+        import threading
+
+        engine = MiniEngine(group_size=1)
+        slots = engine.fill(n_blocks=4, delete_fraction=0.1)
+        rng = random.Random(3)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(60):
+                    txn = engine.tm.begin()
+                    slot = rng.choice(slots)
+                    row = engine.table.select(txn, slot)
+                    if row is not None:
+                        engine.table.update(txn, slot, {0: rng.randint(0, 10)})
+                    if txn.must_abort:
+                        engine.tm.abort(txn)
+                    else:
+                        engine.tm.commit(txn)
+            except BaseException as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        self.run_parallel(engine, passes=8)
+        thread.join()
+        assert not errors
+        # Whatever the interleaving, the table must still scan cleanly.
+        assert len(engine.visible_ids()) == len(slots)

@@ -1,0 +1,99 @@
+"""Tests for compaction-group formation policies."""
+
+import pytest
+
+from repro.transform.policy import FixedGroupPolicy, WriteBudgetPolicy
+
+from tests.transform.conftest import MiniEngine
+
+
+def blocks_with_emptiness(fractions, engine=None):
+    """One block per fraction, each with that share of slots deleted."""
+    engine = engine or MiniEngine()
+    slots_per_block = engine.layout.num_slots
+    txn = engine.tm.begin()
+    all_slots = []
+    for i in range(slots_per_block * len(fractions)):
+        all_slots.append(engine.table.insert(txn, {0: i, 1: "v"}))
+    engine.tm.commit(txn)
+    txn = engine.tm.begin()
+    for block_index, fraction in enumerate(fractions):
+        start = block_index * slots_per_block
+        for offset in range(int(slots_per_block * fraction)):
+            engine.table.delete(txn, all_slots[start + offset])
+    engine.tm.commit(txn)
+    engine.gc.run_until_quiet()
+    return engine, engine.table.blocks[: len(fractions)]
+
+
+class TestFixedPolicy:
+    def test_chunks(self):
+        engine, blocks = blocks_with_emptiness([0.1] * 5)
+        groups = FixedGroupPolicy(2).form_groups(blocks)
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FixedGroupPolicy(0)
+
+    def test_empty_input(self):
+        assert FixedGroupPolicy(3).form_groups([]) == []
+
+
+class TestWriteBudgetPolicy:
+    def test_budget_bounds_estimated_moves(self):
+        engine, blocks = blocks_with_emptiness([0.5] * 6)
+        slots = engine.layout.num_slots
+        budget = slots  # roughly two half-empty blocks' worth
+        policy = WriteBudgetPolicy(movement_budget=budget, min_group=1)
+        groups = policy.form_groups(blocks)
+        assert len(groups) >= 2
+        for group in groups[:-1]:
+            estimate = sum(policy._estimated_moves(b) for b in group)
+            # Each group stays within budget + one block's overshoot.
+            assert estimate <= budget + slots // 2
+
+    def test_nearly_full_blocks_group_together(self):
+        # Tiny movement estimates: everything fits in one group.
+        engine, blocks = blocks_with_emptiness([0.01] * 6)
+        policy = WriteBudgetPolicy(movement_budget=10_000)
+        groups = policy.form_groups(blocks)
+        assert len(groups) == 1
+
+    def test_all_blocks_covered_exactly_once(self):
+        engine, blocks = blocks_with_emptiness([0.1, 0.9, 0.5, 0.3, 0.7])
+        groups = WriteBudgetPolicy(movement_budget=200).form_groups(blocks)
+        flattened = [b.block_id for g in groups for b in g]
+        assert sorted(flattened) == sorted(b.block_id for b in blocks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBudgetPolicy(movement_budget=0)
+
+    def test_empty_input(self):
+        assert WriteBudgetPolicy().form_groups([]) == []
+
+
+class TestPolicyInPipeline:
+    def run_pipeline(self, policy):
+        engine = MiniEngine()
+        engine.transformer.group_policy = policy
+        engine.fill(n_blocks=4, delete_fraction=0.4)
+        before = engine.visible_ids()
+        engine.transform_all(passes=8)
+        assert engine.visible_ids() == before
+        return engine
+
+    def test_budget_policy_end_to_end(self):
+        engine = self.run_pipeline(WriteBudgetPolicy(movement_budget=300, min_group=1))
+        assert engine.transformer.stats.blocks_frozen >= 1
+
+    def test_budget_policy_caps_write_sets(self):
+        budget = 250
+        engine = self.run_pipeline(WriteBudgetPolicy(movement_budget=budget, min_group=1))
+        # Each compaction txn's ops = 2 * movements (+ noise); with the
+        # budget respected, no transaction explodes.
+        stats = engine.transformer.stats
+        if stats.groups_compacted:
+            average_ops = stats.compaction_write_set_ops / stats.groups_compacted
+            assert average_ops <= 2 * (budget + engine.layout.num_slots)

@@ -1,0 +1,69 @@
+"""Tests for the timestamp scheme (Section 3.1)."""
+
+import threading
+
+from repro.txn.timestamps import (
+    ABORTED_TIMESTAMP,
+    UNCOMMITTED_FLAG,
+    TimestampManager,
+    is_aborted,
+    is_uncommitted,
+    start_of,
+)
+
+
+class TestFlagScheme:
+    def test_txn_id_is_start_with_sign_bit(self):
+        tsm = TimestampManager()
+        start, txn_id = tsm.begin()
+        assert txn_id == start | UNCOMMITTED_FLAG
+        assert start_of(txn_id) == start
+
+    def test_uncommitted_never_visible_unsigned(self):
+        # The core trick: flagged ids compare greater than any start ts.
+        tsm = TimestampManager()
+        _, txn_id = tsm.begin()
+        huge_start = 2**62
+        assert txn_id > huge_start
+
+    def test_is_uncommitted(self):
+        assert is_uncommitted(5 | UNCOMMITTED_FLAG)
+        assert not is_uncommitted(5)
+
+    def test_aborted_sentinel_distinct(self):
+        assert is_aborted(ABORTED_TIMESTAMP)
+        assert is_uncommitted(ABORTED_TIMESTAMP)  # also never visible
+        assert not is_aborted(7 | UNCOMMITTED_FLAG)
+
+
+class TestTimestampManager:
+    def test_monotonic(self):
+        tsm = TimestampManager()
+        values = [tsm.begin()[0] for _ in range(5)]
+        values.append(tsm.commit_timestamp())
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_begin_and_commit_share_counter(self):
+        tsm = TimestampManager()
+        start, _ = tsm.begin()
+        commit = tsm.commit_timestamp()
+        start2, _ = tsm.begin()
+        assert start < commit < start2
+
+    def test_thread_safety_no_duplicates(self):
+        tsm = TimestampManager()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [tsm.begin()[0] for _ in range(300)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 2400

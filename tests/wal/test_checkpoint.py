@@ -1,0 +1,163 @@
+"""Tests for checkpointing and checkpoint + log-suffix recovery."""
+
+import pytest
+
+from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+from repro.errors import RecoveryError
+from repro.wal.checkpoint import MAGIC, load_checkpoint, write_checkpoint
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("s", UTF8), ColumnSpec("f", FLOAT64)],
+        block_size=1 << 14,
+    )
+    db.create_table("u", [ColumnSpec("k", INT64)], block_size=1 << 14)
+    return db
+
+
+def populate(db, rows=20):
+    info = db.catalog.get("t")
+    slots = []
+    with db.transaction() as txn:
+        for i in range(rows):
+            slots.append(
+                info.table.insert(txn, {0: i, 1: f"row-{i}-" + "x" * (i % 20), 2: i / 3})
+            )
+        db.catalog.table("u").insert(txn, {0: 99})
+    return slots
+
+
+class TestCheckpointFormat:
+    def test_magic_prefix(self):
+        db = make_db()
+        assert db.checkpoint().startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        fresh = make_db()
+        with pytest.raises(RecoveryError):
+            load_checkpoint(fresh, b"NOTACKPT" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        db = make_db()
+        populate(db)
+        raw = db.checkpoint()
+        fresh = make_db()
+        with pytest.raises(RecoveryError):
+            load_checkpoint(fresh, raw[: len(raw) // 2])
+
+    def test_unknown_table_rejected(self):
+        db = make_db()
+        populate(db)
+        raw = db.checkpoint()
+        fresh = Database()
+        fresh.create_table("other", [ColumnSpec("x", INT64)])
+        with pytest.raises(RecoveryError):
+            load_checkpoint(fresh, raw)
+
+    def test_schema_mismatch_rejected(self):
+        db = make_db()
+        populate(db)
+        raw = db.checkpoint()
+        fresh = Database()
+        fresh.create_table("t", [ColumnSpec("different", INT64)])
+        fresh.create_table("u", [ColumnSpec("k", INT64)])
+        with pytest.raises(RecoveryError):
+            load_checkpoint(fresh, raw)
+
+
+class TestCheckpointRecovery:
+    def test_checkpoint_only_recovery(self):
+        db = make_db()
+        populate(db, rows=30)
+        checkpoint = db.checkpoint()
+        fresh = make_db()
+        fresh.recover_with_checkpoint(checkpoint, b"")
+        reader = fresh.begin()
+        rows = {r.get(0): r.get(1) for _, r in fresh.catalog.table("t").scan(reader)}
+        assert len(rows) == 30
+        assert rows[7].startswith("row-7-")
+
+    def test_checkpoint_truncates_log(self):
+        db = make_db()
+        populate(db)
+        assert db.log_manager.bytes_written > 0
+        db.checkpoint()
+        assert db.log_contents() == b""
+
+    def test_checkpoint_plus_log_suffix(self):
+        db = make_db()
+        slots = populate(db, rows=10)
+        checkpoint = db.checkpoint()
+        # Post-checkpoint activity touching pre-checkpoint tuples.
+        info = db.catalog.get("t")
+        with db.transaction() as txn:
+            info.table.update(txn, slots[3], {1: "updated after checkpoint"})
+            info.table.delete(txn, slots[5])
+            info.table.insert(txn, {0: 100, 1: "new", 2: 0.0})
+        db.quiesce()
+        log_suffix = db.log_contents()
+
+        fresh = make_db()
+        replayed = fresh.recover_with_checkpoint(checkpoint, log_suffix)
+        assert replayed == 1
+        reader = fresh.begin()
+        rows = {r.get(0): r.get(1) for _, r in fresh.catalog.table("t").scan(reader)}
+        assert rows[3] == "updated after checkpoint"
+        assert 5 not in rows
+        assert rows[100] == "new"
+        assert len(rows) == 10  # 10 - 1 deleted + 1 inserted
+
+    def test_multiple_tables_roundtrip(self):
+        db = make_db()
+        populate(db)
+        fresh = make_db()
+        fresh.recover_with_checkpoint(db.checkpoint(), b"")
+        reader = fresh.begin()
+        [(_, row)] = list(fresh.catalog.table("u").scan(reader))
+        assert row.get(0) == 99
+
+    def test_deleted_tuples_not_checkpointed(self):
+        db = make_db()
+        slots = populate(db, rows=5)
+        info = db.catalog.get("t")
+        with db.transaction() as txn:
+            info.table.delete(txn, slots[0])
+        fresh = make_db()
+        fresh.recover_with_checkpoint(db.checkpoint(), b"")
+        reader = fresh.begin()
+        assert len(list(fresh.catalog.table("t").scan(reader))) == 4
+
+    def test_nulls_survive_checkpoint(self):
+        db = make_db()
+        info = db.catalog.get("t")
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1, 1: None, 2: None})
+        fresh = make_db()
+        fresh.recover_with_checkpoint(db.checkpoint(), b"")
+        reader = fresh.begin()
+        [(_, row)] = list(fresh.catalog.table("t").scan(reader))
+        assert row.get(1) is None and row.get(2) is None
+
+    def test_checkpoint_after_transformation(self):
+        # Frozen blocks must checkpoint like any others (reads go through
+        # the same transactional path).
+        db = Database(cold_threshold_epochs=1)
+        info = db.create_table(
+            "t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+            block_size=1 << 14, watch_cold=True,
+        )
+        with db.transaction() as txn:
+            for i in range(info.table.layout.num_slots + 10):
+                info.table.insert(txn, {0: i, 1: f"value-{i}-long-enough-to-spill"})
+        db.freeze_table("t")
+        checkpoint = db.checkpoint()
+        fresh = Database()
+        fresh.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+                           block_size=1 << 14)
+        fresh.recover_with_checkpoint(checkpoint, b"")
+        reader = fresh.begin()
+        count = sum(1 for _ in fresh.catalog.table("t").scan(reader, [0]))
+        assert count == info.table.layout.num_slots + 10

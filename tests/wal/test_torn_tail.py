@@ -1,0 +1,131 @@
+"""Tests for torn-tail recovery and the transaction retry helper."""
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, TransactionAborted, UTF8
+from repro.errors import RecoveryError
+from repro.wal.records import decode_stream
+
+
+def make_db():
+    db = Database()
+    db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+    return db
+
+
+def populated_log(txns=5):
+    db = make_db()
+    table = db.catalog.table("t")
+    for i in range(txns):
+        with db.transaction() as txn:
+            table.insert(txn, {0: i, 1: f"row-{i}" * 4})
+    db.quiesce()
+    return db.log_contents()
+
+
+class TestTornTail:
+    def test_truncation_drops_only_final_txn(self):
+        raw = populated_log(5)
+        torn = raw[:-7]  # cut into the last transaction
+        decoded = decode_stream(torn, tolerate_torn_tail=True)
+        assert len(decoded) == 4
+
+    def test_every_truncation_point_recovers_a_prefix(self):
+        raw = populated_log(3)
+        full = decode_stream(raw)
+        for cut in range(0, len(raw), 17):
+            decoded = decode_stream(raw[:cut], tolerate_torn_tail=True)
+            assert len(decoded) <= len(full)
+            for got, want in zip(decoded, full):
+                assert got.commit_ts == want.commit_ts
+
+    def test_strict_mode_still_raises(self):
+        raw = populated_log(2)
+        with pytest.raises(RecoveryError):
+            decode_stream(raw[:-3])
+
+    def test_mid_stream_damage_still_raises(self):
+        raw = populated_log(4)
+        # Corrupt a marker well before the tail.
+        position = raw.index(b"TXN<", 4)
+        damaged = raw[:position] + b"XXXX" + raw[position + 4 :]
+        with pytest.raises(RecoveryError):
+            decode_stream(damaged, tolerate_torn_tail=True)
+
+    def test_database_recovery_tolerates_crash_mid_flush(self):
+        raw = populated_log(5)
+        fresh = make_db()
+        replayed = fresh.recover_from(raw[: len(raw) - 5])
+        assert replayed == 4
+        reader = fresh.begin()
+        assert sum(1 for _ in fresh.catalog.table("t").scan(reader, [0])) == 4
+
+
+class TestRunTransaction:
+    def test_commits_and_returns(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        slot = db.run_transaction(lambda txn: table.insert(txn, {0: 1, 1: "x"}))
+        reader = db.begin()
+        assert table.select(reader, slot).get(0) == 1
+
+    def test_retries_on_conflict(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        slot = db.run_transaction(lambda txn: table.insert(txn, {0: 1, 1: "x"}))
+        blocker = db.begin()
+        table.update(blocker, slot, {0: 2})
+
+        attempts = []
+
+        def body(txn):
+            attempts.append(1)
+            if len(attempts) == 1:
+                # First attempt collides with the blocker...
+                assert not table.update(txn, slot, {0: 3})
+                return None
+            # ...which commits before the retry.
+            assert table.update(txn, slot, {0: 3})
+            return "done"
+
+        def unblock_after_first():
+            db.commit(blocker)
+
+        # Commit the blocker between attempts by hooking into body above.
+        result_holder = []
+
+        def orchestrated(txn):
+            out = body(txn)
+            if len(attempts) == 1:
+                unblock_after_first()
+            return out
+
+        assert db.run_transaction(orchestrated, retries=2) == "done"
+        assert len(attempts) == 2
+
+    def test_exhausted_retries_raise(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        slot = db.run_transaction(lambda txn: table.insert(txn, {0: 1, 1: "x"}))
+        blocker = db.begin()
+        table.update(blocker, slot, {0: 2})
+
+        def body(txn):
+            table.update(txn, slot, {0: 9})
+
+        with pytest.raises(TransactionAborted):
+            db.run_transaction(body, retries=2)
+        db.commit(blocker)
+
+    def test_user_exception_aborts_and_propagates(self):
+        db = make_db()
+        table = db.catalog.table("t")
+
+        def body(txn):
+            table.insert(txn, {0: 5, 1: "doomed"})
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            db.run_transaction(body)
+        reader = db.begin()
+        assert list(db.catalog.table("t").scan(reader)) == []

@@ -1,0 +1,125 @@
+"""Tests for the synthetic, row-vs-column, and TPC-H workload generators."""
+
+import pytest
+
+from repro import Database
+from repro.storage.constants import BlockState
+from repro.workloads.rowcol import make_table, run_inserts, run_updates
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic_table
+from repro.workloads.tpch import (
+    LINEITEM_COLUMNS,
+    LineitemGenerator,
+    TpchConfig,
+)
+
+
+class TestSynthetic:
+    def test_emptiness_fraction(self):
+        db = Database(logging_enabled=False)
+        config = SyntheticConfig(n_blocks=3, percent_empty=25, seed=1)
+        info = build_synthetic_table(db, "s", config)
+        total = info.table.layout.num_slots * 3
+        live = info.table.live_tuple_count()
+        assert live == total - int(total * 0.25)
+
+    def test_zero_empty(self):
+        db = Database(logging_enabled=False)
+        info = build_synthetic_table(
+            db, "s", SyntheticConfig(n_blocks=1, percent_empty=0)
+        )
+        assert info.table.live_tuple_count() == info.table.layout.num_slots
+
+    def test_column_mixes(self):
+        for mix, expected_varlen in (("mixed", 1), ("fixed", 0), ("varlen", 2)):
+            db = Database(logging_enabled=False)
+            info = build_synthetic_table(
+                db, "s", SyntheticConfig(n_blocks=1, percent_empty=5, column_mix=mix)
+            )
+            assert len(info.table.layout.varlen_column_ids()) == expected_varlen
+
+    def test_varlen_length_bounds(self):
+        db = Database(logging_enabled=False)
+        info = build_synthetic_table(
+            db, "s", SyntheticConfig(n_blocks=1, percent_empty=0, varlen_low=12, varlen_high=24)
+        )
+        reader = db.begin()
+        for _, row in info.table.scan(reader, [1]):
+            assert 12 <= len(row.get(1)) <= 24
+
+    def test_transformable(self):
+        db = Database(logging_enabled=False, cold_threshold_epochs=1)
+        info = build_synthetic_table(
+            db, "s", SyntheticConfig(n_blocks=2, percent_empty=10)
+        )
+        db.freeze_table("s")
+        assert info.table.block_states()[BlockState.FROZEN] >= 1
+
+
+class TestRowCol:
+    def test_row_model_single_wide_column(self):
+        db = Database(logging_enabled=False)
+        info = make_table(db, "r", "row", 8)
+        assert info.table.layout.num_columns == 1
+        assert info.table.layout.attr_sizes == [64]
+
+    def test_column_model_n_columns(self):
+        db = Database(logging_enabled=False)
+        info = make_table(db, "c", "column", 8)
+        assert info.table.layout.num_columns == 8
+        assert info.table.layout.attr_sizes == [8] * 8
+
+    def test_insert_measurement(self):
+        db = Database(logging_enabled=False)
+        result = run_inserts(db, "column", 4, 500)
+        assert result.operations == 500
+        assert result.ops_per_sec > 0
+
+    def test_update_measurement(self):
+        db = Database(logging_enabled=False)
+        result = run_updates(db, "row", 4, 500)
+        assert result.operations == 500
+        assert result.model == "row"
+
+    def test_row_data_roundtrip(self):
+        db = Database(logging_enabled=False)
+        info = make_table(db, "r", "row", 2)
+        with db.transaction() as txn:
+            slot = info.table.insert(txn, {0: b"A" * 8 + b"B" * 8})
+        reader = db.begin()
+        assert info.table.select(reader, slot).get(0) == b"A" * 8 + b"B" * 8
+
+
+class TestTpch:
+    def test_row_count_matches_scale(self):
+        gen = LineitemGenerator(TpchConfig(scale_factor=0.0002))
+        assert len(list(gen.rows())) == int(6_000_000 * 0.0002)
+
+    def test_deterministic(self):
+        a = list(LineitemGenerator(TpchConfig(scale_factor=0.0001, seed=9)).rows())
+        b = list(LineitemGenerator(TpchConfig(scale_factor=0.0001, seed=9)).rows())
+        assert a == b
+
+    def test_sixteen_columns(self):
+        gen = LineitemGenerator(TpchConfig(scale_factor=0.0001))
+        row = next(gen.rows())
+        assert len(row) == len(LINEITEM_COLUMNS) == 16
+
+    def test_line_numbers_within_order(self):
+        gen = LineitemGenerator(TpchConfig(scale_factor=0.0005))
+        per_order: dict[int, list[int]] = {}
+        for row in gen.rows():
+            per_order.setdefault(row[0], []).append(row[3])
+        for numbers in per_order.values():
+            assert numbers == list(range(1, len(numbers) + 1))
+
+    def test_csv_roundtrip_types(self):
+        gen = LineitemGenerator(TpchConfig(scale_factor=0.0001))
+        rows = list(gen.rows())
+        back = gen.from_csv(gen.to_csv(iter(rows)))
+        assert back == rows
+
+    def test_load_into_engine(self):
+        db = Database(logging_enabled=False)
+        gen = LineitemGenerator(TpchConfig(scale_factor=0.0001, block_size=1 << 16))
+        info = gen.load_into(db)
+        assert info.table.live_tuple_count() == gen.config.row_count

@@ -1,0 +1,119 @@
+"""TPC-C consistency conditions after real transaction mixes.
+
+The strongest end-to-end oracle in the suite: spec clause 3.3.2 invariants
+must hold after any workload, with and without the transformation pipeline
+interfering.
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads.tpcc import TpccConfig, TpccDriver, TpccTransactions
+from repro.workloads.tpcc.consistency import check_consistency
+
+
+def fresh_driver(**db_kwargs):
+    db = Database(cold_threshold_epochs=1, **db_kwargs)
+    driver = TpccDriver(db, TpccConfig.small())
+    driver.setup()
+    return db, driver
+
+
+class TestConsistency:
+    def test_freshly_loaded_database_consistent(self):
+        db, _ = fresh_driver()
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_consistent_after_mixed_run(self):
+        db, driver = fresh_driver()
+        driver.run(transactions_per_worker=250)
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_consistent_with_transformation_running(self):
+        db, driver = fresh_driver()
+        driver.run(transactions_per_worker=250, maintenance_every=25)
+        db.run_maintenance(passes=3)
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_consistent_after_forced_rollbacks(self):
+        from dataclasses import replace
+
+        db, driver = fresh_driver()
+        config = replace(driver.config, new_order_rollback_rate=0.5)
+        tx = TpccTransactions(db, config, seed=3)
+        for _ in range(60):
+            tx.new_order(1)
+        assert tx.counters.aborted["new_order"] > 5
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_consistent_after_recovery(self):
+        db, driver = fresh_driver()
+        driver.run(transactions_per_worker=150)
+        db.quiesce()
+        log = db.log_contents()
+
+        from repro.workloads.tpcc.schema import create_tpcc_tables
+
+        fresh = Database()
+        create_tpcc_tables(fresh, driver.config)
+        fresh.recover_from(log)
+        report = check_consistency(fresh)
+        assert report.consistent, report.violations
+
+    def test_violations_detected_when_injected(self):
+        # Sanity-check the checker itself: break an invariant on purpose.
+        db, driver = fresh_driver()
+        warehouse = db.catalog.get("warehouse")
+        with db.transaction() as txn:
+            [(slot, row)] = list(warehouse.table.scan(txn))
+        ytd_col = warehouse.column_id("w_ytd")
+        with db.transaction() as txn:
+            warehouse.table.update(txn, slot, {ytd_col: 1.0})
+        report = check_consistency(db)
+        assert not report.consistent
+        assert any("condition 1" in v for v in report.violations)
+
+    def test_multi_warehouse_consistency(self):
+        db = Database(cold_threshold_epochs=1)
+        driver = TpccDriver(db, TpccConfig.small(warehouses=2))
+        driver.setup()
+        driver.run(transactions_per_worker=60, workers=2)
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_concurrent_workers_on_shared_warehouse(self):
+        # Real threads hammering ONE warehouse: conflicts abound, but the
+        # invariants must survive every interleaving.
+        db = Database(cold_threshold_epochs=1)
+        driver = TpccDriver(db, TpccConfig.small(warehouses=1))
+        driver.setup()
+        run = driver.run(transactions_per_worker=80, workers=4)
+        assert run.committed > 0
+        report = check_consistency(db)
+        assert report.consistent, report.violations
+
+    def test_concurrent_workers_with_maintenance_thread(self):
+        import threading
+
+        db = Database(cold_threshold_epochs=1)
+        driver = TpccDriver(db, TpccConfig.small(warehouses=2))
+        driver.setup()
+        stop = threading.Event()
+
+        def maintenance():
+            while not stop.is_set():
+                db.run_maintenance()
+
+        maintainer = threading.Thread(target=maintenance)
+        maintainer.start()
+        try:
+            driver.run(transactions_per_worker=60, workers=3)
+        finally:
+            stop.set()
+            maintainer.join()
+        report = check_consistency(db)
+        assert report.consistent, report.violations

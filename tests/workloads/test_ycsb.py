@@ -1,0 +1,93 @@
+"""Tests for the YCSB workload and the zipfian generator."""
+
+import pytest
+
+from repro import Database
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_domain_respected(self):
+        gen = ZipfianGenerator(100, theta=0.9, seed=1)
+        samples = [gen.next() for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianGenerator(1000, theta=0.99, seed=2)
+        samples = [gen.next() for _ in range(5000)]
+        top_decile = sum(1 for s in samples if s < 100)
+        assert top_decile > len(samples) * 0.5  # heavy head
+
+    def test_theta_zero_is_uniform(self):
+        gen = ZipfianGenerator(10, theta=0.0, seed=3)
+        samples = [gen.next() for _ in range(5000)]
+        counts = [samples.count(i) for i in range(10)]
+        assert min(counts) > 300  # roughly uniform
+
+    def test_deterministic_under_seed(self):
+        a = ZipfianGenerator(50, seed=7)
+        b = ZipfianGenerator(50, seed=7)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0)
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestYcsbConfig:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            YcsbConfig(read_proportion=0.5, update_proportion=0.5, insert_proportion=0.5)
+
+
+class TestYcsbDriver:
+    def test_load_and_run(self):
+        db = Database(logging_enabled=False, cold_threshold_epochs=1)
+        driver = YcsbDriver(db, YcsbConfig(records=400), seed=1)
+        driver.setup()
+        driver.run(300)
+        assert driver.reads + driver.updates + driver.inserts + driver.aborts == 300
+        assert driver.info.table.live_tuple_count() == 400 + driver.inserts
+
+    def test_run_requires_setup(self):
+        db = Database(logging_enabled=False)
+        driver = YcsbDriver(db, YcsbConfig(records=10))
+        with pytest.raises(WorkloadError):
+            driver.run(1)
+
+    def test_skew_enables_freezing(self):
+        # The paper's premise: skewed writes leave most blocks cold.
+        def coverage(theta: float) -> float:
+            db = Database(logging_enabled=False, cold_threshold_epochs=2)
+            config = YcsbConfig(
+                records=1500, zipf_theta=theta,
+                read_proportion=0.5, update_proportion=0.5, insert_proportion=0.0,
+            )
+            driver = YcsbDriver(db, config, seed=4)
+            driver.setup()
+            for _ in range(6):
+                driver.run(100)
+                db.run_maintenance()
+            return driver.frozen_fraction()
+
+        skewed = coverage(0.99)
+        assert skewed > 0  # hot head leaves the tail frozen
+
+    def test_read_only_mix_freezes_everything(self):
+        db = Database(logging_enabled=False, cold_threshold_epochs=1)
+        config = YcsbConfig(
+            records=1200, read_proportion=1.0, update_proportion=0.0,
+            insert_proportion=0.0,
+        )
+        driver = YcsbDriver(db, config, seed=5)
+        driver.setup()
+        driver.run(200)
+        db.run_maintenance(passes=4)
+        # All full blocks freeze; only the insertion block can stay hot.
+        from repro.storage.constants import BlockState
+
+        states = driver.info.table.block_states()
+        assert states[BlockState.HOT] <= 1
