@@ -25,8 +25,10 @@ import time
 
 import pytest
 
-from repro import Database
+from repro import Database, obs
+from repro.bench.harness import RegistryDelta, format_deltas
 from repro.bench.reporting import format_series
+from repro.obs import trace
 from repro.storage.constants import BlockState
 from repro.transform.compaction import execute_compaction, plan_compaction
 from repro.transform.dictionary import dictionary_compress_block
@@ -53,30 +55,42 @@ def build(percent_empty: float, column_mix: str = "mixed"):
 
 
 def hybrid_pass(db, info, compress: bool = False) -> tuple[float, float, float]:
-    """One two-phase pass; returns (total, compaction, gather) seconds."""
+    """One two-phase pass; returns (total, compaction, gather) seconds.
+
+    Phase timings are sourced from ``repro.obs`` trace spans — the same
+    instrumentation the engine's transformer emits — rather than one-off
+    ``perf_counter`` bookkeeping (the Fig. 12b panel is a span summary).
+    """
+    obs.configure(enabled=True)
+    tracer = trace.Tracer(capacity=16)
+    gather_phase = "transform.dictionary" if compress else "transform.gather"
     blocks = list(info.table.blocks)
-    began = time.perf_counter()
-    plan = plan_compaction(blocks)
-    txn = execute_compaction(db.txn_manager, info.table, plan)
-    assert txn is not None
-    keep = plan.filled_blocks + (
-        [plan.partial_block] if plan.partial_block is not None else []
+    with tracer.span("transform.pass"):
+        with tracer.span("transform.compaction"):
+            plan = plan_compaction(blocks)
+            txn = execute_compaction(db.txn_manager, info.table, plan)
+            assert txn is not None
+            keep = plan.filled_blocks + (
+                [plan.partial_block] if plan.partial_block is not None else []
+            )
+            for block in keep:
+                block.compare_and_swap_state(BlockState.HOT, BlockState.COOLING)
+            db.txn_manager.commit(txn)
+            db.gc.run_until_quiet()
+        with tracer.span(gather_phase):
+            for block in keep:
+                block.set_state(BlockState.FREEZING)
+                if compress:
+                    dictionary_compress_block(block)
+                else:
+                    gather_block(block)
+                block.set_state(BlockState.FROZEN)
+    summary = tracer.summarize()
+    return (
+        summary["transform.pass"].total_seconds,
+        summary["transform.compaction"].total_seconds,
+        summary[gather_phase].total_seconds,
     )
-    for block in keep:
-        block.compare_and_swap_state(BlockState.HOT, BlockState.COOLING)
-    db.txn_manager.commit(txn)
-    db.gc.run_until_quiet()
-    compaction_seconds = time.perf_counter() - began
-    gather_began = time.perf_counter()
-    for block in keep:
-        block.set_state(BlockState.FREEZING)
-        if compress:
-            dictionary_compress_block(block)
-        else:
-            gather_block(block)
-        block.set_state(BlockState.FROZEN)
-    gather_seconds = time.perf_counter() - gather_began
-    return compaction_seconds + gather_seconds, compaction_seconds, gather_seconds
 
 
 def snapshot_pass(db, info) -> float:
@@ -150,11 +164,20 @@ def test_report_figure_12(benchmark):
     publish(
         "fig12b_phase_breakdown",
         format_series(
-            "Figure 12b — phase throughput breakdown (blocks/s)",
+            "Figure 12b — phase throughput breakdown, from obs spans (blocks/s)",
             "%empty",
             EMPTY_AXIS,
             {k: [round(v, 1) for v in vs] for k, vs in breakdown.items()},
         ),
+    )
+    # One representative pass with its engine-side metric delta, via the
+    # bench harness + the registry every component publishes into.
+    db, info = build(percent_empty=5)
+    with RegistryDelta(db.obs) as capture:
+        hybrid_pass(db, info)
+    publish(
+        "fig12_metric_deltas",
+        format_deltas(capture.delta, "Figure 12 — one hybrid pass, metric deltas"),
     )
     # Paper shapes on the 50%-varlen table.  (The paper's order-of-magnitude
     # gather-vs-dictionary gap compresses here because interpreter loop

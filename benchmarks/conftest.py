@@ -28,3 +28,11 @@ def publish(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_deltas(name: str, delta: dict, title: str | None = None) -> None:
+    """Publish a ``repro.bench.harness.RegistryDelta`` delta map so a
+    benchmark's timings land next to the engine work they caused."""
+    from repro.bench.harness import format_deltas
+
+    publish(name, format_deltas(delta, title or f"{name} — metric deltas"))

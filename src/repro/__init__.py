@@ -29,6 +29,7 @@ from repro.arrowfmt.datatypes import (
     UINT64,
     UTF8,
 )
+from repro import obs
 from repro.db import Database
 from repro.errors import ReproError, TransactionAborted, WriteWriteConflict
 from repro.storage.layout import ColumnSpec
@@ -54,4 +55,5 @@ __all__ = [
     "UTF8",
     "WriteWriteConflict",
     "__version__",
+    "obs",
 ]

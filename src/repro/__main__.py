@@ -1,7 +1,9 @@
 """``python -m repro`` — a 30-second live demo of the engine.
 
 Loads a small table, runs transactions, drives the hot→cold pipeline,
-exports through every mechanism, and prints the metrics snapshot.
+exports through every mechanism, and prints the metrics snapshot in the
+format of your choice (``--format text|json|prom``) via the ``repro.obs``
+exposition layer.
 """
 
 from __future__ import annotations
@@ -9,7 +11,7 @@ from __future__ import annotations
 import argparse
 import random
 
-from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8, obs
 from repro.bench.reporting import format_table
 from repro.export import TableExporter
 from repro.query import TableScanner, aggregate
@@ -22,6 +24,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--rows", type=int, default=20_000, help="rows to load")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="metrics output: human text, stable JSON, or Prometheus exposition",
+    )
     args = parser.parse_args(argv)
 
     db = Database(cold_threshold_epochs=1)
@@ -50,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         f"avg={result.mean:.2f} ({scanner.frozen_blocks_scanned} blocks in place)\n"
     )
 
-    exporter = TableExporter(db.txn_manager, info.table)
+    exporter = TableExporter(db.txn_manager, info.table, registry=db.obs)
     rows = []
     for method in ("postgres", "vectorized", "arrow-wire", "flight", "rdma"):
         r = exporter.export(method)
@@ -58,9 +66,14 @@ def main(argv: list[str] | None = None) -> int:
                      f"{r.serialization_seconds * 1000:.1f}"))
     print(format_table("export comparison", ["method", "MB/s", "server ms"], rows))
 
-    print("\nmetrics snapshot:")
-    for key, value in db.metrics().items():
-        print(f"  {key}: {value}")
+    print(f"\nmetrics snapshot ({args.format}):")
+    if args.format == "json":
+        print(obs.render_json(db.obs))
+    elif args.format == "prom":
+        print(obs.render_prometheus(db.obs), end="")
+    else:
+        for key, value in db.metrics().items():
+            print(f"  {key}: {value}")
     return 0
 
 

@@ -1,6 +1,23 @@
-"""Benchmark support: reporting tables and the thread-scaling model."""
+"""Benchmark support: reporting tables, the thread-scaling model, and the
+metric-delta harness."""
 
+from repro.bench.harness import (
+    BenchResult,
+    RegistryDelta,
+    flatten_snapshot,
+    format_deltas,
+    run_timed,
+)
 from repro.bench.reporting import format_series, format_table
 from repro.bench.scaling_model import ScalingModel
 
-__all__ = ["ScalingModel", "format_series", "format_table"]
+__all__ = [
+    "BenchResult",
+    "RegistryDelta",
+    "ScalingModel",
+    "flatten_snapshot",
+    "format_deltas",
+    "format_series",
+    "format_table",
+    "run_timed",
+]

@@ -25,6 +25,7 @@ from typing import BinaryIO, Iterator, Literal
 
 from repro.catalog.catalog import Catalog, TableInfo
 from repro.gc_engine.collector import GarbageCollector
+from repro.obs.registry import MetricRegistry
 from repro.storage.block_store import BlockStore
 from repro.storage.constants import BLOCK_SIZE
 from repro.storage.layout import ColumnSpec
@@ -47,15 +48,29 @@ class Database:
         compaction_group_size: int = 50,
         cold_format: Literal["gather", "dictionary"] = "gather",
         optimal_compaction: bool = False,
+        obs_registry: MetricRegistry | None = None,
     ) -> None:
+        #: The engine-wide metric registry (see :mod:`repro.obs`): every
+        #: component publishes into it, ``metrics()`` and the Prometheus /
+        #: JSON expositions read from it.  Per-instance by default so
+        #: independent databases never mix counts.
+        self.obs = obs_registry if obs_registry is not None else MetricRegistry()
         self.block_store = BlockStore()
         self.catalog = Catalog(self.block_store)
         self.log_manager = (
-            LogManager(device=log_device or io.BytesIO()) if logging_enabled else None
+            LogManager(device=log_device or io.BytesIO(), registry=self.obs)
+            if logging_enabled
+            else None
         )
-        self.txn_manager = TransactionManager(log_manager=self.log_manager)
-        self.access_observer = AccessObserver(threshold_epochs=cold_threshold_epochs)
-        self.gc = GarbageCollector(self.txn_manager, access_observer=self.access_observer)
+        self.txn_manager = TransactionManager(
+            log_manager=self.log_manager, registry=self.obs
+        )
+        self.access_observer = AccessObserver(
+            threshold_epochs=cold_threshold_epochs, registry=self.obs
+        )
+        self.gc = GarbageCollector(
+            self.txn_manager, access_observer=self.access_observer, registry=self.obs
+        )
         self.transformer = BlockTransformer(
             self.txn_manager,
             self.gc,
@@ -63,6 +78,39 @@ class Database:
             compaction_group_size=compaction_group_size,
             cold_format=cold_format,
             optimal_compaction=optimal_compaction,
+            registry=self.obs,
+        )
+        self._register_db_gauges()
+
+    def _register_db_gauges(self) -> None:
+        """Callback gauges for live engine state (evaluated on read)."""
+        reg = self.obs
+        reg.gauge("db.tables", "tables in the catalog", callback=lambda: len(self.catalog))
+        reg.gauge(
+            "db.blocks_live",
+            "blocks currently allocated",
+            callback=lambda: self.block_store.live_count,
+        )
+        reg.gauge(
+            "db.blocks_freed",
+            "blocks returned to the store",
+            callback=lambda: self.block_store.freed_count,
+        )
+        reg.gauge(
+            "db.live_tuples",
+            "visible tuples across all tables",
+            callback=self._live_tuple_count,
+        )
+        reg.gauge(
+            "index.maintenance_ops",
+            "cumulative index maintenance operations",
+            callback=lambda: self.catalog.index_manager.total_maintenance_ops(),
+        )
+
+    def _live_tuple_count(self) -> int:
+        return sum(
+            self.catalog.table(name).live_tuple_count()
+            for name in self.catalog.table_names()
         )
 
     # ------------------------------------------------------------------ #
@@ -276,8 +324,7 @@ class Database:
             self.log_manager.flush()
         snapshot = write_checkpoint(self)
         if self.log_manager is not None:
-            self.log_manager.device = io.BytesIO()
-            self.log_manager.bytes_written = 0
+            self.log_manager.truncate(io.BytesIO())
         return snapshot
 
     def recover_with_checkpoint(self, checkpoint: bytes, log_suffix: bytes) -> int:
@@ -302,37 +349,39 @@ class Database:
         """One snapshot of every component's counters.
 
         Stable keys intended for dashboards and tests; values are plain
-        ints/floats.
+        ints/floats.  Since the ``repro.obs`` subsystem landed this is a
+        thin view over the engine's metric registry (``self.obs``) — the
+        machine-readable expositions (``obs.render_prometheus(db.obs)``,
+        ``obs.render_json(db.obs)``) see the very same instruments.  Note
+        that ``obs.configure(enabled=False)`` freezes the counter-backed
+        values here along with every other instrument.
         """
         from repro.storage.constants import BlockState
 
         states = {state.name: 0 for state in BlockState}
-        live_tuples = 0
         for name in self.catalog.table_names():
-            table = self.catalog.table(name)
-            for state, count in table.block_states().items():
+            for state, count in self.catalog.table(name).block_states().items():
                 states[state.name] += count
-            live_tuples += table.live_tuple_count()
-        transform = self.transformer.stats
-        gc_stats = self.gc.stats
+        reg = self.obs
+        counter = lambda name: int(reg.counter(name).value)
+        gauge = lambda name: reg.gauge(name).value
         return {
-            "tables": len(self.catalog),
-            "blocks_live": self.block_store.live_count,
-            "blocks_freed": self.block_store.freed_count,
+            "tables": int(gauge("db.tables")),
+            "blocks_live": int(gauge("db.blocks_live")),
+            "blocks_freed": int(gauge("db.blocks_freed")),
             "block_states": states,
-            "live_tuples": live_tuples,
-            "txns_active": self.txn_manager.active_count,
-            "txns_pending_gc": self.txn_manager.pending_gc_count,
-            "gc_passes": gc_stats.passes,
-            "gc_records_unlinked": gc_stats.records_unlinked,
-            "gc_deferred_pending": len(self.gc.deferred),
-            "transform_groups_compacted": transform.groups_compacted,
-            "transform_tuples_moved": transform.tuples_moved,
-            "transform_blocks_frozen": transform.blocks_frozen,
-            "transform_freezes_preempted": transform.freezes_preempted,
-            "index_maintenance_ops": self.catalog.index_manager.total_maintenance_ops(),
-            "wal_bytes_written": (
-                self.log_manager.bytes_written if self.log_manager else 0
-            ),
-            "wal_flushes": self.log_manager.flush_count if self.log_manager else 0,
+            "live_tuples": int(gauge("db.live_tuples")),
+            "txns_active": int(gauge("txn.active")),
+            "txns_pending_gc": int(gauge("txn.pending_gc")),
+            "gc_passes": counter("gc.pass_total"),
+            "gc_records_unlinked": counter("gc.records_unlinked_total"),
+            "gc_deferred_pending": int(gauge("gc.deferred_pending")),
+            "transform_groups_compacted": counter("transform.groups_compacted_total"),
+            "transform_tuples_moved": counter("transform.tuples_moved_total"),
+            "transform_blocks_frozen": counter("transform.blocks_frozen_total"),
+            "transform_freezes_preempted": counter("transform.freezes_preempted_total"),
+            "transform_queue_depth": int(gauge("transform.queue_depth")),
+            "index_maintenance_ops": int(gauge("index.maintenance_ops")),
+            "wal_bytes_written": counter("wal.written_bytes"),
+            "wal_flushes": counter("wal.flush_total"),
         }

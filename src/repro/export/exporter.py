@@ -17,6 +17,8 @@ from repro.errors import SerializationError
 from repro.export import flight as flight_mod
 from repro.export import postgres_wire, rdma, vectorized
 from repro.export.network import NetworkProfile, SimulatedNetwork
+from repro.obs import trace
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, STATE, MetricRegistry
 
 if TYPE_CHECKING:
     from repro.storage.data_table import DataTable
@@ -63,25 +65,66 @@ class TableExporter:
         table: "DataTable",
         profile: NetworkProfile | None = None,
         rdma_profile: NetworkProfile | None = None,
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.txn_manager = txn_manager
         self.table = table
         self.profile = profile or NetworkProfile.TEN_GBE
         self.rdma_profile = rdma_profile or NetworkProfile.RDMA_10_GBE
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        self.registry = registry
 
     def export(self, method: ExportMethod) -> ExportResult:
         """Run one export; returns its timing breakdown."""
-        if method == "postgres":
-            return self._export_postgres()
-        if method == "vectorized":
-            return self._export_vectorized()
-        if method == "arrow-wire":
-            return self._export_arrow_wire()
-        if method == "flight":
-            return self._export_flight()
-        if method == "rdma":
-            return self._export_rdma()
-        raise SerializationError(f"unknown export method {method!r}")
+        with trace.span(f"export.{method}"):
+            if method == "postgres":
+                result = self._export_postgres()
+            elif method == "vectorized":
+                result = self._export_vectorized()
+            elif method == "arrow-wire":
+                result = self._export_arrow_wire()
+            elif method == "flight":
+                result = self._export_flight()
+            elif method == "rdma":
+                result = self._export_rdma()
+            else:
+                raise SerializationError(f"unknown export method {method!r}")
+        self._record(result)
+        return result
+
+    def _record(self, result: ExportResult) -> None:
+        """Per-protocol bytes and serialization time into the registry."""
+        if not STATE.enabled:
+            return
+        reg = self.registry
+        slug = result.method.replace("-", "_")
+        reg.counter("export.exports_total", "export runs, all protocols").inc()
+        reg.counter(
+            f"export.{slug}_wire_bytes", f"{result.method} bytes put on the wire"
+        ).inc(result.wire_bytes)
+        reg.counter(
+            f"export.{slug}_payload_bytes", f"{result.method} payload bytes exported"
+        ).inc(result.payload_bytes)
+        reg.histogram(
+            f"export.{slug}_serialization_seconds",
+            f"{result.method} server-side serialization time",
+        ).observe(result.serialization_seconds)
+        reg.histogram(
+            "export.serialization_seconds",
+            "server-side serialization time, all protocols",
+        ).observe(result.serialization_seconds)
+        reg.histogram(
+            "export.wire_bytes_per_run",
+            "wire bytes per export run",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).observe(result.wire_bytes)
+        reg.gauge(
+            "export.last_throughput_mb_per_sec",
+            "end-to-end throughput of the most recent export",
+        ).set(result.throughput_mb_per_sec)
 
     # ------------------------------------------------------------------ #
     # method implementations                                              #

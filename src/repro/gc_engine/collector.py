@@ -16,9 +16,12 @@ buffers, the collector only ever examines transaction objects.  Each pass:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Protocol
 
 from repro.gc_engine.epoch import DeferredActionQueue
+from repro.obs import trace
+from repro.obs.registry import STATE, MetricRegistry
 from repro.storage.varlen import read_entry
 from repro.txn.manager import TransactionManager
 from repro.txn.undo import UndoRecord, UpdateUndoRecord
@@ -56,6 +59,7 @@ class GarbageCollector:
         self,
         txn_manager: TransactionManager,
         access_observer: AccessObserver | None = None,
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.txn_manager = txn_manager
         self.deferred = DeferredActionQueue()
@@ -64,40 +68,75 @@ class GarbageCollector:
         #: Monotone count of GC invocations: the "GC epoch" that stands in
         #: for wall-clock time in cold-block detection.
         self.epoch = 0
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_pass_total = reg.counter("gc.pass_total", "GC passes run")
+        self._m_unlinked_total = reg.counter(
+            "gc.records_unlinked_total", "version records pruned from chains"
+        )
+        self._m_txns_total = reg.counter(
+            "gc.transactions_processed_total", "completed transactions collected"
+        )
+        self._m_deferred_total = reg.counter(
+            "gc.deferred_executed_total", "deferred deallocations executed"
+        )
+        self._m_pass_seconds = reg.histogram("gc.pass_seconds", "GC pass duration")
+        reg.gauge(
+            "gc.deferred_pending",
+            "deferred deallocations awaiting a safe epoch",
+            callback=lambda: len(self.deferred),
+        )
+        reg.gauge("gc.epoch", "GC epoch (pass counter)", callback=lambda: self.epoch)
+
+    def _record_pass(
+        self, began: float, unlinked: int, txns: int, deferred: int
+    ) -> None:
+        """Registry-side accounting for one finished pass (any subclass)."""
+        if not began:
+            return
+        self._m_pass_total.inc()
+        self._m_unlinked_total.inc(unlinked)
+        self._m_txns_total.inc(txns)
+        self._m_deferred_total.inc(deferred)
+        self._m_pass_seconds.observe(perf_counter() - began)
 
     def run(self) -> int:
         """One GC pass; returns the number of records unlinked."""
-        self.epoch += 1
-        horizon = self.txn_manager.oldest_active_start()
-        self.stats.deferred_executed += self.deferred.process(horizon)
-        completed = self.txn_manager.drain_completed(horizon)
-        unlinked = 0
-        touched_blocks: dict[int, "RawBlock"] = {}
-        from repro.errors import StorageError
+        began = perf_counter() if STATE.enabled else 0.0
+        with trace.span("gc.pass"):
+            self.epoch += 1
+            horizon = self.txn_manager.oldest_active_start()
+            deferred_run = self.deferred.process(horizon)
+            self.stats.deferred_executed += deferred_run
+            completed = self.txn_manager.drain_completed(horizon)
+            unlinked = 0
+            touched_blocks: dict[int, "RawBlock"] = {}
+            from repro.errors import StorageError
 
-        for txn in completed:
-            unlink_ts = self.txn_manager.timestamps.checkpoint()
-            for record in txn.undo_buffer:
-                try:
-                    block = record.table._block(record.slot.block_id)
-                except StorageError:
-                    # The block was recycled by compaction after emptying;
-                    # its chains (and heaps) died with it.
-                    continue
-                touched_blocks[block.block_id] = block
-                self._unlink(block, record)
-                unlinked += 1
-                action = self._deallocation_for(block, record)
-                if action is not None:
-                    self.deferred.register(unlink_ts, action)
-            self.stats.transactions_processed += 1
-        if self.access_observer is not None:
-            for block in touched_blocks.values():
-                block.last_modified_epoch = self.epoch
-                self.access_observer.observe_modification(block, self.epoch)
-            self.access_observer.on_gc_pass(self.epoch)
-        self.stats.passes += 1
-        self.stats.records_unlinked += unlinked
+            for txn in completed:
+                unlink_ts = self.txn_manager.timestamps.checkpoint()
+                for record in txn.undo_buffer:
+                    try:
+                        block = record.table._block(record.slot.block_id)
+                    except StorageError:
+                        # The block was recycled by compaction after emptying;
+                        # its chains (and heaps) died with it.
+                        continue
+                    touched_blocks[block.block_id] = block
+                    self._unlink(block, record)
+                    unlinked += 1
+                    action = self._deallocation_for(block, record)
+                    if action is not None:
+                        self.deferred.register(unlink_ts, action)
+                self.stats.transactions_processed += 1
+            if self.access_observer is not None:
+                for block in touched_blocks.values():
+                    block.last_modified_epoch = self.epoch
+                    self.access_observer.observe_modification(block, self.epoch)
+                self.access_observer.on_gc_pass(self.epoch)
+            self.stats.passes += 1
+            self.stats.records_unlinked += unlinked
+        self._record_pass(began, unlinked, len(completed), deferred_run)
         return unlinked
 
     def run_until_quiet(self, max_passes: int = 16) -> None:

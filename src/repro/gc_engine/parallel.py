@@ -33,8 +33,9 @@ class ParallelGarbageCollector(GarbageCollector):
         txn_manager: "TransactionManager",
         access_observer=None,
         num_threads: int = 2,
+        registry=None,
     ) -> None:
-        super().__init__(txn_manager, access_observer)
+        super().__init__(txn_manager, access_observer, registry=registry)
         if num_threads < 1:
             raise ValueError("need at least one GC thread")
         self.num_threads = num_threads
@@ -46,14 +47,21 @@ class ParallelGarbageCollector(GarbageCollector):
 
     def run(self) -> int:
         """One parallel GC pass; returns records unlinked."""
+        from time import perf_counter
+
+        from repro.obs.registry import STATE
+
+        began = perf_counter() if STATE.enabled else 0.0
         self.epoch += 1
         horizon = self.txn_manager.oldest_active_start()
-        self.stats.deferred_executed += self.deferred.process(horizon)
+        deferred_run = self.deferred.process(horizon)
+        self.stats.deferred_executed += deferred_run
         completed = self.txn_manager.drain_completed(horizon)
         if not completed:
             if self.access_observer is not None:
                 self.access_observer.on_gc_pass(self.epoch)
             self.stats.passes += 1
+            self._record_pass(began, 0, 0, deferred_run)
             return 0
 
         # Partition by transaction (the paper's load-balancing unit).
@@ -88,6 +96,7 @@ class ParallelGarbageCollector(GarbageCollector):
         total = sum(unlinked_counts)
         self.stats.records_unlinked += total
         self.stats.transactions_processed += len(completed)
+        self._record_pass(began, total, len(completed), deferred_run)
         return total
 
     def _worker(self, shard, unlinked_counts, touched, index: int) -> None:

@@ -1,0 +1,98 @@
+"""repro.obs: the engine-wide observability layer.
+
+Three pieces, one principle — statistics collection stays off the
+transaction critical path (the paper's Section 4.2 ride-along idea,
+generalized):
+
+- :mod:`repro.obs.registry` — named :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments that aggregate in thread-local shards and
+  merge only on read,
+- :mod:`repro.obs.trace` — nestable ``span("wal.group_commit")`` scopes
+  feeding a bounded ring buffer with parent/child time attribution,
+- :mod:`repro.obs.expo` — Prometheus text and stable-JSON exposition.
+
+Quick tour::
+
+    from repro import Database, obs
+
+    db = Database()
+    ...                                  # run a workload
+    print(obs.render_prometheus(db.obs)) # scrape-ready text
+    print(obs.render_json(db.obs))       # stable JSON snapshot
+    with obs.span("my.phase"):           # trace a scope
+        ...
+    obs.configure(enabled=False)         # near-no-op everywhere
+
+Each ``Database`` owns its own :class:`MetricRegistry` (``db.obs``) so
+independent instances never mix counts; ``obs.get_registry()`` is the
+process-default registry for component-less callers.  The naming
+convention is ``<component>.<event>[_seconds|_bytes|_total]``.
+"""
+
+from __future__ import annotations
+
+from repro.obs import trace as trace
+from repro.obs.expo import render_json, render_prometheus, snapshot
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    STATE,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricRegistry,
+)
+from repro.obs.trace import Span, SpanSummary, Tracer, get_tracer, span
+
+#: Process-default registry for callers without a Database in hand.
+_DEFAULT_REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    """The process-default metric registry."""
+    return _DEFAULT_REGISTRY
+
+
+def configure(
+    enabled: bool | None = None,
+    trace_capacity: int | None = None,
+) -> None:
+    """Adjust global observability behavior.
+
+    ``enabled=False`` turns every instrument and span into a near-no-op
+    (one attribute load + branch on the hot path); ``True`` re-enables.
+    ``trace_capacity`` resizes the default tracer's ring buffer.
+    """
+    if enabled is not None:
+        STATE.enabled = enabled
+    if trace_capacity is not None:
+        trace.set_capacity(trace_capacity)
+
+
+def is_enabled() -> bool:
+    """Whether instruments are currently recording."""
+    return STATE.enabled
+
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricRegistry",
+    "Span",
+    "SpanSummary",
+    "Tracer",
+    "configure",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
+    "span",
+    "trace",
+]

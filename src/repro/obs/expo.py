@@ -1,0 +1,98 @@
+"""Exposition: Prometheus text format and a stable JSON snapshot.
+
+Both renderers walk a :class:`~repro.obs.registry.MetricRegistry` in
+name-sorted order, so output is deterministic and diffable.  Dotted metric
+names become underscored in Prometheus (``txn.commit_seconds`` →
+``txn_commit_seconds``); histograms expand to the standard
+``_bucket{le=...}`` / ``_sum`` / ``_count`` family.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _prom_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return format(bound, ".12g")
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            snap = instrument.snapshot()
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in snap.cumulative():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_bound(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_sum {_prom_value(snap.sum)}")
+            lines.append(f"{name}_count {snap.count}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricRegistry) -> dict[str, Any]:
+    """A stable, JSON-serializable snapshot of every instrument.
+
+    Shape::
+
+        {"counters": {name: value},
+         "gauges": {name: value},
+         "histograms": {name: {"buckets": [[le, count], ...],
+                               "sum": float, "count": int}}}
+
+    Bucket counts are per-bucket (non-cumulative); the final bucket's
+    ``le`` is ``"+Inf"``.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, Any] = {}
+    for instrument in registry:
+        if isinstance(instrument, Counter):
+            counters[instrument.name] = instrument.value
+        elif isinstance(instrument, Gauge):
+            gauges[instrument.name] = instrument.value
+        elif isinstance(instrument, Histogram):
+            snap = instrument.snapshot()
+            bounds = [_prom_bound(b) for b in snap.bounds] + ["+Inf"]
+            histograms[instrument.name] = {
+                "buckets": [[le, count] for le, count in zip(bounds, snap.counts)],
+                "sum": snap.sum,
+                "count": snap.count,
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def render_json(registry: MetricRegistry, indent: int | None = 2) -> str:
+    """:func:`snapshot` serialized with sorted keys (stable across runs)."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)

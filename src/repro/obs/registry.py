@@ -1,0 +1,323 @@
+"""Metric primitives: sharded counters, gauges, fixed-bucket histograms.
+
+The design goal is the same ride-along principle the access observer uses
+(Section 4.2): *nothing on the transaction critical path may pay for
+statistics collection*.  Every :class:`Counter` and :class:`Histogram`
+therefore aggregates into **thread-local shards** — the hot-path increment
+is one bounds-free list-cell add with no dict lookup and no lock — and the
+shards are merged only when somebody *reads* the metric (a dashboard pull,
+a ``Database.metrics()`` call, a Prometheus scrape).  Readers are rare and
+slow; writers are constant and must be free.
+
+A process-wide switch (:data:`STATE`, flipped by ``obs.configure``) turns
+recording off entirely; the disabled path is a single attribute load and a
+branch, measured by ``benchmarks/bench_ablation_obs_overhead.py``.
+
+Naming convention (enforced): ``<component>.<event>[_seconds|_bytes|_total]``
+— e.g. ``txn.commit_seconds``, ``wal.written_bytes``, ``gc.pass_total``.
+Dots become underscores in the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterator, Sequence
+
+
+class _ObsState:
+    """The process-wide enable switch, shared by every instrument."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+#: Checked by every hot-path record call; flip via ``obs.configure``.
+STATE = _ObsState()
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Latency buckets in seconds: 1 µs → 10 s, roughly logarithmic.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size/count buckets: batch sizes, queue depths, byte counts.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+    100_000, 1_000_000, 10_000_000,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}; use <component>.<event> with "
+            "lowercase letters, digits, and underscores"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count, sharded per thread.
+
+    Each thread owns a one-slot list cell registered in ``_shards``; the
+    increment is ``cell[0] += amount`` — no dict hop, no lock.  Cells of
+    finished threads stay registered (counters are cumulative, so their
+    contribution remains correct forever).
+    """
+
+    __slots__ = ("name", "help", "_local", "_shards", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._local = threading.local()
+        self._shards: list[list[float]] = []
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (hot path: one cell add when enabled)."""
+        if not STATE.enabled:
+            return
+        try:
+            self._local.cell[0] += amount
+        except AttributeError:
+            cell = [amount]
+            with self._lock:
+                self._shards.append(cell)
+            self._local.cell = cell
+
+    @property
+    def value(self) -> float:
+        """Merged total across every thread that ever incremented."""
+        with self._lock:
+            return sum(cell[0] for cell in self._shards)
+
+    def reset(self) -> None:
+        """Zero all shards (checkpoint truncation, test isolation)."""
+        with self._lock:
+            for cell in self._shards:
+                cell[0] = 0
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or computed on read.
+
+    Callback gauges (``callback=lambda: ...``) evaluate at read time, so
+    they track live engine state (active transactions, queue depth) with
+    zero write-path cost.
+    """
+
+    __slots__ = ("name", "help", "callback", "_value")
+
+    def __init__(
+        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.callback = callback
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not STATE.enabled:
+            return
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if not STATE.enabled:
+            return
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self.callback is not None:
+            return self.callback()
+        return self._value
+
+
+class _HistogramShard:
+    __slots__ = ("counts", "total")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets
+        self.total = 0.0
+
+
+class HistogramSnapshot:
+    """A merged, immutable read of one histogram."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...], counts: list[int], total: float) -> None:
+        self.bounds = bounds  # upper bound per bucket; final bucket is +Inf
+        self.counts = counts  # per-bucket (non-cumulative), len(bounds) + 1
+        self.sum = total
+        self.count = sum(counts)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs incl. +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+
+class Histogram:
+    """Fixed upper-bound buckets (``le`` semantics), sharded per thread.
+
+    ``observe`` is a bisect into a precomputed bounds tuple plus two cell
+    writes — no allocation after a thread's first observation.
+    """
+
+    __slots__ = ("name", "help", "_bounds", "_local", "_shards", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be sorted, unique, non-empty")
+        self._bounds = bounds
+        self._local = threading.local()
+        self._shards: list[_HistogramShard] = []
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        """Record one sample; values above the last bound go to +Inf."""
+        if not STATE.enabled:
+            return
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = _HistogramShard(len(self._bounds) + 1)
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        shard.counts[bisect_left(self._bounds, value)] += 1
+        shard.total += value
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Merge every shard into one immutable view."""
+        counts = [0] * (len(self._bounds) + 1)
+        total = 0.0
+        with self._lock:
+            for shard in self._shards:
+                for i, c in enumerate(shard.counts):
+                    counts[i] += c
+                total += shard.total
+        return HistogramSnapshot(self._bounds, counts, total)
+
+    def reset(self) -> None:
+        with self._lock:
+            for shard in self._shards:
+                shard.counts = [0] * (len(self._bounds) + 1)
+                shard.total = 0.0
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricRegistry:
+    """A named collection of instruments with get-or-create semantics.
+
+    Each :class:`~repro.db.Database` owns one registry, so metrics from
+    independent engine instances never bleed into each other; a module
+    default (``obs.get_registry()``) serves component-less callers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], Any]):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._metrics[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(
+        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+    ) -> Gauge:
+        """Get or create the gauge ``name`` (optionally callback-backed)."""
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, help, callback))
+        if callback is not None and gauge.callback is None:
+            gauge.callback = callback
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with fixed ``buckets``."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, help, buckets)
+        )
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def __iter__(self) -> Iterator[Instrument]:
+        """Instruments in stable (name-sorted) order."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return iter(instrument for _, instrument in items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (gauges keep their callbacks)."""
+        for instrument in self:
+            if isinstance(instrument, (Counter, Histogram)):
+                instrument.reset()
+            elif instrument.callback is None:
+                instrument._value = 0.0

@@ -1,0 +1,211 @@
+"""Trace spans: nestable timing scopes feeding a bounded ring buffer.
+
+``with span("wal.group_commit"): ...`` records one :class:`Span` per exit
+into a :class:`Tracer`'s ring buffer (a ``deque(maxlen=...)`` — old spans
+fall off, memory stays bounded).  Spans nest through a per-thread stack,
+so every record knows its parent and every parent accumulates its
+children's time; ``self_seconds`` is the span's *exclusive* duration —
+the number Figure 12b's phase-breakdown series wants.
+
+When observability is disabled (``obs.configure(enabled=False)``) the
+``span`` call returns a shared no-op context manager: no clock reads, no
+allocation, no buffer traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.registry import STATE
+
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One finished timing scope."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "start", "duration",
+        "child_seconds", "thread",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start: float,
+        duration: float,
+        child_seconds: float,
+        thread: str,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.child_seconds = child_seconds
+        self.thread = thread
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration exclusive of nested spans (never below zero)."""
+        return max(0.0, self.duration - self.child_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"self={self.self_seconds * 1e3:.3f}ms)"
+        )
+
+
+class SpanSummary:
+    """Per-name aggregate over a batch of spans."""
+
+    __slots__ = ("name", "count", "total_seconds", "self_seconds", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.self_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.total_seconds += span.duration
+        self.self_seconds += span.self_seconds
+        self.max_seconds = max(self.max_seconds, span.duration)
+
+
+class _ActiveSpan:
+    """Context manager for one live scope (class-based: no generator cost)."""
+
+    __slots__ = ("_tracer", "name", "start", "child_seconds", "_parent", "span_id")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.child_seconds = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self.span_id = next(tracer._ids)
+        stack = tracer._stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        duration = perf_counter() - self.start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        parent = self._parent
+        if parent is not None:
+            parent.child_seconds += duration
+        self._tracer._buffer.append(
+            Span(
+                self.span_id,
+                parent.span_id if parent is not None else None,
+                self.name,
+                self.start,
+                duration,
+                self.child_seconds,
+                threading.current_thread().name,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing scope for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A bounded span sink with per-thread nesting stacks."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    def _stack(self) -> list:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: list = []
+            self._local.stack = stack
+            return stack
+
+    def span(self, name: str) -> "_ActiveSpan | _NullSpan":
+        """A context manager timing ``name`` (no-op while disabled)."""
+        if not STATE.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of the buffer, oldest first."""
+        return list(self._buffer)
+
+    def drain(self) -> list[Span]:
+        """Snapshot and clear."""
+        out = self.spans()
+        self._buffer.clear()
+        return out
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    def summarize(self) -> dict[str, SpanSummary]:
+        """Aggregate the buffered spans by name."""
+        summaries: dict[str, SpanSummary] = {}
+        for span in self.spans():
+            summaries.setdefault(span.name, SpanSummary(span.name)).add(span)
+        return summaries
+
+
+#: The default tracer engine components record into.
+_DEFAULT_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-default tracer."""
+    return _DEFAULT_TRACER
+
+
+def span(name: str, tracer: Tracer | None = None) -> "_ActiveSpan | _NullSpan":
+    """Open a timing scope on ``tracer`` (default: the process tracer)."""
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return (tracer or _DEFAULT_TRACER).span(name)
+
+
+def set_capacity(capacity: int) -> None:
+    """Resize the default tracer's ring buffer (drops buffered spans)."""
+    global _DEFAULT_TRACER
+    _DEFAULT_TRACER = Tracer(capacity)

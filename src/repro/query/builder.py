@@ -98,6 +98,7 @@ class Query:
             self._info.table,
             column_ids=needed,
             range_filters=self._range_filters(),
+            registry=getattr(self._db, "obs", None),
         )
 
     def _mask(self, batch: ColumnBatch) -> np.ndarray:
@@ -208,6 +209,7 @@ class Query:
             self._info.table,
             column_ids=all_columns,
             range_filters=self._range_filters(),
+            registry=getattr(self._db, "obs", None),
         )
         rows: list[dict[str, Any]] = []
         for batch in scanner.batches():

@@ -54,11 +54,14 @@ class TableScanner:
         table: "DataTable",
         column_ids: list[int] | None = None,
         range_filters: dict[int, tuple[float | None, float | None]] | None = None,
+        registry=None,
     ) -> None:
         """``range_filters`` maps column id → (low, high) bounds (either
         side ``None`` for open).  Frozen blocks whose zone maps prove the
         range empty are skipped without being read; the caller still has to
-        apply the predicate row-wise (zone maps only prune, never filter)."""
+        apply the predicate row-wise (zone maps only prune, never filter).
+        Pass a :class:`~repro.obs.registry.MetricRegistry` (e.g. ``db.obs``)
+        to publish ``query.*`` scan counters."""
         self.txn_manager = txn_manager
         self.table = table
         self.column_ids = (
@@ -70,6 +73,18 @@ class TableScanner:
         self.frozen_blocks_scanned = 0
         self.hot_blocks_scanned = 0
         self.blocks_pruned = 0
+        if registry is not None:
+            self._m_pruned = registry.counter(
+                "query.blocks_pruned_total", "frozen blocks skipped via zone maps"
+            )
+            self._m_frozen = registry.counter(
+                "query.frozen_blocks_scanned_total", "blocks scanned in place"
+            )
+            self._m_hot = registry.counter(
+                "query.hot_blocks_scanned_total", "blocks scanned through MVCC"
+            )
+        else:
+            self._m_pruned = self._m_frozen = self._m_hot = None
 
     def batches(self) -> Iterator[ColumnBatch]:
         """Yield one batch per block that has any visible rows."""
@@ -78,14 +93,20 @@ class TableScanner:
                 try:
                     if self._pruned_by_zone_map(block):
                         self.blocks_pruned += 1
+                        if self._m_pruned is not None:
+                            self._m_pruned.inc()
                         continue
                     batch = self._frozen_batch(block)
                 finally:
                     block.end_frozen_read()
                 self.frozen_blocks_scanned += 1
+                if self._m_frozen is not None:
+                    self._m_frozen.inc()
             else:
                 batch = self._hot_batch(block)
                 self.hot_blocks_scanned += 1
+                if self._m_hot is not None:
+                    self._m_hot.inc()
             if batch.num_rows:
                 yield batch
 

@@ -58,7 +58,10 @@ class TransformQueue:
             return items
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Current depth, read under the lock (surfaced as the
+        ``transform.queue_depth`` gauge / ``transform_queue_depth`` metric)."""
+        with self._lock:
+            return len(self._queue)
 
 
 class AccessObserver:
@@ -68,7 +71,7 @@ class AccessObserver:
     with a ~10 ms GC period, one epoch ≈ the paper's aggressive setting.
     """
 
-    def __init__(self, threshold_epochs: int = 1) -> None:
+    def __init__(self, threshold_epochs: int = 1, registry=None) -> None:
         if threshold_epochs < 1:
             raise ValueError("threshold must be at least one epoch")
         self.threshold_epochs = threshold_epochs
@@ -79,6 +82,12 @@ class AccessObserver:
         self._tables: "list[DataTable]" = []
         self._block_tables: "dict[int, DataTable]" = {}
         self.blocks_queued = 0
+        from repro.obs.registry import MetricRegistry
+
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._m_blocks_queued = self.registry.counter(
+            "transform.blocks_queued_total", "blocks detected cold and enqueued"
+        )
 
     def watch_table(self, table: "DataTable") -> None:
         """Start considering ``table``'s blocks for transformation.
@@ -106,6 +115,7 @@ class AccessObserver:
                 if self._is_cold(table, block, epoch):
                     if self.queue.push(table, block):
                         self.blocks_queued += 1
+                        self._m_blocks_queued.inc()
 
     def _is_cold(self, table: "DataTable", block: "RawBlock", epoch: int) -> bool:
         if block.state is not BlockState.HOT:

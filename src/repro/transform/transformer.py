@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal
 
 from repro.gc_engine.collector import GarbageCollector
+from repro.obs import trace
+from repro.obs.registry import STATE, MetricRegistry
 from repro.storage.constants import BlockState
 from repro.transform.access_observer import AccessObserver
 from repro.transform.arrow_view import rows_to_record_batch
@@ -79,6 +81,7 @@ class BlockTransformer:
         cold_format: Literal["gather", "dictionary"] = "gather",
         optimal_compaction: bool = False,
         group_policy=None,
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.txn_manager = txn_manager
         self.gc = gc
@@ -98,6 +101,48 @@ class BlockTransformer:
         #: (table, block) pairs compacted and awaiting the freeze attempt.
         self.freeze_pending: list[tuple["DataTable", "RawBlock"]] = []
         self._pending_lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_groups_compacted = reg.counter(
+            "transform.groups_compacted_total", "compaction groups committed"
+        )
+        self._m_groups_aborted = reg.counter(
+            "transform.groups_aborted_total", "compaction groups lost to conflicts"
+        )
+        self._m_tuples_moved = reg.counter(
+            "transform.tuples_moved_total", "tuples relocated by compaction"
+        )
+        self._m_blocks_frozen = reg.counter(
+            "transform.blocks_frozen_total", "blocks reaching FROZEN"
+        )
+        self._m_blocks_freed = reg.counter(
+            "transform.blocks_freed_total", "emptied blocks returned to the store"
+        )
+        self._m_freezes_preempted = reg.counter(
+            "transform.freezes_preempted_total", "freeze attempts bounced by writers"
+        )
+        self._m_freeze_retries = reg.counter(
+            "transform.freeze_retries_total", "freeze attempts deferred to next pass"
+        )
+        self._m_compaction_seconds = reg.histogram(
+            "transform.compaction_seconds", "phase-1 duration per compaction group"
+        )
+        self._m_gather_seconds = reg.histogram(
+            "transform.gather_seconds", "phase-2 gather duration per block"
+        )
+        self._m_dictionary_seconds = reg.histogram(
+            "transform.dictionary_seconds", "phase-2 dictionary duration per block"
+        )
+        reg.gauge(
+            "transform.queue_depth",
+            "cooled blocks awaiting transformation",
+            callback=lambda: len(self.observer.queue),
+        )
+        reg.gauge(
+            "transform.freeze_pending",
+            "compacted blocks awaiting the freeze attempt",
+            callback=lambda: len(self.freeze_pending),
+        )
 
     # ------------------------------------------------------------------ #
     # phase 1: drain queue, compact groups                                #
@@ -156,30 +201,37 @@ class BlockTransformer:
         blocks = [b for b in blocks if b.state is BlockState.HOT]
         planner = plan_compaction_optimal if self.optimal_compaction else plan_compaction
         began = time.perf_counter()
-        plan = planner(blocks) if blocks else CompactionPlan(blocks=[])
-        if not blocks:
-            return GroupResult(plan, compacted=False)
-        txn = execute_compaction(self.txn_manager, table, plan)
-        if txn is None:
-            with self._stats_lock:
-                self.stats.groups_aborted += 1
-            return GroupResult(plan, compacted=False)
-        # Flag flips happen before the commit: any transaction that slips a
-        # write past the COOLING check must overlap this transaction, so the
-        # GC cannot prune our records until it ends — the freeze attempt's
-        # version-pointer scan will see the interloper (Figure 9's fix).
-        keep = plan.filled_blocks + (
-            [plan.partial_block] if plan.partial_block is not None else []
-        )
-        cooled = [
-            b for b in keep if b.compare_and_swap_state(BlockState.HOT, BlockState.COOLING)
-        ]
-        commit_ts = self.txn_manager.commit(txn)
+        with trace.span("transform.compaction"):
+            plan = planner(blocks) if blocks else CompactionPlan(blocks=[])
+            if not blocks:
+                return GroupResult(plan, compacted=False)
+            txn = execute_compaction(self.txn_manager, table, plan)
+            if txn is None:
+                with self._stats_lock:
+                    self.stats.groups_aborted += 1
+                self._m_groups_aborted.inc()
+                return GroupResult(plan, compacted=False)
+            # Flag flips happen before the commit: any transaction that slips a
+            # write past the COOLING check must overlap this transaction, so the
+            # GC cannot prune our records until it ends — the freeze attempt's
+            # version-pointer scan will see the interloper (Figure 9's fix).
+            keep = plan.filled_blocks + (
+                [plan.partial_block] if plan.partial_block is not None else []
+            )
+            cooled = [
+                b for b in keep if b.compare_and_swap_state(BlockState.HOT, BlockState.COOLING)
+            ]
+            commit_ts = self.txn_manager.commit(txn)
+        elapsed = time.perf_counter() - began
         with self._stats_lock:
             self.stats.groups_compacted += 1
             self.stats.tuples_moved += plan.movement_count
             self.stats.compaction_write_set_ops += len(txn.undo_buffer)
-            self.stats.compaction_seconds += time.perf_counter() - began
+            self.stats.compaction_seconds += elapsed
+        if STATE.enabled:
+            self._m_groups_compacted.inc()
+            self._m_tuples_moved.inc(plan.movement_count)
+            self._m_compaction_seconds.observe(elapsed)
         for block in plan.empty_blocks:
             self._schedule_block_release(table, block, commit_ts)
         with self._pending_lock:
@@ -195,6 +247,7 @@ class BlockTransformer:
             if block.is_empty() and block.block_id in table._blocks_by_id:
                 table.drop_block(block)
                 self.stats.blocks_freed += 1
+                self._m_blocks_freed.inc()
 
         self.gc.deferred.register(commit_ts, _release)
 
@@ -217,30 +270,43 @@ class BlockTransformer:
         for table, block in pending:
             if block.state is not BlockState.COOLING:
                 self.stats.freezes_preempted += 1
+                self._m_freezes_preempted.inc()
                 continue
             if block.has_active_versions():
                 self.stats.freeze_retries += 1
+                self._m_freeze_retries.inc()
                 still_pending.append((table, block))
                 continue
             if not block.compare_and_swap_state(BlockState.COOLING, BlockState.FREEZING):
                 self.stats.freezes_preempted += 1
+                self._m_freezes_preempted.inc()
                 continue
             if block.has_active_versions():
                 # An interloper slipped in between scan and CAS; back off.
                 block.set_state(BlockState.HOT)
                 self.stats.freezes_preempted += 1
+                self._m_freezes_preempted.inc()
                 continue
             began = time.perf_counter()
             unlink_ts = self.txn_manager.timestamps.checkpoint()
             defer = lambda action, ts=unlink_ts: self.gc.deferred.register(ts, action)
             if self.cold_format == "dictionary":
-                dictionary_compress_block(block, defer)
+                with trace.span("transform.dictionary"):
+                    dictionary_compress_block(block, defer)
             else:
-                gather_block(block, defer)
+                with trace.span("transform.gather"):
+                    gather_block(block, defer)
             block.frozen_at = self.txn_manager.timestamps.checkpoint()
             block.set_state(BlockState.FROZEN)
-            self.stats.gather_seconds += time.perf_counter() - began
+            elapsed = time.perf_counter() - began
+            self.stats.gather_seconds += elapsed
             self.stats.blocks_frozen += 1
+            if STATE.enabled:
+                self._m_blocks_frozen.inc()
+                if self.cold_format == "dictionary":
+                    self._m_dictionary_seconds.observe(elapsed)
+                else:
+                    self._m_gather_seconds.observe(elapsed)
             frozen += 1
         with self._pending_lock:
             self.freeze_pending = still_pending + self.freeze_pending

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import TransactionAborted
+from repro.obs.registry import STATE, MetricRegistry
 from repro.txn.context import TransactionContext, TxnState
 from repro.txn.timestamps import TimestampManager
 from repro.txn.undo import DeleteUndoRecord, InsertUndoRecord, UpdateUndoRecord
@@ -29,6 +31,7 @@ class TransactionManager:
         self,
         timestamps: TimestampManager | None = None,
         log_manager: "LogManager | None" = None,
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.timestamps = timestamps or TimestampManager()
         self.log_manager = log_manager
@@ -37,6 +40,26 @@ class TransactionManager:
         self._active: dict[int, TransactionContext] = {}
         #: Completed (committed or aborted) transactions awaiting GC.
         self._completed: deque[tuple[int, TransactionContext]] = deque()
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_begin_total = reg.counter("txn.begin_total", "transactions started")
+        self._m_commit_total = reg.counter("txn.commit_total", "transactions committed")
+        self._m_abort_total = reg.counter("txn.abort_total", "transactions rolled back")
+        self._m_conflict_total = reg.counter(
+            "txn.ww_conflict_abort_total",
+            "aborts forced by write-write conflicts",
+        )
+        self._m_begin_seconds = reg.histogram("txn.begin_seconds", "begin latency")
+        self._m_commit_seconds = reg.histogram(
+            "txn.commit_seconds", "commit latency incl. log submission"
+        )
+        self._m_abort_seconds = reg.histogram("txn.abort_seconds", "rollback latency")
+        reg.gauge("txn.active", "in-flight transactions", callback=lambda: self.active_count)
+        reg.gauge(
+            "txn.pending_gc",
+            "completed transactions awaiting GC",
+            callback=lambda: self.pending_gc_count,
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
@@ -44,10 +67,14 @@ class TransactionManager:
 
     def begin(self) -> TransactionContext:
         """Start a transaction; its snapshot is the current clock value."""
+        began = perf_counter() if STATE.enabled else 0.0
         start_ts, txn_id = self.timestamps.begin()
         txn = TransactionContext(start_ts, txn_id)
         with self._lock:
             self._active[start_ts] = txn
+        if began:
+            self._m_begin_total.inc()
+            self._m_begin_seconds.observe(perf_counter() - began)
         return txn
 
     def commit(
@@ -65,6 +92,7 @@ class TransactionManager:
         if txn.must_abort:
             self.abort(txn)
             raise TransactionAborted("transaction aborted by write-write conflict")
+        began = perf_counter() if STATE.enabled else 0.0
         with self._lock:
             commit_ts = self.timestamps.commit_timestamp()
             for record in txn.undo_buffer:
@@ -76,6 +104,9 @@ class TransactionManager:
         if callback is not None:
             txn.on_durable(callback)
         self._submit_to_log(txn, commit_ts)
+        if began:
+            self._m_commit_total.inc()
+            self._m_commit_seconds.observe(perf_counter() - began)
         return commit_ts
 
     def abort(self, txn: TransactionContext) -> None:
@@ -83,6 +114,7 @@ class TransactionManager:
         records with the aborted sentinel so they are invisible forever."""
         if txn.state is not TxnState.ACTIVE:
             raise TransactionAborted(f"transaction already {txn.state.value}")
+        began = perf_counter() if STATE.enabled else 0.0
         for record in txn.undo_buffer.reverse_iter():
             if isinstance(record, UpdateUndoRecord):
                 record.table.rollback_update(record)
@@ -100,6 +132,11 @@ class TransactionManager:
             self._completed.append((abort_ts, txn))
         # An abort needs no durability: its commit record is never written.
         txn.signal_durable()
+        if began:
+            self._m_abort_total.inc()
+            if txn.must_abort:
+                self._m_conflict_total.inc()
+            self._m_abort_seconds.observe(perf_counter() - began)
 
     # ------------------------------------------------------------------ #
     # GC interface                                                        #

@@ -16,8 +16,11 @@ from __future__ import annotations
 import io
 import threading
 from collections import deque
+from time import perf_counter
 from typing import BinaryIO
 
+from repro.obs import trace
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, STATE, MetricRegistry
 from repro.txn.context import TransactionContext
 from repro.wal.records import encode_transaction
 
@@ -29,6 +32,7 @@ class LogManager:
         self,
         device: BinaryIO | None = None,
         synchronous: bool = True,
+        registry: MetricRegistry | None = None,
     ) -> None:
         #: The "disk": any binary file-like object.
         self.device = device if device is not None else io.BytesIO()
@@ -40,6 +44,26 @@ class LogManager:
         self.transactions_persisted = 0
         self._background: threading.Thread | None = None
         self._stop = threading.Event()
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_flush_total = reg.counter("wal.flush_total", "non-empty flush passes")
+        self._m_written_bytes = reg.counter("wal.written_bytes", "log bytes persisted")
+        self._m_persisted_total = reg.counter(
+            "wal.txns_persisted_total", "transactions made durable"
+        )
+        self._m_flush_seconds = reg.histogram(
+            "wal.flush_seconds", "serialize + fsync latency per flush"
+        )
+        self._m_batch_size = reg.histogram(
+            "wal.group_commit_batch",
+            "transactions per group-commit flush",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        reg.gauge(
+            "wal.pending",
+            "transactions enqueued but not yet persisted",
+            callback=lambda: self.pending_count,
+        )
 
     def submit(self, txn: TransactionContext) -> None:
         """Enqueue a committed transaction's redo buffer for flushing."""
@@ -55,20 +79,30 @@ class LogManager:
         callbacks processed — the paper requires them to pass through the
         commit-record protocol to avoid the speculative-read anomaly.
         """
+        began = perf_counter() if STATE.enabled else 0.0
         with self._lock:
             batch, self._queue = list(self._queue), deque()
             if not batch:
                 return 0
-            for txn in batch:
-                raw = encode_transaction(txn)
-                if raw:
-                    self.device.write(raw)
-                    self.bytes_written += len(raw)
-            self.device.flush()  # the fsync boundary
+            flushed_bytes = 0
+            with trace.span("wal.group_commit"):
+                for txn in batch:
+                    raw = encode_transaction(txn)
+                    if raw:
+                        self.device.write(raw)
+                        flushed_bytes += len(raw)
+                self.device.flush()  # the fsync boundary
+            self.bytes_written += flushed_bytes
             self.flush_count += 1
             self.transactions_persisted += len(batch)
         for txn in batch:
             txn.signal_durable()
+        if began:
+            self._m_flush_total.inc()
+            self._m_written_bytes.inc(flushed_bytes)
+            self._m_persisted_total.inc(len(batch))
+            self._m_batch_size.observe(len(batch))
+            self._m_flush_seconds.observe(perf_counter() - began)
         return len(batch)
 
     @property
@@ -102,6 +136,13 @@ class LogManager:
         self._stop.set()
         self._background.join()
         self._background = None
+
+    def truncate(self, device: BinaryIO | None = None) -> None:
+        """Replace the log device and zero the byte accounting (used by
+        checkpointing, which makes the pre-checkpoint log obsolete)."""
+        self.device = device if device is not None else io.BytesIO()
+        self.bytes_written = 0
+        self._m_written_bytes.reset()
 
     def contents(self) -> bytes:
         """The full log image (only for in-memory devices)."""

@@ -14,3 +14,21 @@ def test_cli_demo_runs(capsys):
 def test_cli_custom_seed(capsys):
     assert main(["--rows", "300", "--seed", "42"]) == 0
     assert "in-engine aggregate" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    import json
+
+    assert main(["--rows", "300", "--format", "json"]) == 0
+    out = capsys.readouterr().out
+    payload = out[out.index("{") :]
+    snapshot = json.loads(payload[: payload.rindex("}") + 1])
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+    assert snapshot["counters"]["txn.commit_total"] >= 1
+
+
+def test_cli_prometheus_format(capsys):
+    assert main(["--rows", "300", "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE txn_commit_total counter" in out
+    assert "# TYPE wal_flush_seconds histogram" in out

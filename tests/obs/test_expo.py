@@ -1,0 +1,135 @@
+"""Exposition: Prometheus text format validity and JSON snapshot stability."""
+
+import json
+import re
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8, obs
+from repro.export import TableExporter
+from repro.query import Query
+
+# One Prometheus text-format line: name{labels}? value
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+@pytest.fixture
+def worked_db():
+    """A database that has exercised txn, wal, gc, transform, and export."""
+    db = Database(cold_threshold_epochs=1)
+    info = db.create_table(
+        "t",
+        [ColumnSpec("id", INT64), ColumnSpec("name", UTF8)],
+        block_size=1 << 14,
+        watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(info.table.layout.num_slots * 2):
+            info.table.insert(txn, {0: i, 1: f"value-{i}-padded-out-of-line"})
+    doomed = db.begin()
+    info.table.insert(doomed, {0: 999, 1: "rolled back"})
+    db.abort(doomed)
+    db.freeze_table("t")
+    TableExporter(db.txn_manager, info.table, registry=db.obs).export("arrow-wire")
+    Query(db, "t").where_between("id", 0, 10).count()
+    return db
+
+
+def test_prometheus_lines_all_parse(worked_db):
+    text = obs.render_prometheus(worked_db.obs)
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert _COMMENT_LINE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert _METRIC_LINE.match(line), f"bad metric line: {line!r}"
+
+
+def test_prometheus_covers_every_component(worked_db):
+    """≥1 counter, gauge, and histogram from txn, wal, gc, transform, export."""
+    text = obs.render_prometheus(worked_db.obs)
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+    for component, counter, gauge, histogram in [
+        ("txn", "txn_commit_total", "txn_active", "txn_commit_seconds"),
+        ("wal", "wal_written_bytes", "wal_pending", "wal_flush_seconds"),
+        ("gc", "gc_pass_total", "gc_deferred_pending", "gc_pass_seconds"),
+        (
+            "transform",
+            "transform_blocks_frozen_total",
+            "transform_queue_depth",
+            "transform_compaction_seconds",
+        ),
+        (
+            "export",
+            "export_exports_total",
+            "export_last_throughput_mb_per_sec",
+            "export_serialization_seconds",
+        ),
+    ]:
+        assert types.get(counter) == "counter", (component, counter, types.get(counter))
+        assert types.get(gauge) == "gauge", (component, gauge, types.get(gauge))
+        assert types.get(histogram) == "histogram", (component, histogram)
+
+
+def test_prometheus_histogram_family_shape(worked_db):
+    text = obs.render_prometheus(worked_db.obs)
+    lines = text.splitlines()
+    buckets = [l for l in lines if l.startswith("txn_commit_seconds_bucket")]
+    assert buckets, "histogram bucket series missing"
+    assert buckets[-1].startswith('txn_commit_seconds_bucket{le="+Inf"}')
+    # Cumulative counts never decrease.
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    assert any(l.startswith("txn_commit_seconds_sum ") for l in lines)
+    count_line = next(l for l in lines if l.startswith("txn_commit_seconds_count "))
+    assert int(count_line.split(" ")[1]) == counts[-1]
+
+
+def test_json_snapshot_parses_and_is_stable(worked_db):
+    first = obs.render_json(worked_db.obs)
+    payload = json.loads(first)
+    assert set(payload) == {"counters", "gauges", "histograms"}
+    assert payload["counters"]["txn.commit_total"] >= 1
+    assert payload["counters"]["gc.pass_total"] >= 1
+    hist = payload["histograms"]["txn.commit_seconds"]
+    assert hist["count"] == sum(count for _, count in hist["buckets"])
+    assert hist["buckets"][-1][0] == "+Inf"
+    # Stable: a quiescent engine renders byte-identical JSON.
+    assert obs.render_json(worked_db.obs) == first
+
+
+def test_snapshot_counts_match_engine_activity(worked_db):
+    snap = obs.snapshot(worked_db.obs)
+    m = worked_db.metrics()
+    assert snap["counters"]["gc.pass_total"] == m["gc_passes"]
+    assert snap["counters"]["wal.written_bytes"] == m["wal_bytes_written"]
+    assert snap["counters"]["txn.abort_total"] >= 1
+    assert snap["counters"]["transform.blocks_frozen_total"] == m["transform_blocks_frozen"] > 0
+    assert snap["counters"]["query.blocks_pruned_total"] >= 0
+
+
+def test_wal_counter_matches_log_manager(worked_db):
+    assert (
+        worked_db.obs.counter("wal.written_bytes").value
+        == worked_db.log_manager.bytes_written
+    )
+    assert (
+        worked_db.obs.counter("wal.flush_total").value
+        == worked_db.log_manager.flush_count
+    )

@@ -1,0 +1,188 @@
+"""Registry primitives: sharded counters, gauges, fixed-bucket histograms."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    """Every test in this module runs with recording on, and restores it."""
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+class TestCounter:
+    def test_concurrent_increments_sum_exactly(self):
+        """≥8 real threads hammering one counter lose no increments."""
+        counter = Counter("t.hits_total")
+        threads_n, per_thread = 10, 25_000
+        barrier = threading.Barrier(threads_n)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == threads_n * per_thread
+
+    def test_concurrent_mixed_amounts(self):
+        counter = Counter("t.bytes")
+        def worker(amount):
+            for _ in range(10_000):
+                counter.inc(amount)
+        threads = [threading.Thread(target=worker, args=(a,)) for a in range(1, 9)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 10_000 * sum(range(1, 9))
+
+    def test_reset(self):
+        counter = Counter("t.n_total")
+        counter.inc(5)
+        counter.reset()
+        assert counter.value == 0
+        counter.inc(2)
+        assert counter.value == 2
+
+    def test_disabled_is_noop(self):
+        counter = Counter("t.n_total")
+        counter.inc(3)
+        obs.configure(enabled=False)
+        counter.inc(100)
+        assert counter.value == 3
+        obs.configure(enabled=True)
+        counter.inc()
+        assert counter.value == 4
+
+    def test_dead_thread_contribution_survives(self):
+        counter = Counter("t.n_total")
+        t = threading.Thread(target=lambda: counter.inc(7))
+        t.start(); t.join()
+        counter.inc(1)
+        assert counter.value == 8
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("Bad Name!")
+        with pytest.raises(ValueError):
+            Counter(".leading.dot")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("t.depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_gauge_tracks_live_state(self):
+        items = []
+        gauge = Gauge("t.depth", callback=lambda: len(items))
+        assert gauge.value == 0
+        items.extend([1, 2, 3])
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_bucket_boundaries_le_semantics(self):
+        """A value equal to an upper bound lands in that bucket (le=...)."""
+        hist = Histogram("t.lat_seconds", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap.counts == [2, 2, 2, 2]  # le=1, le=2, le=5, +Inf
+        assert snap.count == 8
+        assert snap.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 5.1 + 100.0)
+        cumulative = snap.cumulative()
+        assert cumulative == [(1.0, 2), (2.0, 4), (5.0, 6), (float("inf"), 8)]
+
+    def test_default_buckets_sorted_and_mean(self):
+        hist = Histogram("t.lat_seconds")
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert hist.snapshot().mean is None
+        hist.observe(0.25)
+        hist.observe(0.75)
+        assert hist.snapshot().mean == pytest.approx(0.5)
+
+    def test_concurrent_observations_sum_exactly(self):
+        hist = Histogram("t.lat_seconds", buckets=(0.5,))
+        def worker():
+            for _ in range(10_000):
+                hist.observe(0.25)
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = hist.snapshot()
+        assert snap.count == 80_000
+        assert snap.counts[0] == 80_000
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t.x_seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("t.x_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t.x_seconds", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a.b_total") is reg.counter("a.b_total")
+        assert reg.gauge("a.depth") is reg.gauge("a.depth")
+        assert reg.histogram("a.lat_seconds") is reg.histogram("a.lat_seconds")
+
+    def test_type_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("a.b_total")
+        with pytest.raises(TypeError):
+            reg.gauge("a.b_total")
+        with pytest.raises(TypeError):
+            reg.histogram("a.b_total")
+
+    def test_iteration_is_name_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("z.last_total")
+        reg.gauge("a.first")
+        reg.histogram("m.mid_seconds")
+        assert [i.name for i in reg] == ["a.first", "m.mid_seconds", "z.last_total"]
+        assert len(reg) == 3
+        assert "a.first" in reg and "nope" not in reg
+
+    def test_reset_zeroes_counters_and_histograms(self):
+        reg = MetricRegistry()
+        reg.counter("a.n_total").inc(9)
+        reg.histogram("a.lat_seconds").observe(0.1)
+        reg.gauge("a.depth").set(4)
+        live = reg.gauge("a.live", callback=lambda: 11)
+        reg.reset()
+        assert reg.counter("a.n_total").value == 0
+        assert reg.histogram("a.lat_seconds").snapshot().count == 0
+        assert reg.gauge("a.depth").value == 0
+        assert live.value == 11  # callback gauges are live state, not samples
+
+    def test_registries_are_isolated(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("x.n_total").inc(5)
+        assert b.counter("x.n_total").value == 0
