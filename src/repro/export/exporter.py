@@ -131,9 +131,18 @@ class TableExporter:
     # ------------------------------------------------------------------ #
 
     def _scan_rows(self) -> list[tuple]:
-        txn = self.txn_manager.begin()
-        rows = [tuple(row.to_dict().values()) for _, row in self.table.scan(txn)]
-        self.txn_manager.commit(txn)
+        """Materialize the table as row tuples through the vectorized scan.
+
+        Frozen blocks stream straight off the Arrow buffers; hot blocks go
+        through the block-at-a-time MVCC snapshot — much cheaper than the
+        per-tuple ``DataTable.select`` loop the row protocols used to pay."""
+        from repro.query.scan import TableScanner
+
+        scanner = TableScanner(self.txn_manager, self.table, registry=self.registry)
+        column_ids = list(range(self.table.layout.num_columns))
+        rows: list[tuple] = []
+        for batch in scanner.batches():
+            rows.extend(zip(*(batch.pylist(c) for c in column_ids)))
         return rows
 
     def _payload_bytes(self, rows: list[tuple]) -> int:

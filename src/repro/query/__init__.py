@@ -9,21 +9,24 @@ version column for every tuple and scan large portions of the database
 in-place").
 """
 
-from repro.query.scan import ColumnBatch, TableScanner
+from repro.query.scan import ArrowColumnView, ColumnBatch, TableScanner
 from repro.query.ops import (
     AggregateResult,
     aggregate,
     filter_mask,
+    filter_masks,
     group_by_aggregate,
 )
 from repro.query.builder import Query
 
 __all__ = [
     "AggregateResult",
+    "ArrowColumnView",
     "ColumnBatch",
     "Query",
     "TableScanner",
     "aggregate",
     "filter_mask",
+    "filter_masks",
     "group_by_aggregate",
 ]

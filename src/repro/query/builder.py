@@ -87,6 +87,26 @@ class Query:
                 bounds[column_id] = [value, value]
         return {c: (lo, hi) for c, (lo, hi) in bounds.items() if lo is not None or hi is not None}
 
+    def _residual_filters(self) -> list[tuple[int, str, Any]]:
+        """Predicates the scanner's selection vector does *not* fully
+        absorb.  The pushed bounds are inclusive and NULL-excluding, so a
+        ``>=``/``<=``/``==`` predicate implied by the final merged bounds
+        needs no re-masking; strict (``>``/``<``), ``!=``, and non-numeric
+        predicates are re-applied over the selected rows."""
+        bounds = self._range_filters()
+        residual: list[tuple[int, str, Any]] = []
+        for column_id, op, value in self._filters:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                low, high = bounds.get(column_id, (None, None))
+                if op == ">=" and low is not None and low >= value:
+                    continue
+                if op == "<=" and high is not None and high <= value:
+                    continue
+                if op == "==" and low == value and high == value:
+                    continue
+            residual.append((column_id, op, value))
+        return residual
+
     def _scanner(self, value_columns: list[int]) -> TableScanner:
         needed = sorted(
             set(value_columns)
@@ -102,10 +122,16 @@ class Query:
         )
 
     def _mask(self, batch: ColumnBatch) -> np.ndarray:
-        mask = np.ones(batch.num_rows, dtype=bool)
-        for column_id, op, value in self._filters:
+        """Rows passing every predicate: the scanner's selection vector
+        (which already enforces the absorbed range bounds) AND the
+        residual predicates re-masked here."""
+        mask = batch.selection_mask()
+        mask = np.ones(batch.num_rows, dtype=bool) if mask is None else mask
+        for column_id, op, value in self._residual_filters():
             fn = _OPS[op]
-            mask &= filter_mask(batch, column_id, lambda v, fn=fn, value=value: fn(v, value))
+            mask = mask & filter_mask(
+                batch, column_id, lambda v, fn=fn, value=value: fn(v, value)
+            )
         return mask
 
     def _iter_filtered(self, value_column: int):
@@ -114,7 +140,9 @@ class Query:
             mask = self._mask(batch)
             vector = batch.column(value_column)
             if isinstance(vector, np.ndarray):
-                yield batch, mask, vector[mask]
+                nulls = batch.null_masks.get(value_column)
+                keep = mask if nulls is None else mask & ~nulls
+                yield batch, mask, vector[keep]
             else:
                 yield batch, mask, [v for v, keep in zip(vector, mask) if keep]
 
@@ -127,10 +155,8 @@ class Query:
             return result
         groups: dict[Any, AggregateResult] = {}
         for batch, mask, _ in self._iter_filtered(value_column):
-            keys = batch.column(self._group_key)
-            values = batch.column(value_column)
-            keys_list = keys.tolist() if isinstance(keys, np.ndarray) else keys
-            values_list = values.tolist() if isinstance(values, np.ndarray) else values
+            keys_list = batch.pylist(self._group_key)
+            values_list = batch.pylist(value_column)
             for key, value, keep in zip(keys_list, values_list, mask):
                 if keep and value is not None:
                     groups.setdefault(key, AggregateResult()).update([value])
@@ -214,10 +240,7 @@ class Query:
         rows: list[dict[str, Any]] = []
         for batch in scanner.batches():
             mask = self._mask(batch)
-            vectors = {
-                c: (v.tolist() if isinstance(v := batch.column(c), np.ndarray) else v)
-                for c in all_columns
-            }
+            vectors = {c: batch.pylist(c) for c in all_columns}
             for i in range(batch.num_rows):
                 if not mask[i]:
                     continue

@@ -1,4 +1,12 @@
-"""Vectorized operators over column batches: filter, aggregate, group-by."""
+"""Vectorized operators over column batches: filter, aggregate, group-by.
+
+Operators consume the scanner's pushed-down selection vectors: a batch
+arrives with ``batch.selection`` already restricted to the rows inside the
+scan's inclusive range bounds, so only *residual* predicates need a mask
+here.  NULL handling is explicit — :func:`filter_masks` returns the
+predicate mask and the NULL mask side by side, because "predicate false"
+and "value unknown" are different answers (COUNT(*) filters and NULL-aware
+predicates must distinguish them)."""
 
 from __future__ import annotations
 
@@ -46,27 +54,69 @@ class AggregateResult:
         self.maximum = high if self.maximum is None else max(self.maximum, high)
 
 
-def filter_mask(batch: ColumnBatch, column_id: int, predicate: Predicate) -> np.ndarray:
-    """Boolean mask of rows where ``predicate(value)`` is true.
+def filter_masks(
+    batch: ColumnBatch, column_id: int, predicate: Predicate
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(mask, nulls)`` over all rows of the batch.
 
-    For numpy-backed columns the predicate is applied vectorized (it
-    receives the whole array and must return a boolean array); for list
-    columns it is applied per value.
+    ``mask[i]`` is true where row ``i`` is non-NULL *and* satisfies the
+    predicate; ``nulls[i]`` is true where the value is NULL (and the
+    predicate was never consulted).  For numpy-backed columns the
+    predicate is applied vectorized (it receives the whole array and must
+    return a boolean array); for list-like columns it is applied per
+    value.
     """
     vector = batch.column(column_id)
     if isinstance(vector, np.ndarray):
-        mask = predicate(vector)
-        mask = np.asarray(mask, dtype=bool)
+        nulls = batch.null_masks.get(column_id)
+        mask = np.asarray(predicate(vector), dtype=bool)
         if mask.shape != vector.shape:
             raise StorageError("vectorized predicate must return one bool per row")
+        if nulls is None:
+            return mask, np.zeros(len(vector), dtype=bool)
+        return mask & ~nulls, nulls
+    n = len(vector)
+    nulls = np.fromiter((v is None for v in vector), dtype=bool, count=n)
+    mask = np.fromiter(
+        (v is not None and bool(predicate(v)) for v in vector), dtype=bool, count=n
+    )
+    return mask, nulls
+
+
+def filter_mask(batch: ColumnBatch, column_id: int, predicate: Predicate) -> np.ndarray:
+    """Boolean mask of rows where ``predicate(value)`` is true.
+
+    NULL rows come back false — use :func:`filter_masks` when the caller
+    must tell NULL apart from a failed predicate.
+    """
+    return filter_masks(batch, column_id, predicate)[0]
+
+
+def _combine_keep(batch: ColumnBatch, mask: np.ndarray | None) -> np.ndarray | None:
+    """Fold the batch's selection into an (optional) predicate mask."""
+    selection = batch.selection_mask()
+    if mask is None:
+        return selection
+    if selection is None:
         return mask
-    return np.array([v is not None and bool(predicate(v)) for v in vector], dtype=bool)
+    return mask & selection
 
 
-def _masked(vector, mask: np.ndarray):
+def _non_null_values(batch: ColumnBatch, column_id: int, keep: np.ndarray | None):
+    """Values of ``column_id`` under ``keep`` (all rows when ``None``),
+    with NULLs dropped; numpy arrays stay numpy."""
+    vector = batch.column(column_id)
     if isinstance(vector, np.ndarray):
-        return vector[mask]
-    return [v for v, keep in zip(vector, mask) if keep]
+        nulls = batch.null_masks.get(column_id)
+        if keep is None and nulls is None:
+            return vector
+        valid = ~nulls if nulls is not None else np.ones(len(vector), dtype=bool)
+        if keep is not None:
+            valid &= keep
+        return vector[valid]
+    if keep is None:
+        return [v for v in vector if v is not None]
+    return [v for v, k in zip(vector, keep) if k and v is not None]
 
 
 def aggregate(
@@ -75,17 +125,17 @@ def aggregate(
     filter_column: int | None = None,
     predicate: Predicate | None = None,
 ) -> AggregateResult:
-    """COUNT/SUM/MIN/MAX/AVG of one column, optionally filtered."""
+    """COUNT/SUM/MIN/MAX/AVG of one column, optionally filtered.
+
+    The scanner's selection vector is applied first; ``predicate`` (if
+    any) masks the remaining rows."""
     result = AggregateResult()
     for batch in scanner.batches():
-        vector = batch.column(value_column)
         if filter_column is not None and predicate is not None:
-            mask = filter_mask(batch, filter_column, predicate)
-            vector = _masked(vector, mask)
-        if isinstance(vector, np.ndarray):
-            result.update(vector)
+            keep = _combine_keep(batch, filter_mask(batch, filter_column, predicate))
         else:
-            result.update(vector)
+            keep = _combine_keep(batch, None)
+        result.update(_non_null_values(batch, value_column, keep))
     return result
 
 
@@ -99,7 +149,19 @@ def group_by_aggregate(
     for batch in scanner.batches():
         keys = batch.column(key_column)
         values = batch.column(value_column)
-        if isinstance(keys, np.ndarray) and isinstance(values, np.ndarray):
+        keep = _combine_keep(batch, None)
+        if (
+            isinstance(keys, np.ndarray)
+            and isinstance(values, np.ndarray)
+            and key_column not in batch.null_masks
+        ):
+            value_nulls = batch.null_masks.get(value_column)
+            valid = keep if keep is not None else None
+            if value_nulls is not None:
+                valid = ~value_nulls if valid is None else valid & ~value_nulls
+            if valid is not None:
+                keys = keys[valid]
+                values = values[valid]
             order = np.argsort(keys, kind="stable")
             sorted_keys = keys[order]
             sorted_values = values[order]
@@ -107,19 +169,22 @@ def group_by_aggregate(
             starts = np.concatenate(([0], boundaries))
             ends = np.concatenate((boundaries, [len(sorted_keys)]))
             for start, end in zip(starts, ends):
+                if start == end:
+                    continue
                 key = sorted_keys[start].item()
                 groups.setdefault(key, AggregateResult()).update(
                     sorted_values[start:end]
                 )
         else:
-            keys_list = keys.tolist() if isinstance(keys, np.ndarray) else keys
-            values_list = (
-                values.tolist() if isinstance(values, np.ndarray) else values
-            )
+            keys_list = batch.pylist(key_column)
+            values_list = batch.pylist(value_column)
             per_key: dict[Any, list] = {}
-            for key, value in zip(keys_list, values_list):
-                if value is not None:
-                    per_key.setdefault(key, []).append(value)
+            for i, (key, value) in enumerate(zip(keys_list, values_list)):
+                if value is None:
+                    continue
+                if keep is not None and not keep[i]:
+                    continue
+                per_key.setdefault(key, []).append(value)
             for key, vals in per_key.items():
                 groups.setdefault(key, AggregateResult()).update(vals)
     return groups

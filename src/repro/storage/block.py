@@ -52,6 +52,20 @@ class RawBlock:
         #: ``col -> (min, max)`` over live non-null fixed-width values.
         #: Only trustworthy while the block is FROZEN.
         self.zone_maps: dict[int, tuple[float, float]] = {}
+        #: Write-side zone maps for scans over non-frozen blocks:
+        #: ``col -> [min, max]`` widened on every in-place write (under the
+        #: write latch) and never narrowed, so they conservatively cover
+        #: every value any snapshot could see — in place *or* on a version
+        #: chain (before-images were themselves once written in place).
+        #: Seeded from the frozen maps on a FROZEN→HOT transition, cleared
+        #: when a gather recomputes the exact frozen maps.
+        self.hot_zone_maps: dict[int, list[float]] = {}
+        #: Columns eligible for zone maps (numeric fixed-width).
+        self.zone_eligible = frozenset(
+            column_id
+            for column_id in layout.fixed_column_ids()
+            if layout.columns[column_id].dtype.numpy_dtype.kind in "iuf"  # type: ignore[union-attr]
+        )
         self._state = BlockState.HOT
         self._state_lock = threading.Lock()
         self._reader_count = 0
@@ -154,6 +168,7 @@ class RawBlock:
                     # must materialize now) but are kept alive: relaxed
                     # varlen entries may still point into them until the
                     # next gather rewrites every entry.
+                    self._seed_hot_zone_maps()
                     self.wait_for_readers()
                     return
             elif state is BlockState.COOLING:
@@ -164,6 +179,21 @@ class RawBlock:
                     self._readers_done.wait_for(
                         lambda: self._state is not BlockState.FREEZING, timeout=1.0
                     )
+
+    def _seed_hot_zone_maps(self) -> None:
+        """Fold the (exact) frozen zone maps into the widen-only hot maps
+        so a reheated block stays prunable.  Widens under the write latch
+        — concurrent writers widen there too, so no update is lost."""
+        with self.write_latch:
+            for column_id, (low, high) in self.zone_maps.items():
+                zone = self.hot_zone_maps.get(column_id)
+                if zone is None:
+                    self.hot_zone_maps[column_id] = [low, high]
+                else:
+                    if low < zone[0]:
+                        zone[0] = low
+                    if high > zone[1]:
+                        zone[1] = high
 
     # ------------------------------------------------------------------ #
     # physical access                                                     #

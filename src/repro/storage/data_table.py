@@ -318,6 +318,14 @@ class DataTable:
                 )
             else:
                 block.column_view(column_id)[offset] = value
+                if column_id in block.zone_eligible:
+                    zone = block.hot_zone_maps.get(column_id)
+                    if zone is None:
+                        block.hot_zone_maps[column_id] = [value, value]
+                    elif value < zone[0]:
+                        zone[0] = value
+                    elif value > zone[1]:
+                        zone[1] = value
 
     def layout_allows_null(self, column_id: int) -> bool:
         """Whether NULL may be stored in ``column_id``.

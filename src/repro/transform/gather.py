@@ -136,6 +136,9 @@ def compute_fixed_metadata(
     re-frozen block never carries stale zone maps.
     """
     block.zone_maps.clear()
+    # The exact frozen maps supersede the widen-only hot maps; a later
+    # FROZEN→HOT transition re-seeds them (RawBlock._seed_hot_zone_maps).
+    block.hot_zone_maps.clear()
     for column_id in block.layout.fixed_column_ids():
         validity = block.validity_bitmaps[column_id]
         valid_mask = validity.to_numpy()[:n] if n else None

@@ -52,12 +52,23 @@ class TestScanner:
         assert isinstance(batch.column(0), np.ndarray)
         assert batch.from_frozen
 
-    def test_varlen_columns_are_lists(self):
+    def test_frozen_varlen_columns_are_lazy_views(self):
+        from repro.query import ArrowColumnView
+
         db, info = build()
         scanner = TableScanner(db.txn_manager, info.table, column_ids=[2])
         batch = next(scanner.batches())
-        assert isinstance(batch.column(2), list)
-        assert batch.column(2)[0].startswith("note-")
+        column = batch.column(2)
+        # Frozen varlen columns are served as a lazy Arrow view: point
+        # lookups hit the array directly, full materialization is deferred.
+        assert isinstance(column, ArrowColumnView)
+        assert column._values is None
+        assert column[0].startswith("note-")
+        assert column._values is None  # point lookup did not materialize
+        as_list = column.to_pylist()
+        assert isinstance(as_list, list)
+        assert len(as_list) == len(column) == batch.num_rows
+        assert all(isinstance(v, str) and v.startswith("note-") for v in as_list)
 
     def test_projection_restricts_columns(self):
         db, info = build()

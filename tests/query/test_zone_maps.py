@@ -118,16 +118,39 @@ class TestPruning:
         list(scanner.batches())
         assert scanner.blocks_pruned >= 1
 
-    def test_hot_blocks_never_pruned(self):
+    def test_hot_blocks_pruned_via_write_side_maps(self):
+        # Reheating seeds the widen-only hot zone maps from the frozen
+        # ones, so hot blocks stay prunable (and stay correct).
         db, info = build()
         for block in list(info.table.blocks):
             block.touch_hot()
         scanner = TableScanner(
             db.txn_manager, info.table, column_ids=[0], range_filters={0: (0, 1)}
         )
-        total = sum(b.num_rows for b in scanner.batches())
-        assert scanner.blocks_pruned == 0
-        assert total == 1200  # zone maps untrusted: everything scanned
+        result = aggregate(
+            scanner, value_column=0, filter_column=0,
+            predicate=lambda col: (col >= 0) & (col <= 1),
+        )
+        assert result.count == 2
+        assert scanner.blocks_pruned >= 1
+
+    def test_hot_zone_maps_widen_on_write(self):
+        # Writing an out-of-range value into a reheated block widens its
+        # hot map, so the block is no longer pruned for that range.
+        db, info = build()
+        last = info.table.blocks[-1]
+        last.touch_hot()
+        scanner = TableScanner(
+            db.txn_manager, info.table, column_ids=[0], range_filters={0: (-5, -1)}
+        )
+        assert sum(b.selected_count for b in scanner.batches()) == 0
+        assert scanner.blocks_pruned == len(info.table.blocks)
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: -3, 1: "below-range"})
+        scanner = TableScanner(
+            db.txn_manager, info.table, column_ids=[0], range_filters={0: (-5, -1)}
+        )
+        assert sum(b.selected_count for b in scanner.batches()) == 1
 
     def test_no_filters_means_no_pruning(self):
         db, info = build()
