@@ -31,8 +31,14 @@ from repro.arrowfmt.datatypes import (
 )
 from repro import obs
 from repro.db import Database
-from repro.errors import ReproError, TransactionAborted, WriteWriteConflict
+from repro.errors import (
+    DegradedError,
+    ReproError,
+    TransactionAborted,
+    WriteWriteConflict,
+)
 from repro.storage.layout import ColumnSpec
+from repro.txn.retry import retry_transaction
 
 __version__ = "0.1.0"
 
@@ -40,6 +46,7 @@ __all__ = [
     "BOOL",
     "ColumnSpec",
     "Database",
+    "DegradedError",
     "FLOAT32",
     "FLOAT64",
     "INT8",
@@ -56,4 +63,5 @@ __all__ = [
     "WriteWriteConflict",
     "__version__",
     "obs",
+    "retry_transaction",
 ]

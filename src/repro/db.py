@@ -80,6 +80,8 @@ class Database:
             optimal_compaction=optimal_compaction,
             registry=self.obs,
         )
+        if self.log_manager is not None:
+            self.log_manager.on_degrade = self._enter_degraded
         self._register_db_gauges()
 
     def _register_db_gauges(self) -> None:
@@ -105,6 +107,15 @@ class Database:
             "index.maintenance_ops",
             "cumulative index maintenance operations",
             callback=lambda: self.catalog.index_manager.total_maintenance_ops(),
+        )
+        reg.gauge(
+            "db.degraded",
+            "1 while the engine is in degraded read-only mode",
+            callback=lambda: 1.0 if self.degraded else 0.0,
+        )
+        self._m_background_errors = reg.counter(
+            "db.background_errors_total",
+            "exceptions survived by the maintenance threads",
         )
 
     def _live_tuple_count(self) -> int:
@@ -178,42 +189,26 @@ class Database:
         ``body`` must be safe to re-execute (it is rerun from scratch on
         conflict, against a fresh snapshot).  Returns ``body``'s result.
         Raises :class:`~repro.errors.TransactionAborted` once retries are
-        exhausted.
+        exhausted.  Immediate retries, no backoff — workloads wanting
+        jittered backoff use :func:`repro.txn.retry.retry_transaction`
+        directly.
         """
-        from repro.errors import TransactionAborted
+        from repro.txn.retry import retry_transaction
 
-        attempts = retries + 1
-        for attempt in range(attempts):
-            txn = self.begin()
-            try:
-                result = body(txn)
-            except TransactionAborted:
-                if txn.is_active:
-                    self.abort(txn)
-                if attempt == attempts - 1:
-                    raise
-                continue
-            except BaseException:
-                if txn.is_active:
-                    self.abort(txn)
-                raise
-            if txn.must_abort:
-                self.abort(txn)
-                if attempt == attempts - 1:
-                    raise TransactionAborted(
-                        f"write-write conflict persisted across {attempts} attempts"
-                    )
-                continue
-            if txn.is_active:
-                self.commit(txn)
-            return result
+        return retry_transaction(self, body, retries=retries, base_backoff=0.0)
 
     # ------------------------------------------------------------------ #
     # background work                                                     #
     # ------------------------------------------------------------------ #
 
     def run_maintenance(self, passes: int = 1) -> int:
-        """Run GC + transformation passes; returns blocks frozen."""
+        """Run GC + transformation passes; returns blocks frozen.
+
+        A no-op in degraded read-only mode: the transformation pipeline
+        moves tuples, and degraded mode bars all writers.
+        """
+        if self.degraded:
+            return 0
         frozen = 0
         for _ in range(passes):
             frozen += self.transformer.run_pass()
@@ -257,16 +252,26 @@ class Database:
             return
         import threading
 
-        self._background_stop = threading.Event()
+        stop = self._background_stop = threading.Event()
+
+        def survive(step) -> None:
+            # A transient failure in one pass must not silently kill the
+            # maintenance thread for the rest of the process's life.
+            try:
+                step()
+            except Exception:
+                self._m_background_errors.inc()
 
         def gc_loop() -> None:
-            while not self._background_stop.wait(gc_interval):
-                self.gc.run()
+            while not stop.wait(gc_interval):
+                survive(self.gc.run)
 
         def transform_loop() -> None:
-            while not self._background_stop.wait(transform_interval):
-                self.transformer.process_queue()
-                self.transformer.process_freeze_pending()
+            while not stop.wait(transform_interval):
+                if self.degraded:
+                    continue
+                survive(self.transformer.process_queue)
+                survive(self.transformer.process_freeze_pending)
 
         self._background_threads = [
             threading.Thread(target=gc_loop, daemon=True, name="gc"),
@@ -278,7 +283,12 @@ class Database:
             self.log_manager.start_background(log_interval)
 
     def stop_background(self) -> None:
-        """Stop the maintenance threads and drain outstanding work."""
+        """Stop the maintenance threads and drain outstanding work.
+
+        Idempotent; safe even if a thread already died.  A failing final
+        log flush is swallowed here (the engine may legitimately be
+        degraded) — use :meth:`close` to have it surfaced.
+        """
         stop = getattr(self, "_background_stop", None)
         if stop is None:
             return
@@ -289,7 +299,61 @@ class Database:
         self._background_threads = []
         if self.log_manager is not None:
             self.log_manager.stop_background()
-        self.quiesce()
+        try:
+            self.quiesce()
+        except Exception:
+            self._m_background_errors.inc()
+
+    def close(self) -> None:
+        """Orderly shutdown: stop background work and drain the log.
+
+        Unlike :meth:`stop_background`, a final failed flush is *raised* —
+        a caller closing the database must learn that the tail of the log
+        never became durable (the background thread's own last-drain error
+        is surfaced the same way).
+        """
+        self.stop_background()
+        if self.log_manager is not None:
+            self.log_manager.flush()
+            error = self.log_manager.last_flush_error
+            if error is not None:
+                self.log_manager.last_flush_error = None
+                raise error
+
+    # ------------------------------------------------------------------ #
+    # failure handling                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the engine is in degraded read-only mode."""
+        return self.txn_manager.degraded
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Hooked to the log manager: persistent device failure bars writers."""
+        self.txn_manager.enter_degraded(reason)
+
+    def health(self) -> dict:
+        """Liveness/durability status for operators and the torture harness.
+
+        ``status`` is ``"ok"`` or ``"degraded"``; the ``wal`` section is
+        ``None`` when logging is disabled.
+        """
+        wal = None
+        if self.log_manager is not None:
+            lm = self.log_manager
+            wal = {
+                "healthy": not lm.degraded,
+                "flush_failures": lm.flush_failures,
+                "consecutive_flush_failures": lm.consecutive_flush_failures,
+                "pending": lm.pending_count,
+                "degraded_reason": lm.degraded_reason,
+            }
+        return {
+            "status": "degraded" if self.degraded else "ok",
+            "degraded_reason": self.txn_manager.degraded_reason,
+            "wal": wal,
+        }
 
     # ------------------------------------------------------------------ #
     # durability                                                          #
@@ -310,13 +374,17 @@ class Database:
         recovery = RecoveryManager(self.txn_manager, self.catalog.data_tables())
         return recovery.replay(raw, tolerate_torn_tail=tolerate_torn_tail)
 
-    def checkpoint(self) -> bytes:
+    def checkpoint(self, new_log_device: BinaryIO | None = None) -> bytes:
         """Write a quiescent checkpoint and truncate the log.
 
         The caller must ensure no concurrent writers (Section 3.4's
         checkpoints; fuzzy checkpointing is out of scope).  After this call
         the log contains only post-checkpoint transactions, so recovery is
         ``recover_with_checkpoint(checkpoint, log_contents())``.
+        ``new_log_device`` replaces the log device after truncation (the
+        fault-injection harness passes a fresh :class:`FaultyDevice` so the
+        post-checkpoint log stays under fault control); a plain in-memory
+        buffer by default.
         """
         from repro.wal.checkpoint import write_checkpoint
 
@@ -324,7 +392,7 @@ class Database:
             self.log_manager.flush()
         snapshot = write_checkpoint(self)
         if self.log_manager is not None:
-            self.log_manager.truncate(io.BytesIO())
+            self.log_manager.truncate(new_log_device or io.BytesIO())
         return snapshot
 
     def recover_with_checkpoint(self, checkpoint: bytes, log_suffix: bytes) -> int:

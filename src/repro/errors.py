@@ -45,6 +45,18 @@ class WriteWriteConflict(TransactionAborted):
     """
 
 
+class DegradedError(TransactionError):
+    """The database is in degraded read-only mode.
+
+    Entered when the log device fails persistently (see
+    :meth:`repro.wal.manager.LogManager` and :meth:`repro.db.Database.health`):
+    reads keep working against the in-memory state, but new writers are
+    rejected with this error because their commits could never become
+    durable.  Deliberately *not* a :class:`TransactionAborted` subclass so
+    retry helpers never spin on it.
+    """
+
+
 class SerializationError(ReproError):
     """A wire protocol failed to encode or decode a message."""
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Literal
 
 from repro.errors import SerializationError
 from repro.export import flight as flight_mod
+from repro.fault.crashpoints import crash_point
 from repro.export import postgres_wire, rdma, vectorized
 from repro.export.network import NetworkProfile, SimulatedNetwork
 from repro.obs import trace
@@ -78,20 +79,32 @@ class TableExporter:
         self.registry = registry
 
     def export(self, method: ExportMethod) -> ExportResult:
-        """Run one export; returns its timing breakdown."""
-        with trace.span(f"export.{method}"):
-            if method == "postgres":
-                result = self._export_postgres()
-            elif method == "vectorized":
-                result = self._export_vectorized()
-            elif method == "arrow-wire":
-                result = self._export_arrow_wire()
-            elif method == "flight":
-                result = self._export_flight()
-            elif method == "rdma":
-                result = self._export_rdma()
-            else:
-                raise SerializationError(f"unknown export method {method!r}")
+        """Run one export; returns its timing breakdown.
+
+        An export failure never corrupts engine state (exports only read a
+        snapshot), but it is counted (``export.failures_total``) and
+        re-raised so the serving layer can drop the client cleanly.
+        """
+        crash_point("export.serialize")
+        try:
+            with trace.span(f"export.{method}"):
+                if method == "postgres":
+                    result = self._export_postgres()
+                elif method == "vectorized":
+                    result = self._export_vectorized()
+                elif method == "arrow-wire":
+                    result = self._export_arrow_wire()
+                elif method == "flight":
+                    result = self._export_flight()
+                elif method == "rdma":
+                    result = self._export_rdma()
+                else:
+                    raise SerializationError(f"unknown export method {method!r}")
+        except Exception:
+            self.registry.counter(
+                "export.failures_total", "export runs ended by an error"
+            ).inc()
+            raise
         self._record(result)
         return result
 

@@ -1,0 +1,85 @@
+"""Named crash points: deterministic process-death injection in engine code.
+
+Engine layers mark the moments a real deployment could die in —
+mid-flush, mid-checkpoint, mid-gather — with ``crash_point("name")``
+calls.  Unarmed, a crash point is one module-global load and a branch
+(nanoseconds; benchmarked by the obs-overhead ablation alongside the
+metric hot path).  Armed with a :class:`CrashPointInjector`, the matching
+visit raises :class:`SimulatedCrash`, which no engine handler catches —
+the torture harness models the reboot.
+
+Registered points (grep for ``crash_point(`` to verify the list):
+
+- ``wal.flush.pre_fsync`` — commit records written, fsync not yet issued
+- ``wal.flush.post_fsync`` — fsync done, durability callbacks not yet fired
+- ``checkpoint.write`` — between per-table snapshot streams
+- ``transform.gather`` — before a FREEZING block's varlen gather
+- ``export.serialize`` — before an export run's server-side serialization
+
+The armed injector is deliberately process-global and single-crash: the
+harness runs one seeded schedule at a time, and a crash by definition ends
+the run.  Use :func:`armed` to scope arming to a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.fault.device import SimulatedCrash
+
+_ACTIVE: "CrashPointInjector | None" = None
+
+
+def crash_point(name: str) -> None:
+    """Mark a crash site; raises :class:`SimulatedCrash` when armed for it."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.visit(name)
+
+
+class CrashPointInjector:
+    """Raises :class:`SimulatedCrash` at the ``skip``+1-th visit of ``point``.
+
+    ``skip`` lets a schedule target e.g. the third flush rather than the
+    first; ``visits`` counts every crash point seen (fired or not), which
+    the harness uses to verify a schedule actually reached its target.
+    """
+
+    def __init__(self, point: str, skip: int = 0) -> None:
+        self.point = point
+        self.remaining_skips = skip
+        self.fired = False
+        self.visits: dict[str, int] = {}
+
+    def visit(self, name: str) -> None:
+        self.visits[name] = self.visits.get(name, 0) + 1
+        if self.fired or name != self.point:
+            return
+        if self.remaining_skips > 0:
+            self.remaining_skips -= 1
+            return
+        self.fired = True
+        raise SimulatedCrash(f"crash point {name!r}")
+
+
+def arm(injector: CrashPointInjector) -> None:
+    """Install ``injector`` as the process-wide crash-point handler."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def disarm() -> None:
+    """Remove any armed injector (crash points become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def armed(injector: CrashPointInjector) -> Iterator[CrashPointInjector]:
+    """Scope arming to a ``with`` block; always disarms, even on crash."""
+    arm(injector)
+    try:
+        yield injector
+    finally:
+        disarm()

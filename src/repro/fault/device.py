@@ -1,0 +1,225 @@
+"""A fault-injecting log device: torn writes, short writes, dead fsyncs.
+
+:class:`FaultyDevice` wraps any append-only binary file object (an
+``io.BytesIO`` by default) and injects faults from a deterministic,
+seeded :class:`FaultSchedule`.  The device tracks the *fsync horizon* —
+the byte length covered by the last successful ``flush()`` — which is the
+only durability boundary the engine may rely on:
+
+- :meth:`FaultyDevice.durable_image` is what a disk guarantees after a
+  clean shutdown: exactly the fsynced prefix.
+- :meth:`FaultyDevice.crash_image` is what a disk plausibly holds after a
+  power cut: the fsynced prefix plus an arbitrary (seeded) prefix of the
+  unsynced tail — the torn tail that recovery must tolerate.
+
+Fault kinds (see :class:`FaultSpec`):
+
+``io_error``
+    The operation fails with :class:`OSError` having done nothing
+    (``write``) or having synced nothing (``fsync``).
+``short_write``
+    A strict prefix of the payload reaches the device, then
+    :class:`OSError` — the transient partial failure that forces
+    :meth:`repro.wal.manager.LogManager.flush` to rewind before retrying.
+``torn_write``
+    A strict prefix reaches the device and the process "dies":
+    :class:`SimulatedCrash` is raised and the device refuses all further
+    operations.
+``crash``
+    The process dies at the operation boundary (nothing of the payload is
+    written; for ``fsync``, nothing further becomes durable).
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from dataclasses import dataclass
+from typing import BinaryIO
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so no
+    engine-level ``except Exception`` handler can accidentally "survive" a
+    crash — only the torture harness, which models the reboot, catches it.
+    """
+
+
+WRITE = "write"
+FSYNC = "fsync"
+
+#: Fault kinds that leave a partial payload behind.
+_PARTIAL_KINDS = ("short_write", "torn_write")
+_KINDS = ("io_error", "short_write", "torn_write", "crash")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: the ``at``-th ``op`` (1-based) fails as ``kind``."""
+
+    op: str  # WRITE or FSYNC
+    at: int  # 1-based index of that operation kind
+    kind: str  # "io_error" | "short_write" | "torn_write" | "crash"
+
+    def __post_init__(self) -> None:
+        if self.op not in (WRITE, FSYNC):
+            raise ValueError(f"unknown fault op {self.op!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.op == FSYNC and self.kind in _PARTIAL_KINDS:
+            raise ValueError("fsync faults cannot be partial; use io_error or crash")
+        if self.at < 1:
+            raise ValueError("fault indices are 1-based")
+
+
+class FaultSchedule:
+    """A deterministic fault plan plus the seeded RNG for partial lengths.
+
+    The schedule is a set of :class:`FaultSpec` entries; everything random
+    (how much of a torn write survives, how much of the unsynced tail a
+    crash image keeps) is drawn from one ``random.Random(seed)`` so a
+    schedule replays identically — the property the torture harness needs
+    to shrink failures to a seed.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] | list[FaultSpec] = (), seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._plan: dict[tuple[str, int], str] = {}
+        for spec in specs:
+            self._plan[(spec.op, spec.at)] = spec.kind
+
+    def fault_for(self, op: str, index: int) -> str | None:
+        """The fault kind scheduled for the ``index``-th ``op``, if any."""
+        return self._plan.get((op, index))
+
+    def __len__(self) -> int:
+        return len(self._plan)
+
+
+class FaultyDevice:
+    """A ``BinaryIO`` wrapper that injects scheduled faults.
+
+    Only the operations the log manager uses are modelled (append-only
+    ``write``, ``flush`` as the fsync boundary, plus ``seek``/``truncate``
+    for failure rewind); everything else passes through to ``base``.
+    """
+
+    def __init__(self, base: BinaryIO | None = None, schedule: FaultSchedule | None = None) -> None:
+        self.base = base if base is not None else io.BytesIO()
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.write_ops = 0
+        self.fsync_ops = 0
+        #: Byte length covered by the last successful fsync.
+        self.synced_len = 0
+        #: ``(op, index, kind, partial_bytes)`` for every fault injected.
+        self.faults_injected: list[tuple[str, int, str, int]] = []
+        self.crashed = False
+
+    # ------------------------------------------------------------------ #
+    # the faulted operations                                              #
+    # ------------------------------------------------------------------ #
+
+    def write(self, data: bytes) -> int:
+        self._require_alive()
+        self.write_ops += 1
+        kind = self.schedule.fault_for(WRITE, self.write_ops)
+        if kind is None:
+            self.base.write(data)
+            return len(data)
+        if kind == "io_error":
+            self._note(WRITE, kind, 0)
+            raise OSError(f"injected write error (write #{self.write_ops})")
+        if kind == "crash":
+            self._note(WRITE, kind, 0)
+            self.crashed = True
+            raise SimulatedCrash(f"injected crash before write #{self.write_ops}")
+        # Partial kinds: a strict prefix reaches the device.
+        keep = self.schedule.rng.randrange(0, len(data)) if data else 0
+        self.base.write(data[:keep])
+        self._note(WRITE, kind, keep)
+        if kind == "short_write":
+            raise OSError(
+                f"injected short write: {keep}/{len(data)} bytes (write #{self.write_ops})"
+            )
+        self.crashed = True  # torn_write
+        raise SimulatedCrash(
+            f"injected torn write: {keep}/{len(data)} bytes (write #{self.write_ops})"
+        )
+
+    def flush(self) -> None:
+        self._require_alive()
+        self.fsync_ops += 1
+        kind = self.schedule.fault_for(FSYNC, self.fsync_ops)
+        if kind == "io_error":
+            self._note(FSYNC, kind, 0)
+            raise OSError(f"injected fsync error (fsync #{self.fsync_ops})")
+        if kind == "crash":
+            self._note(FSYNC, kind, 0)
+            self.crashed = True
+            raise SimulatedCrash(f"injected crash during fsync #{self.fsync_ops}")
+        self.base.flush()
+        self.synced_len = self.base.tell()
+
+    # ------------------------------------------------------------------ #
+    # rewind support (used by the log manager's failure-atomic flush)      #
+    # ------------------------------------------------------------------ #
+
+    def seek(self, pos: int, whence: int = 0) -> int:
+        return self.base.seek(pos, whence)
+
+    def tell(self) -> int:
+        return self.base.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        out = self.base.truncate(size)
+        end = size if size is not None else self.base.tell()
+        self.synced_len = min(self.synced_len, end)
+        return out
+
+    def writable(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        self.base.close()
+
+    # ------------------------------------------------------------------ #
+    # post-crash inspection                                               #
+    # ------------------------------------------------------------------ #
+
+    def image(self) -> bytes:
+        """Every byte written so far, synced or not (in-memory bases only)."""
+        if not isinstance(self.base, io.BytesIO):
+            raise TypeError("image() requires an in-memory base device")
+        return self.base.getvalue()
+
+    def durable_image(self) -> bytes:
+        """What survives a clean shutdown: exactly the fsynced prefix."""
+        return self.image()[: self.synced_len]
+
+    def crash_image(self, rng: random.Random | None = None) -> bytes:
+        """What plausibly survives a power cut: the fsynced prefix plus a
+        seeded-arbitrary prefix of the unsynced tail (the torn tail)."""
+        full = self.image()
+        unsynced = len(full) - self.synced_len
+        draw = rng if rng is not None else self.schedule.rng
+        keep = draw.randint(0, unsynced) if unsynced > 0 else 0
+        return full[: self.synced_len + keep]
+
+    # ------------------------------------------------------------------ #
+
+    def _require_alive(self) -> None:
+        if self.crashed:
+            raise OSError("device unavailable after a simulated crash")
+
+    def _note(self, op: str, kind: str, partial: int) -> None:
+        index = self.write_ops if op == WRITE else self.fsync_ops
+        self.faults_injected.append((op, index, kind, partial))
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyDevice(writes={self.write_ops}, fsyncs={self.fsync_ops}, "
+            f"synced={self.synced_len}, crashed={self.crashed})"
+        )

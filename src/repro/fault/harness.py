@@ -1,0 +1,494 @@
+"""The crash-torture harness: seeded crash schedules against live engines.
+
+One :func:`run_schedule` call is one simulated machine lifetime:
+
+1. Build a :class:`~repro.db.Database` whose log device is a
+   :class:`~repro.fault.device.FaultyDevice`, run a workload while
+   tracking which transactions were *acked* (their durability callback
+   fired after fsync) and what every committed transaction did.
+2. Die at a seeded fault — a torn device write, a crash point inside WAL
+   flush / checkpoint write / transform gather, or (in ``transient``
+   mode) merely suffer recoverable device errors and shut down cleanly.
+3. "Reboot": take the device's :meth:`crash_image` (fsynced prefix plus a
+   seeded torn tail), replay it into a fresh database, and check the
+   durability invariant.
+
+The invariant checked (the strongest statement true of group commit over
+a torn-tail device):
+
+- the recovered transactions are a *prefix* of the commit order,
+- every acked transaction is inside that prefix (acked ⇒ durable),
+- the recovered table state equals the committed prefix's effects exactly
+  — so every unacked transaction beyond the prefix is *fully absent*,
+  and no transaction is ever partially present.  (A committed-but-unacked
+  transaction at the very tail may survive complete — the client was
+  simply never told; that is the standard group-commit contract.)
+
+``tpcc`` mode runs the same lifecycle over a miniature TPC-C database and
+additionally requires the spec's consistency conditions (clause 3.3.2) to
+hold after recovery.
+
+Everything is derived from one integer seed, so a red run reproduces from
+its report alone.  The harness is deliberately single-threaded: group
+commit is driven by explicit ``flush()`` calls on a seeded cadence, which
+makes every schedule deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.fault.crashpoints import CrashPointInjector, armed
+from repro.fault.device import FaultSchedule, FaultSpec, FaultyDevice, SimulatedCrash
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+#: Crash sites a schedule can draw, with coarse weights: WAL flush faults
+#: dominate real deployments, checkpoint/transform crashes are rarer.
+CRASH_SITES = (
+    "device.torn_write",
+    "device.crash_fsync",
+    "wal.flush.pre_fsync",
+    "wal.flush.post_fsync",
+    "checkpoint.write",
+    "transform.gather",
+)
+
+_INJECTOR_SITES = frozenset(
+    {"wal.flush.pre_fsync", "wal.flush.post_fsync", "checkpoint.write", "transform.gather"}
+)
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one seeded schedule; ``ok`` is the harness verdict."""
+
+    seed: int
+    mode: str  # "kv" | "transient" | "tpcc"
+    crash_site: str | None
+    crashed: bool
+    txns_committed: int
+    txns_acked: int
+    txns_recovered: int
+    faults_injected: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "FAIL " + "; ".join(self.violations)
+        return (
+            f"seed={self.seed:>5} mode={self.mode:<9} "
+            f"site={self.crash_site or '-':<22} crashed={int(self.crashed)} "
+            f"committed={self.txns_committed:>3} acked={self.txns_acked:>3} "
+            f"recovered={self.txns_recovered:>3} faults={self.faults_injected} "
+            f"{verdict}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the KV workload: precise effect tracking                                #
+# ---------------------------------------------------------------------- #
+
+
+class _KvState:
+    """Expected logical state: id → (payload, seq), built per commit."""
+
+    def __init__(self) -> None:
+        #: In commit order: (commit_ts, [(op, id, payload, seq), ...]).
+        self.commits: list[tuple[int, list[tuple[str, int, str | None, int | None]]]] = []
+
+    def apply_prefix(self, count: int) -> dict[int, tuple[str, int]]:
+        state: dict[int, tuple[str, int]] = {}
+        for _, ops in self.commits[:count]:
+            for op, key, payload, seq in ops:
+                if op == "delete":
+                    state.pop(key, None)
+                else:
+                    state[key] = (payload, seq)  # type: ignore[assignment]
+        return state
+
+
+def _build_kv_db(device: FaultyDevice, block_size: int) -> "Database":
+    from repro import ColumnSpec, Database, INT64, UTF8
+
+    db = Database(log_device=device, cold_threshold_epochs=1)
+    db.create_table(
+        "kv",
+        [ColumnSpec("id", INT64), ColumnSpec("payload", UTF8), ColumnSpec("seq", INT64)],
+        block_size=block_size,
+        watch_cold=True,
+    )
+    return db
+
+
+def _kv_txn(db: "Database", rng: random.Random, state: _KvState, next_id: int,
+            slots: dict[int, Any], acked: set[int], txn_index: int) -> int:
+    """One workload transaction: 1-3 ops, tracked for later verification."""
+    table = db.catalog.table("kv")
+    txn = db.begin()
+    ops: list[tuple[str, int, str | None, int | None]] = []
+    payload = f"v{txn_index}-" + "x" * rng.randrange(0, 40)
+    slots[next_id] = table.insert(txn, {0: next_id, 1: payload, 2: txn_index})
+    ops.append(("insert", next_id, payload, txn_index))
+    next_id += 1
+    live_ids = [k for k in slots if not any(o[0] == "delete" and o[1] == k for o in ops)]
+    if live_ids and rng.random() < 0.45:
+        victim = rng.choice(live_ids)
+        update_payload = f"u{txn_index}-" + "y" * rng.randrange(0, 20)
+        if table.update(txn, slots[victim], {1: update_payload, 2: txn_index}):
+            ops.append(("update", victim, update_payload, txn_index))
+    if len(live_ids) > 4 and rng.random() < 0.15:
+        victim = rng.choice(live_ids[:-1])
+        if table.delete(txn, slots[victim]):
+            ops.append(("delete", victim, None, None))
+            del slots[victim]
+
+    def _on_durable(txn=txn) -> None:
+        from repro.txn.context import TxnState
+
+        if txn.state is TxnState.COMMITTED:
+            acked.add(txn.commit_ts)
+
+    txn.on_durable(_on_durable)
+    commit_ts = db.commit(txn)
+    state.commits.append((commit_ts, ops))
+    return next_id
+
+
+# ---------------------------------------------------------------------- #
+# schedule construction                                                   #
+# ---------------------------------------------------------------------- #
+
+
+def _pick_plan(rng: random.Random, mode: str, txns: int) -> dict:
+    """Everything a schedule decides, drawn from the seed's RNG."""
+    plan = {
+        "flush_every": rng.randrange(1, 5),
+        "maintenance_every": rng.randrange(4, 12),
+        "block_size": rng.choice((1 << 12, 1 << 13)),
+        "crash_site": None,
+        "crash_skip": 0,
+        "device_specs": [],
+        "checkpoint_at": None,
+    }
+    if mode == "transient":
+        # Recoverable device errors only; the run must end clean and lossless.
+        writes = sorted(rng.sample(range(1, max(txns, 8)), k=min(3, txns // 4 or 1)))
+        plan["device_specs"] = [
+            FaultSpec("write", at, rng.choice(("io_error", "short_write"))) for at in writes
+        ] + [FaultSpec("fsync", rng.randrange(1, max(txns // 2, 2)), "io_error")]
+        return plan
+    site = CRASH_SITES[rng.randrange(len(CRASH_SITES))]
+    plan["crash_site"] = site
+    if site == "device.torn_write":
+        plan["device_specs"] = [FaultSpec("write", rng.randrange(2, txns + 2), "torn_write")]
+    elif site == "device.crash_fsync":
+        plan["device_specs"] = [FaultSpec("fsync", rng.randrange(1, txns + 1), "crash")]
+    elif site == "checkpoint.write":
+        plan["checkpoint_at"] = rng.randrange(txns // 3 or 1, txns)
+        # skip=0: the crash must land inside this run's single checkpoint
+        # (a completed checkpoint truncates the log out from under the
+        # faulty device, which models a device swap, not a crash).
+    else:
+        plan["crash_skip"] = rng.randrange(0, max(3, txns // 2))
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# the KV / transient lifetimes                                            #
+# ---------------------------------------------------------------------- #
+
+
+def run_schedule(seed: int, mode: str = "kv", txns: int = 40) -> ScheduleReport:
+    """Run one seeded lifetime; returns its report (see module docstring)."""
+    if mode == "tpcc":
+        return _run_tpcc_schedule(seed, txns)
+    rng = random.Random(seed)
+    plan = _pick_plan(rng, mode, txns)
+    device = FaultyDevice(schedule=FaultSchedule(plan["device_specs"], seed=seed))
+    db = _build_kv_db(device, plan["block_size"])
+    state = _KvState()
+    slots: dict[int, Any] = {}
+    acked: set[int] = set()
+    crashed = False
+    db.log_manager.synchronous = False
+
+    site = plan["crash_site"]
+    injector = CrashPointInjector(site, skip=plan["crash_skip"]) if site in _INJECTOR_SITES \
+        else CrashPointInjector("<never>")
+    next_id = 0
+    with armed(injector):
+        try:
+            for i in range(txns):
+                next_id = _kv_txn(db, rng, state, next_id, slots, acked, i)
+                if (i + 1) % plan["flush_every"] == 0:
+                    _flush_tolerating_transients(db, mode)
+                if (i + 1) % plan["maintenance_every"] == 0:
+                    db.run_maintenance()
+                if plan["checkpoint_at"] is not None and i + 1 == plan["checkpoint_at"]:
+                    # Scheduled only with a crash point inside the snapshot:
+                    # the log is never truncated, recovery replays it whole.
+                    db.checkpoint()
+            _final_drain(db, mode)
+        except SimulatedCrash:
+            crashed = True
+        except OSError:
+            # A device error surfaced outside a tolerated flush (possible
+            # when the final drain hits a scheduled fault): the run ends
+            # here, durability-acked state must still recover.
+            crashed = True
+
+    image = device.crash_image(rng) if crashed else device.durable_image()
+    return _verify_kv(seed, mode, plan, crashed, device, image, state, acked)
+
+
+def _flush_tolerating_transients(db: "Database", mode: str) -> None:
+    """Group-commit tick; in transient mode OSErrors are retried later."""
+    try:
+        db.log_manager.flush()
+    except OSError:
+        if mode != "transient":
+            raise
+
+
+def _final_drain(db: "Database", mode: str) -> None:
+    """Drain the queue at clean shutdown.
+
+    Transient faults are one-shot, so a few retries must succeed — the
+    failure-atomic flush re-queued everything, nothing may be lost."""
+    attempts = 5 if mode == "transient" else 1
+    for attempt in range(attempts):
+        try:
+            db.log_manager.flush()
+            return
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+
+
+def _verify_kv(
+    seed: int,
+    mode: str,
+    plan: dict,
+    crashed: bool,
+    device: FaultyDevice,
+    image: bytes,
+    state: _KvState,
+    acked: set[int],
+) -> ScheduleReport:
+    from repro.wal.records import decode_stream
+
+    violations: list[str] = []
+    recovered_ts: list[int] = []
+    try:
+        recovered_ts = [t.commit_ts for t in decode_stream(image, tolerate_torn_tail=True)]
+    except Exception as exc:
+        violations.append(f"recovery decode raised {exc!r}")
+
+    committed_ts = [ts for ts, _ in state.commits]
+    if not violations:
+        # Prefix property: the log can only lose a suffix, atomically.
+        if recovered_ts != committed_ts[: len(recovered_ts)]:
+            violations.append(
+                f"recovered transactions are not a commit-order prefix: "
+                f"{recovered_ts[:8]}... vs {committed_ts[:8]}..."
+            )
+        # Durability: every acked transaction survives.
+        missing = acked - set(recovered_ts)
+        if missing:
+            violations.append(f"acked transactions lost by recovery: {sorted(missing)}")
+        if mode == "transient" and not crashed:
+            if len(recovered_ts) != len(committed_ts):
+                violations.append(
+                    f"clean shutdown lost transactions: {len(recovered_ts)} of "
+                    f"{len(committed_ts)} recovered"
+                )
+
+    if not violations:
+        # Replay into a fresh engine and diff the full logical state.
+        fresh_device = FaultyDevice()
+        fresh = _build_kv_db(fresh_device, plan["block_size"])
+        try:
+            fresh.recover_from(image, tolerate_torn_tail=True)
+        except Exception as exc:
+            violations.append(f"recovery replay raised {exc!r}")
+        else:
+            expected = state.apply_prefix(len(recovered_ts))
+            reader = fresh.begin()
+            actual = {
+                row.get(0): (row.get(1), row.get(2))
+                for _, row in fresh.catalog.table("kv").scan(reader)
+            }
+            fresh.commit(reader)
+            if actual != expected:
+                extra = sorted(set(actual) - set(expected))
+                lost = sorted(set(expected) - set(actual))
+                wrong = sorted(
+                    k for k in set(actual) & set(expected) if actual[k] != expected[k]
+                )
+                violations.append(
+                    f"recovered state diverges: extra={extra[:5]} lost={lost[:5]} "
+                    f"wrong={wrong[:5]}"
+                )
+
+    return ScheduleReport(
+        seed=seed,
+        mode=mode,
+        crash_site=plan["crash_site"],
+        crashed=crashed,
+        txns_committed=len(committed_ts),
+        txns_acked=len(acked),
+        txns_recovered=len(recovered_ts),
+        faults_injected=len(device.faults_injected),
+        violations=violations,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the TPC-C lifetime                                                      #
+# ---------------------------------------------------------------------- #
+
+
+def _tiny_tpcc_config():
+    from repro.workloads.tpcc.schema import TpccConfig
+
+    return TpccConfig(
+        warehouses=1,
+        districts_per_warehouse=2,
+        customers_per_district=12,
+        items=40,
+        initial_orders_per_district=8,
+        stock_per_warehouse=40,
+        block_size=1 << 12,
+    )
+
+
+def _run_tpcc_schedule(seed: int, txns: int = 25) -> ScheduleReport:
+    """One TPC-C lifetime: load, run the mix, crash, recover, check clause
+    3.3.2 consistency on the recovered database."""
+    from repro import Database
+    from repro.workloads.tpcc.consistency import check_consistency
+    from repro.workloads.tpcc.driver import MIX, TpccDriver
+    from repro.workloads.tpcc.schema import create_tpcc_tables
+    from repro.workloads.tpcc.transactions import TpccTransactions
+    from repro.wal.records import decode_stream
+
+    rng = random.Random(seed)
+    plan = _pick_plan(rng, "kv", txns)
+    config = _tiny_tpcc_config()
+    db = Database(cold_threshold_epochs=1)
+    driver = TpccDriver(db, config=config, seed=seed)
+    driver.setup()  # synchronous clean device: the load is fully durable
+    db.log_manager.flush()
+    # Swap the (now fully synced) clean device for a faulty wrapper so the
+    # schedule's op indices count from the start of the measured mix.
+    device = FaultyDevice(
+        base=db.log_manager.device,
+        schedule=FaultSchedule(plan["device_specs"], seed=seed),
+    )
+    device.synced_len = device.base.tell()
+    db.log_manager.device = device
+    base_recovered = len(decode_stream(device.durable_image()))
+
+    site = plan["crash_site"]
+    injector = CrashPointInjector(site, skip=plan["crash_skip"]) if site in _INJECTOR_SITES \
+        else CrashPointInjector("<never>")
+    executor = TpccTransactions(db, config, seed=seed + 1000)
+    db.log_manager.synchronous = False
+    crashed = False
+
+    with armed(injector):
+        try:
+            for i in range(txns):
+                pick = executor.rand.random()
+                for profile, threshold in MIX:
+                    if pick <= threshold:
+                        getattr(executor, profile)(1)
+                        break
+                if (i + 1) % plan["flush_every"] == 0:
+                    db.log_manager.flush()
+                if (i + 1) % plan["maintenance_every"] == 0:
+                    db.run_maintenance()
+                if plan["checkpoint_at"] is not None and i + 1 == plan["checkpoint_at"]:
+                    db.checkpoint()
+            db.log_manager.flush()
+        except SimulatedCrash:
+            crashed = True
+        except OSError:
+            crashed = True
+
+    image = device.crash_image(rng) if crashed else device.durable_image()
+    violations: list[str] = []
+    recovered = 0
+    fresh = Database(cold_threshold_epochs=1)
+    create_tpcc_tables(fresh, config)
+    try:
+        recovered = fresh.recover_from(image, tolerate_torn_tail=True)
+    except Exception as exc:
+        violations.append(f"TPC-C recovery raised {exc!r}")
+    else:
+        if recovered < base_recovered:
+            violations.append(
+                f"recovery lost the durable load: {recovered} < {base_recovered}"
+            )
+        if recovered < base_recovered + executor.acked_writes:
+            violations.append(
+                f"acked mix transactions lost: recovered {recovered - base_recovered} "
+                f"of {executor.acked_writes} acked"
+            )
+        report = check_consistency(fresh)
+        for violation in report.violations:
+            violations.append(f"TPC-C consistency: {violation}")
+
+    return ScheduleReport(
+        seed=seed,
+        mode="tpcc",
+        crash_site=plan["crash_site"],
+        crashed=crashed,
+        txns_committed=executor.counters.total_committed,
+        txns_acked=executor.acked_writes,
+        txns_recovered=recovered,
+        faults_injected=len(device.faults_injected),
+        violations=violations,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the fleet runner                                                        #
+# ---------------------------------------------------------------------- #
+
+
+def run_torture(
+    schedules: int = 20,
+    seed: int = 0,
+    txns: int = 40,
+    tpcc_every: int = 10,
+    transient_every: int = 5,
+    verbose: bool = False,
+) -> list[ScheduleReport]:
+    """Run ``schedules`` seeded lifetimes; returns every report.
+
+    Seeds are ``seed .. seed+schedules-1``.  Every ``tpcc_every``-th
+    schedule runs the TPC-C mode, every ``transient_every``-th the
+    transient-errors mode, the rest the KV crash mode.
+    """
+    reports = []
+    for i in range(schedules):
+        s = seed + i
+        if tpcc_every and i % tpcc_every == tpcc_every - 1:
+            mode = "tpcc"
+        elif transient_every and i % transient_every == transient_every - 1:
+            mode = "transient"
+        else:
+            mode = "kv"
+        report = run_schedule(s, mode=mode, txns=txns)
+        reports.append(report)
+        if verbose or not report.ok:
+            print(report)
+    return reports

@@ -80,6 +80,9 @@ class GarbageCollector:
         self._m_deferred_total = reg.counter(
             "gc.deferred_executed_total", "deferred deallocations executed"
         )
+        self._m_deferred_errors = reg.counter(
+            "gc.deferred_errors_total", "deferred deallocations that raised"
+        )
         self._m_pass_seconds = reg.histogram("gc.pass_seconds", "GC pass duration")
         reg.gauge(
             "gc.deferred_pending",
@@ -106,7 +109,7 @@ class GarbageCollector:
         with trace.span("gc.pass"):
             self.epoch += 1
             horizon = self.txn_manager.oldest_active_start()
-            deferred_run = self.deferred.process(horizon)
+            deferred_run = self.deferred.process(horizon, on_error=self._on_deferred_error)
             self.stats.deferred_executed += deferred_run
             completed = self.txn_manager.drain_completed(horizon)
             unlinked = 0
@@ -138,6 +141,9 @@ class GarbageCollector:
             self.stats.records_unlinked += unlinked
         self._record_pass(began, unlinked, len(completed), deferred_run)
         return unlinked
+
+    def _on_deferred_error(self, exc: BaseException) -> None:
+        self._m_deferred_errors.inc()
 
     def run_until_quiet(self, max_passes: int = 16) -> None:
         """Run passes until nothing remains to unlink or defer (tests)."""

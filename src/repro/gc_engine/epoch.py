@@ -24,24 +24,39 @@ class DeferredActionQueue:
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
         self._tiebreak = itertools.count()
         self.executed_count = 0
+        self.failed_count = 0
 
     def register(self, timestamp: int, action: Callable[[], None]) -> None:
         """Schedule ``action`` to run once the horizon passes ``timestamp``."""
         with self._lock:
             heapq.heappush(self._heap, (timestamp, next(self._tiebreak), action))
 
-    def process(self, horizon: int) -> int:
+    def process(
+        self,
+        horizon: int,
+        on_error: Callable[[BaseException], None] | None = None,
+    ) -> int:
         """Run every action whose timestamp is strictly below ``horizon``.
 
         ``horizon`` is the oldest active start timestamp; actions tagged
         before it can no longer be observed.  Returns the number executed.
+
+        Actions are isolated from each other: one raising must not abandon
+        the rest of the ready set (they were already popped — dropping them
+        would leak their memory forever).  Failures are counted and passed
+        to ``on_error``, never re-raised into the GC pass.
         """
         ready: list[Callable[[], None]] = []
         with self._lock:
             while self._heap and self._heap[0][0] < horizon:
                 ready.append(heapq.heappop(self._heap)[2])
         for action in ready:
-            action()
+            try:
+                action()
+            except Exception as exc:
+                self.failed_count += 1
+                if on_error is not None:
+                    on_error(exc)
         self.executed_count += len(ready)
         return len(ready)
 

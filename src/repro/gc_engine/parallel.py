@@ -54,7 +54,7 @@ class ParallelGarbageCollector(GarbageCollector):
         began = perf_counter() if STATE.enabled else 0.0
         self.epoch += 1
         horizon = self.txn_manager.oldest_active_start()
-        deferred_run = self.deferred.process(horizon)
+        deferred_run = self.deferred.process(horizon, on_error=self._on_deferred_error)
         self.stats.deferred_executed += deferred_run
         completed = self.txn_manager.drain_completed(horizon)
         if not completed:

@@ -71,6 +71,7 @@ class DataTable:
         insert undo record whose before-image is "slot absent".
         """
         self._require_active(txn)
+        txn.ensure_writable()
         missing = set(range(self.layout.num_columns)) - set(values)
         if missing:
             raise StorageError(f"insert missing columns {sorted(missing)}")
@@ -127,6 +128,7 @@ class DataTable:
         cascading rollbacks (Section 3.1).
         """
         self._require_active(txn)
+        txn.ensure_writable()
         if not delta:
             raise StorageError("empty update delta")
         block = self._block(slot.block_id)
@@ -153,6 +155,7 @@ class DataTable:
     def delete(self, txn: "TransactionContext", slot: TupleSlot) -> bool:
         """Delete a tuple: flips its allocation bit, contents untouched."""
         self._require_active(txn)
+        txn.ensure_writable()
         block = self._block(slot.block_id)
         block.touch_hot()
         with block.write_latch:

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal
 
+from repro.fault.crashpoints import crash_point
 from repro.gc_engine.collector import GarbageCollector
 from repro.obs import trace
 from repro.obs.registry import STATE, MetricRegistry
@@ -290,6 +291,7 @@ class BlockTransformer:
             began = time.perf_counter()
             unlink_ts = self.txn_manager.timestamps.checkpoint()
             defer = lambda action, ts=unlink_ts: self.gc.deferred.register(ts, action)
+            crash_point("transform.gather")
             if self.cold_format == "dictionary":
                 with trace.span("transform.dictionary"):
                     dictionary_compress_block(block, defer)

@@ -44,6 +44,10 @@ class TransactionContext:
         #: Compensation actions run (newest first) if the transaction
         #: aborts; used by index maintenance to undo staged entries.
         self.abort_actions: list[Callable[[], None]] = []
+        #: Installed by the transaction manager; called before every write
+        #: so degraded read-only mode can reject new writers at the source
+        #: (see :class:`repro.errors.DegradedError`).
+        self.write_gate: Callable[[], None] | None = None
 
     @property
     def is_read_only(self) -> bool:
@@ -66,12 +70,34 @@ class TransactionContext:
         else:
             self._durability_callbacks.append(callback)
 
+    def ensure_writable(self) -> None:
+        """Raise :class:`~repro.errors.DegradedError` when writes are barred.
+
+        Called by the Data Table write paths; a no-op until the transaction
+        manager installs a gate (it always does) and the engine degrades.
+        """
+        gate = self.write_gate
+        if gate is not None:
+            gate()
+
     def signal_durable(self) -> None:
-        """Invoked by the log manager after fsync covers the commit record."""
+        """Invoked by the log manager after fsync covers the commit record.
+
+        Callbacks are isolated from each other: one raising does not stop
+        the rest from running.  The first failure is re-raised afterwards
+        so the caller can observe it.
+        """
         self._durable.set()
         callbacks, self._durability_callbacks = self._durability_callbacks, []
+        first_error: BaseException | None = None
         for callback in callbacks:
-            callback()
+            try:
+                callback()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def wait_durable(self, timeout: float | None = None) -> bool:
         """Block until the transaction's commit record is persistent."""

@@ -14,7 +14,7 @@ from collections import deque
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.errors import TransactionAborted
+from repro.errors import DegradedError, TransactionAborted
 from repro.obs.registry import STATE, MetricRegistry
 from repro.txn.context import TransactionContext, TxnState
 from repro.txn.timestamps import TimestampManager
@@ -40,6 +40,9 @@ class TransactionManager:
         self._active: dict[int, TransactionContext] = {}
         #: Completed (committed or aborted) transactions awaiting GC.
         self._completed: deque[tuple[int, TransactionContext]] = deque()
+        #: Set (with a reason) when the engine can no longer make commits
+        #: durable; new writers are rejected with :class:`DegradedError`.
+        self._degraded_reason: str | None = None
         self.registry = registry if registry is not None else MetricRegistry()
         reg = self.registry
         self._m_begin_total = reg.counter("txn.begin_total", "transactions started")
@@ -70,6 +73,7 @@ class TransactionManager:
         began = perf_counter() if STATE.enabled else 0.0
         start_ts, txn_id = self.timestamps.begin()
         txn = TransactionContext(start_ts, txn_id)
+        txn.write_gate = self._check_write_allowed
         with self._lock:
             self._active[start_ts] = txn
         if began:
@@ -92,6 +96,15 @@ class TransactionManager:
         if txn.must_abort:
             self.abort(txn)
             raise TransactionAborted("transaction aborted by write-write conflict")
+        if self._degraded_reason is not None and not txn.is_read_only:
+            # A write that slipped in before degradation: its commit could
+            # never become durable, so roll it back instead of stranding it
+            # in a flush queue that will never drain.
+            self.abort(txn)
+            raise DegradedError(
+                f"cannot commit writes in degraded read-only mode: "
+                f"{self._degraded_reason}"
+            )
         began = perf_counter() if STATE.enabled else 0.0
         with self._lock:
             commit_ts = self.timestamps.commit_timestamp()
@@ -137,6 +150,30 @@ class TransactionManager:
             if txn.must_abort:
                 self._m_conflict_total.inc()
             self._m_abort_seconds.observe(perf_counter() - began)
+
+    # ------------------------------------------------------------------ #
+    # degraded read-only mode                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """Whether new writers are being rejected."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        return self._degraded_reason
+
+    def enter_degraded(self, reason: str) -> None:
+        """Flip into degraded read-only mode (sticky; reads keep working)."""
+        if self._degraded_reason is None:
+            self._degraded_reason = reason
+
+    def _check_write_allowed(self) -> None:
+        """The per-write gate installed on every transaction context."""
+        reason = self._degraded_reason
+        if reason is not None:
+            raise DegradedError(f"database is in degraded read-only mode: {reason}")
 
     # ------------------------------------------------------------------ #
     # GC interface                                                        #

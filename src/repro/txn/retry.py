@@ -1,0 +1,106 @@
+"""Bounded backoff-with-jitter transaction retry.
+
+The engine resolves write-write conflicts by aborting the loser outright
+(Section 3.1), which pushes the retry decision to the workload.  This
+helper is the standard loop: re-run the body against a fresh snapshot,
+backing off exponentially with jitter so herds of conflicting workers
+decorrelate instead of re-colliding.
+
+:class:`~repro.errors.DegradedError` and other non-abort failures are
+*not* retried — only conflict aborts are transient by construction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import TransactionAborted
+
+if TYPE_CHECKING:
+    from repro.db import Database
+    from repro.obs.registry import Counter
+    from repro.txn.context import TransactionContext
+
+
+def retry_transaction(
+    db: "Database",
+    body: Callable[["TransactionContext"], Any],
+    *,
+    retries: int = 5,
+    base_backoff: float = 0.0005,
+    max_backoff: float = 0.05,
+    jitter: float = 1.0,
+    rng: Any = None,
+    sleep: Callable[[float], None] = time.sleep,
+    retry_counter: "Counter | None" = None,
+    on_retry: Callable[[int], None] | None = None,
+) -> Any:
+    """Run ``body(txn)`` with bounded, jittered retries on conflict aborts.
+
+    ``body`` must be safe to re-execute from scratch (each attempt sees a
+    fresh snapshot).  An attempt is retried when it raises
+    :class:`TransactionAborted` or leaves the transaction ``must_abort``
+    (a write-write conflict); any other exception aborts and propagates.
+    The attempt ``i`` retry waits ``base_backoff * 2**i``, capped at
+    ``max_backoff``, scaled by ``1 + jitter * U(0, 1)``.
+
+    ``rng`` may be anything with a ``random()`` method (seeded workload
+    generators pass themselves for determinism).  ``retry_counter`` is
+    incremented and ``on_retry(attempt)`` called once per retry.  Returns
+    ``body``'s result; raises :class:`TransactionAborted` once retries are
+    exhausted.
+    """
+    draw = rng.random if rng is not None else random.random
+    attempts = retries + 1
+    for attempt in range(attempts):
+        txn = db.begin()
+        try:
+            result = body(txn)
+        except TransactionAborted:
+            if txn.is_active:
+                db.abort(txn)
+            if attempt == attempts - 1:
+                raise
+            _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                     retry_counter, on_retry)
+            continue
+        except BaseException:
+            if txn.is_active:
+                db.abort(txn)
+            raise
+        if txn.must_abort:
+            if txn.is_active:
+                db.abort(txn)
+            if attempt == attempts - 1:
+                raise TransactionAborted(
+                    f"write-write conflict persisted across {attempts} attempts"
+                )
+            _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                     retry_counter, on_retry)
+            continue
+        if txn.is_active:
+            db.commit(txn)
+        return result
+
+
+def _backoff(
+    attempt: int,
+    base: float,
+    cap: float,
+    jitter: float,
+    draw: Callable[[], float],
+    sleep: Callable[[float], None],
+    counter: "Counter | None",
+    on_retry: Callable[[int], None] | None,
+) -> None:
+    if counter is not None:
+        counter.inc()
+    if on_retry is not None:
+        on_retry(attempt)
+    delay = min(cap, base * (2 ** attempt))
+    if jitter:
+        delay *= 1.0 + jitter * draw()
+    if delay > 0:
+        sleep(delay)

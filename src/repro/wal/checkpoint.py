@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.arrowfmt import ipc
 from repro.arrowfmt.builder import FixedSizeBuilder, VarBinaryBuilder
+from repro.fault.crashpoints import crash_point
 from repro.arrowfmt.datatypes import Field, FixedWidthType, INT64, Schema
 from repro.arrowfmt.table import RecordBatch, Table
 from repro.errors import RecoveryError
@@ -41,6 +42,7 @@ def write_checkpoint(db: "Database") -> bytes:
     tables = db.catalog.data_tables()
     out.write(struct.pack("<I", len(tables)))
     for name, table in tables.items():
+        crash_point("checkpoint.write")
         raw_name = name.encode("utf-8")
         out.write(struct.pack("<H", len(raw_name)))
         out.write(raw_name)

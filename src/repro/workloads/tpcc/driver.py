@@ -41,6 +41,8 @@ class TpccRun:
     aborted: int
     per_profile: dict[str, int]
     block_states: dict[str, dict[str, int]]
+    #: Conflict-abort resubmissions during the run (``workload.txn_retries_total``).
+    retried: int = 0
 
     @property
     def throughput(self) -> float:
@@ -89,6 +91,9 @@ class TpccDriver:
             TpccTransactions(self.db, self.config, seed=(self.seed or 0) + 1000 + i)
             for i in range(workers)
         ]
+        retries_before = int(
+            self.db.obs.counter("workload.txn_retries_total").value
+        )
         began = time.perf_counter()
         if workers == 1:
             self._worker_loop(executors[0], transactions_per_worker, maintenance_every, 1)
@@ -122,6 +127,10 @@ class TpccDriver:
             aborted=aborted,
             per_profile=committed,
             block_states=self.block_state_report(),
+            retried=int(
+                self.db.obs.counter("workload.txn_retries_total").value
+            )
+            - retries_before,
         )
 
     def _worker_loop(

@@ -41,11 +41,28 @@ class TxnCounters:
 class TpccTransactions:
     """Executable TPC-C transaction profiles over a loaded database."""
 
-    def __init__(self, db: "Database", config: TpccConfig, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        db: "Database",
+        config: TpccConfig,
+        seed: int | None = None,
+        max_retries: int = 5,
+    ) -> None:
         self.db = db
         self.config = config
         self.rand = TpccRandom(seed)
         self.counters = TxnCounters()
+        #: Conflict-abort retry budget per transaction (clause 2.4.1.4's
+        #: "resubmit" rule; deliberate rollbacks are never resubmitted).
+        self.max_retries = max_retries
+        #: Transactions whose durability callback has fired — the paper's
+        #: "results released to the client" set, used by the torture
+        #: harness as the lower bound recovery must reach.
+        self.acked_writes = 0
+        self._m_retries = db.obs.counter(
+            "workload.txn_retries_total",
+            "transaction attempts retried after write-write conflicts",
+        )
         self._cols = {
             table: {spec.name: i for i, spec in enumerate(columns)}
             for table, columns in TPCC_TABLES.items()
@@ -77,25 +94,47 @@ class TpccTransactions:
         return time.time_ns() // 1000
 
     def _run(self, profile: str, body) -> bool:
-        txn = self.db.begin()
-        try:
+        """One profile execution with conflict retry.
+
+        Write-write conflict aborts are resubmitted through
+        :func:`repro.txn.retry.retry_transaction` (bounded, jittered
+        backoff; ``workload.txn_retries_total`` counts resubmissions).
+        Semantic aborts — the deliberate NewOrder rollback, a missing
+        lookup — are final and never retried.
+        """
+        from repro.txn.retry import retry_transaction
+
+        def attempt(txn: "TransactionContext") -> bool:
+            txn.on_durable(lambda t=txn: self._note_durable(t))
             ok = body(txn)
+            if not ok and not txn.must_abort:
+                # A semantic abort: roll back here so the retry helper sees
+                # a finished transaction and returns instead of retrying.
+                if txn.is_active:
+                    self.db.abort(txn)
+                return False
+            return ok
+
+        try:
+            ok = bool(
+                retry_transaction(
+                    self.db,
+                    attempt,
+                    retries=self.max_retries,
+                    rng=self.rand,
+                    retry_counter=self._m_retries,
+                )
+            )
         except TransactionAborted:
-            ok = False
-        except BaseException:
-            if txn.is_active:
-                self.db.abort(txn)
-            raise
-        if ok and not txn.must_abort:
-            try:
-                self.db.commit(txn)
-            except TransactionAborted:
-                ok = False
-        elif txn.is_active:
-            self.db.abort(txn)
             ok = False
         (self.counters.committed if ok else self.counters.aborted)[profile] += 1
         return ok
+
+    def _note_durable(self, txn: "TransactionContext") -> None:
+        from repro.txn.context import TxnState
+
+        if txn.state is TxnState.COMMITTED and len(txn.redo_buffer) > 0:
+            self.acked_writes += 1
 
     def _pick_customer(self, txn, w_id: int, d_id: int):
         """60/40 by-id vs by-last-name customer selection (clause 2.5.1.2)."""

@@ -1,0 +1,130 @@
+"""Tests for the fault-injecting log device."""
+
+import io
+import random
+
+import pytest
+
+from repro.fault import (
+    FaultSchedule,
+    FaultSpec,
+    FaultyDevice,
+    SimulatedCrash,
+)
+
+
+def make_device(*specs, seed=7):
+    return FaultyDevice(schedule=FaultSchedule(list(specs), seed=seed))
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_op_and_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("read", 1, "io_error")
+        with pytest.raises(ValueError):
+            FaultSpec("write", 1, "meltdown")
+
+    def test_rejects_partial_fsync(self):
+        with pytest.raises(ValueError):
+            FaultSpec("fsync", 1, "short_write")
+
+    def test_rejects_zero_based_index(self):
+        with pytest.raises(ValueError):
+            FaultSpec("write", 0, "io_error")
+
+
+class TestFaultyDevice:
+    def test_clean_writes_pass_through(self):
+        device = make_device()
+        device.write(b"hello ")
+        device.write(b"world")
+        device.flush()
+        assert device.image() == b"hello world"
+        assert device.durable_image() == b"hello world"
+
+    def test_io_error_writes_nothing(self):
+        device = make_device(FaultSpec("write", 2, "io_error"))
+        device.write(b"aaaa")
+        with pytest.raises(OSError):
+            device.write(b"bbbb")
+        assert device.image() == b"aaaa"
+        # The device survives an io_error: the next write goes through.
+        device.write(b"cccc")
+        assert device.image() == b"aaaacccc"
+
+    def test_short_write_leaves_strict_prefix(self):
+        device = make_device(FaultSpec("write", 1, "short_write"))
+        with pytest.raises(OSError):
+            device.write(b"0123456789")
+        assert len(device.image()) < 10
+        assert b"0123456789".startswith(device.image())
+        assert device.synced_len == 0
+
+    def test_torn_write_kills_the_device(self):
+        device = make_device(FaultSpec("write", 1, "torn_write"))
+        with pytest.raises(SimulatedCrash):
+            device.write(b"0123456789")
+        assert device.crashed
+        with pytest.raises(OSError):
+            device.write(b"more")
+        with pytest.raises(OSError):
+            device.flush()
+
+    def test_fsync_crash_freezes_the_durable_horizon(self):
+        device = make_device(FaultSpec("fsync", 2, "crash"))
+        device.write(b"aaaa")
+        device.flush()
+        device.write(b"bbbb")
+        with pytest.raises(SimulatedCrash):
+            device.flush()
+        assert device.synced_len == 4
+        assert device.durable_image() == b"aaaa"
+
+    def test_crash_image_is_durable_prefix_plus_torn_tail(self):
+        device = make_device()
+        device.write(b"synced")
+        device.flush()
+        device.write(b"unsynced")
+        for seed in range(10):
+            image = device.crash_image(random.Random(seed))
+            assert image.startswith(b"synced")
+            assert b"syncedunsynced".startswith(image)
+        # Deterministic for a given rng seed.
+        assert device.crash_image(random.Random(3)) == device.crash_image(
+            random.Random(3)
+        )
+
+    def test_schedule_replays_identically(self):
+        def run(seed):
+            device = make_device(
+                FaultSpec("write", 2, "short_write"), seed=seed
+            )
+            device.write(b"a" * 16)
+            try:
+                device.write(b"b" * 16)
+            except OSError:
+                pass
+            return device.image(), device.faults_injected
+
+        assert run(11) == run(11)
+        # A different seed cuts the short write at a different length
+        # (eventually; seeds 0-19 must not all collide).
+        assert len({run(s)[0] for s in range(20)}) > 1
+
+    def test_truncate_clamps_the_synced_horizon(self):
+        device = make_device()
+        device.write(b"abcdef")
+        device.flush()
+        device.seek(3)
+        device.truncate(3)
+        assert device.synced_len == 3
+        assert device.durable_image() == b"abc"
+
+    def test_image_requires_memory_base(self):
+        class FakeFile(io.RawIOBase):
+            def write(self, data):
+                return len(data)
+
+        device = FaultyDevice(base=FakeFile())
+        with pytest.raises(TypeError):
+            device.image()

@@ -1,5 +1,7 @@
 """Tests for torn-tail recovery and the transaction retry helper."""
 
+import bisect
+
 import pytest
 
 from repro import ColumnSpec, Database, INT64, TransactionAborted, UTF8
@@ -51,6 +53,45 @@ class TestTornTail:
         damaged = raw[:position] + b"XXXX" + raw[position + 4 :]
         with pytest.raises(RecoveryError):
             decode_stream(damaged, tolerate_torn_tail=True)
+
+    def test_replay_at_every_byte_offset_recovers_exact_durable_prefix(self):
+        """The property behind the torture harness: truncate a multi-
+        transaction log at EVERY byte offset and replay must (a) never
+        raise, and (b) recover exactly the complete-transaction prefix."""
+        from repro.wal.recovery import RecoveryManager
+
+        db = make_db()
+        table = db.catalog.table("t")
+        slots = []
+        boundaries = [0]  # log byte offset after each commit's flush
+        for i in range(4):
+            with db.transaction() as txn:
+                slots.append(table.insert(txn, {0: i, 1: f"row-{i}" * 2}))
+                if i >= 2:  # mix in updates and deletes, not just inserts
+                    table.update(txn, slots[0], {1: f"upd-{i}"})
+                if i == 3:
+                    table.delete(txn, slots[1])
+            boundaries.append(db.log_manager.bytes_written)
+        raw = db.log_contents()
+        assert boundaries[-1] == len(raw)
+
+        for cut in range(len(raw) + 1):
+            fresh = make_db()
+            recovery = RecoveryManager(
+                fresh.txn_manager, fresh.catalog.data_tables()
+            )
+            replayed = recovery.replay(raw[:cut], tolerate_torn_tail=True)
+            expected = bisect.bisect_right(boundaries, cut) - 1
+            assert replayed == expected, f"cut at byte {cut}"
+            reader = fresh.begin()
+            rows = {
+                row.get(0) for _, row in fresh.catalog.table("t").scan(reader, [0])
+            }
+            fresh.commit(reader)
+            want = set(range(expected))
+            if expected == 4:
+                want.discard(1)  # txn 3 deleted row 1
+            assert rows == want, f"cut at byte {cut}"
 
     def test_database_recovery_tolerates_crash_mid_flush(self):
         raw = populated_log(5)
