@@ -30,9 +30,20 @@ def main(argv: list[str] | None = None) -> int:
         default="text",
         help="metrics output: human text, stable JSON, or Prometheus exposition",
     )
+    parser.add_argument(
+        "--serve-obs",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve the monitoring endpoints on PORT while the demo runs "
+        "(0 = ephemeral; see also `python -m repro.obs serve`)",
+    )
     args = parser.parse_args(argv)
 
     db = Database(cold_threshold_epochs=1)
+    if args.serve_obs is not None:
+        server = db.serve_obs(port=args.serve_obs)
+        print(f"monitoring endpoints at {server.url} (/metrics /healthz /events ...)")
     info = db.create_table(
         "demo",
         [ColumnSpec("id", INT64), ColumnSpec("name", UTF8), ColumnSpec("value", FLOAT64)],

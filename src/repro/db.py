@@ -25,6 +25,7 @@ from typing import BinaryIO, Iterator, Literal
 
 from repro.catalog.catalog import Catalog, TableInfo
 from repro.gc_engine.collector import GarbageCollector
+from repro.obs.recorder import Recorder
 from repro.obs.registry import MetricRegistry
 from repro.storage.block_store import BlockStore
 from repro.storage.constants import BLOCK_SIZE
@@ -49,27 +50,48 @@ class Database:
         cold_format: Literal["gather", "dictionary"] = "gather",
         optimal_compaction: bool = False,
         obs_registry: MetricRegistry | None = None,
+        recorder: Recorder | None = None,
+        slow_txn_threshold: float | None = None,
     ) -> None:
         #: The engine-wide metric registry (see :mod:`repro.obs`): every
         #: component publishes into it, ``metrics()`` and the Prometheus /
         #: JSON expositions read from it.  Per-instance by default so
         #: independent databases never mix counts.
         self.obs = obs_registry if obs_registry is not None else MetricRegistry()
+        #: The flight recorder (see :mod:`repro.obs.recorder`): every
+        #: component journals its interesting edges here; ``timeline()``,
+        #: ``serve_obs()``'s ``/events``, and the Chrome-trace export read
+        #: from it.  ``slow_txn_threshold`` (seconds) enables the
+        #: slow-transaction log.
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else Recorder(registry=self.obs, slow_txn_threshold=slow_txn_threshold)
+        )
         self.block_store = BlockStore()
         self.catalog = Catalog(self.block_store)
         self.log_manager = (
-            LogManager(device=log_device or io.BytesIO(), registry=self.obs)
+            LogManager(
+                device=log_device or io.BytesIO(),
+                registry=self.obs,
+                recorder=self.recorder,
+            )
             if logging_enabled
             else None
         )
         self.txn_manager = TransactionManager(
-            log_manager=self.log_manager, registry=self.obs
+            log_manager=self.log_manager, registry=self.obs, recorder=self.recorder
         )
         self.access_observer = AccessObserver(
-            threshold_epochs=cold_threshold_epochs, registry=self.obs
+            threshold_epochs=cold_threshold_epochs,
+            registry=self.obs,
+            recorder=self.recorder,
         )
         self.gc = GarbageCollector(
-            self.txn_manager, access_observer=self.access_observer, registry=self.obs
+            self.txn_manager,
+            access_observer=self.access_observer,
+            registry=self.obs,
+            recorder=self.recorder,
         )
         self.transformer = BlockTransformer(
             self.txn_manager,
@@ -79,7 +101,9 @@ class Database:
             cold_format=cold_format,
             optimal_compaction=optimal_compaction,
             registry=self.obs,
+            recorder=self.recorder,
         )
+        self._obs_server = None
         if self.log_manager is not None:
             self.log_manager.on_degrade = self._enter_degraded
         self._register_db_gauges()
@@ -312,6 +336,7 @@ class Database:
         never became durable (the background thread's own last-drain error
         is surfaced the same way).
         """
+        self.stop_serving_obs()
         self.stop_background()
         if self.log_manager is not None:
             self.log_manager.flush()
@@ -337,7 +362,12 @@ class Database:
         """Liveness/durability status for operators and the torture harness.
 
         ``status`` is ``"ok"`` or ``"degraded"``; the ``wal`` section is
-        ``None`` when logging is disabled.
+        ``None`` when logging is disabled.  ``backlog`` is the flush-queue
+        depth (transactions committed but not yet durable) and
+        ``last_fsync_age_seconds`` the time since the last successful
+        fsync (``None`` until the first one) — the two numbers that say
+        how far behind the log is, also scrapeable as the ``wal.pending``
+        and ``wal.last_fsync_age_seconds`` gauges.
         """
         wal = None
         if self.log_manager is not None:
@@ -347,6 +377,8 @@ class Database:
                 "flush_failures": lm.flush_failures,
                 "consecutive_flush_failures": lm.consecutive_flush_failures,
                 "pending": lm.pending_count,
+                "backlog": lm.pending_count,
+                "last_fsync_age_seconds": lm.last_fsync_age_seconds,
                 "degraded_reason": lm.degraded_reason,
             }
         return {
@@ -412,6 +444,32 @@ class Database:
         from repro.storage.integrity import check_database
 
         return check_database(self)
+
+    def timeline(self, txn_id: int) -> dict:
+        """The causal timeline of one transaction from the flight recorder:
+        the begin→(retries)→commit/abort event chain plus the trace spans
+        that ran inside it.  See :meth:`repro.obs.Recorder.timeline`."""
+        return self.recorder.timeline(txn_id)
+
+    def serve_obs(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start the HTTP monitoring server (``/metrics``, ``/healthz``,
+        ``/varz``, ``/events``, ``/timeline/<txn_id>``, ``/trace``).
+
+        ``port=0`` binds an ephemeral port — read the bound one from the
+        returned :class:`~repro.obs.server.ObsServer`'s ``.port``.
+        Idempotent; :meth:`close` stops it.
+        """
+        if self._obs_server is None:
+            from repro.obs.server import ObsServer
+
+            self._obs_server = ObsServer(self, host=host, port=port).start()
+        return self._obs_server
+
+    def stop_serving_obs(self) -> None:
+        """Stop the monitoring server if one is running (idempotent)."""
+        server, self._obs_server = self._obs_server, None
+        if server is not None:
+            server.stop()
 
     def metrics(self) -> dict:
         """One snapshot of every component's counters.

@@ -19,6 +19,7 @@ from repro.fault.crashpoints import crash_point
 from repro.export import postgres_wire, rdma, vectorized
 from repro.export.network import NetworkProfile, SimulatedNetwork
 from repro.obs import trace
+from repro.obs.recorder import broadcast as recorder_broadcast
 from repro.obs.registry import DEFAULT_SIZE_BUCKETS, STATE, MetricRegistry
 
 if TYPE_CHECKING:
@@ -100,12 +101,26 @@ class TableExporter:
                     result = self._export_rdma()
                 else:
                     raise SerializationError(f"unknown export method {method!r}")
-        except Exception:
+        except Exception as exc:
             self.registry.counter(
                 "export.failures_total", "export runs ended by an error"
             ).inc()
+            recorder_broadcast(
+                "export.failed",
+                method=method,
+                table=self.table.name,
+                error=type(exc).__name__,
+            )
             raise
         self._record(result)
+        recorder_broadcast(
+            "export.serve",
+            method=method,
+            table=self.table.name,
+            rows=result.rows,
+            wire_bytes=result.wire_bytes,
+            duration_seconds=result.total_seconds,
+        )
         return result
 
     def _record(self, result: ExportResult) -> None:

@@ -60,6 +60,12 @@ class CrashPointInjector:
             self.remaining_skips -= 1
             return
         self.fired = True
+        # Journal the fire before raising: the simulated reboot throws the
+        # engine away, but the flight recorder is what the "operator"
+        # (torture-harness report, /events scrape) reads afterwards.
+        from repro.obs.recorder import broadcast
+
+        broadcast("fault.crash_point", point=name)
         raise SimulatedCrash(f"crash point {name!r}")
 
 

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Protocol
 
 from repro.gc_engine.epoch import DeferredActionQueue
 from repro.obs import trace
+from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import STATE, MetricRegistry
 from repro.storage.varlen import read_entry
 from repro.txn.manager import TransactionManager
@@ -60,8 +61,10 @@ class GarbageCollector:
         txn_manager: TransactionManager,
         access_observer: AccessObserver | None = None,
         registry: MetricRegistry | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.txn_manager = txn_manager
+        self.recorder = recorder if recorder is not None else get_recorder()
         self.deferred = DeferredActionQueue()
         self.access_observer = access_observer
         self.stats = GcStats()
@@ -140,6 +143,17 @@ class GarbageCollector:
             self.stats.passes += 1
             self.stats.records_unlinked += unlinked
         self._record_pass(began, unlinked, len(completed), deferred_run)
+        if began and (unlinked or completed or deferred_run):
+            # Idle passes (the background thread's common case) would only
+            # flood the journal; record passes that did real work.
+            self.recorder.record(
+                "gc.pass",
+                epoch=self.epoch,
+                unlinked=unlinked,
+                txns=len(completed),
+                deferred=deferred_run,
+                duration_seconds=perf_counter() - began,
+            )
         return unlinked
 
     def _on_deferred_error(self, exc: BaseException) -> None:

@@ -1,6 +1,6 @@
 """repro.obs: the engine-wide observability layer.
 
-Three pieces, one principle — statistics collection stays off the
+Five pieces, one principle — statistics collection stays off the
 transaction critical path (the paper's Section 4.2 ride-along idea,
 generalized):
 
@@ -9,7 +9,13 @@ generalized):
   merge only on read,
 - :mod:`repro.obs.trace` — nestable ``span("wal.group_commit")`` scopes
   feeding a bounded ring buffer with parent/child time attribution,
-- :mod:`repro.obs.expo` — Prometheus text and stable-JSON exposition.
+- :mod:`repro.obs.expo` — Prometheus text and stable-JSON exposition,
+- :mod:`repro.obs.recorder` — the flight recorder: a bounded structured
+  event journal with per-transaction causal timelines, a slow-transaction
+  log, and Chrome-trace export,
+- :mod:`repro.obs.server` — the stdlib HTTP monitoring server behind
+  ``db.serve_obs(port)`` (``/metrics``, ``/healthz``, ``/varz``,
+  ``/events``, ``/timeline/<txn_id>``).
 
 Quick tour::
 
@@ -19,20 +25,30 @@ Quick tour::
     ...                                  # run a workload
     print(obs.render_prometheus(db.obs)) # scrape-ready text
     print(obs.render_json(db.obs))       # stable JSON snapshot
+    db.serve_obs(port=8642)              # live HTTP monitoring
+    db.timeline(txn_id)                  # causal txn timeline
+    obs.render_chrome_trace(db.recorder) # chrome://tracing document
     with obs.span("my.phase"):           # trace a scope
         ...
     obs.configure(enabled=False)         # near-no-op everywhere
 
-Each ``Database`` owns its own :class:`MetricRegistry` (``db.obs``) so
-independent instances never mix counts; ``obs.get_registry()`` is the
-process-default registry for component-less callers.  The naming
-convention is ``<component>.<event>[_seconds|_bytes|_total]``.
+Each ``Database`` owns its own :class:`MetricRegistry` (``db.obs``) and
+:class:`Recorder` (``db.recorder``) so independent instances never mix
+counts or events; ``obs.get_registry()`` / ``obs.get_recorder()`` are the
+process defaults for component-less callers.  The naming convention is
+``<component>.<event>[_seconds|_bytes|_total]``.
 """
 
 from __future__ import annotations
 
 from repro.obs import trace as trace
 from repro.obs.expo import render_json, render_prometheus, snapshot
+from repro.obs.recorder import (
+    Event,
+    Recorder,
+    get_recorder,
+    render_chrome_trace,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -57,17 +73,24 @@ def get_registry() -> MetricRegistry:
 def configure(
     enabled: bool | None = None,
     trace_capacity: int | None = None,
+    slow_txn_threshold: float | None | str = "unset",
 ) -> None:
     """Adjust global observability behavior.
 
-    ``enabled=False`` turns every instrument and span into a near-no-op
-    (one attribute load + branch on the hot path); ``True`` re-enables.
-    ``trace_capacity`` resizes the default tracer's ring buffer.
+    ``enabled=False`` turns every instrument, span, and journal event into
+    a near-no-op (one attribute load + branch on the hot path); ``True``
+    re-enables.  ``trace_capacity`` resizes the default tracer's ring
+    buffer.  ``slow_txn_threshold`` (seconds, or ``None`` to disable)
+    sets the default recorder's slow-transaction capture threshold —
+    databases own their recorders, so per-instance thresholds go through
+    ``Database(slow_txn_threshold=...)`` instead.
     """
     if enabled is not None:
         STATE.enabled = enabled
     if trace_capacity is not None:
         trace.set_capacity(trace_capacity)
+    if slow_txn_threshold != "unset":
+        get_recorder().slow_txn_threshold = slow_txn_threshold
 
 
 def is_enabled() -> bool:
@@ -79,17 +102,21 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "Counter",
+    "Event",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricRegistry",
+    "Recorder",
     "Span",
     "SpanSummary",
     "Tracer",
     "configure",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "is_enabled",
+    "render_chrome_trace",
     "render_json",
     "render_prometheus",
     "snapshot",

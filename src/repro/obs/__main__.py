@@ -1,0 +1,219 @@
+"""``python -m repro.obs`` — live monitoring from the command line.
+
+Two subcommands:
+
+``serve``
+    Boot a demo database with a continuous light workload and serve the
+    monitoring endpoints until interrupted::
+
+        python -m repro.obs serve --port 8642
+        curl localhost:8642/metrics
+
+``smoke``
+    The CI smoke path: run a TPC-C workload with the maintenance threads
+    live, scrape ``/metrics`` / ``/healthz`` / ``/varz`` / ``/events``
+    over real HTTP, validate every payload parses (Prometheus line format
+    and JSON), reconstruct a committed transaction's timeline, and write
+    a Chrome-trace artifact.  Exits non-zero on any failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+
+
+def _fetch(url: str, timeout: float = 10.0) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:  # 4xx/5xx still carry a body
+        return exc.code, exc.read().decode("utf-8")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import random
+
+    from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+
+    db = Database(cold_threshold_epochs=1, slow_txn_threshold=args.slow_threshold)
+    info = db.create_table(
+        "demo",
+        [ColumnSpec("id", INT64), ColumnSpec("name", UTF8), ColumnSpec("value", FLOAT64)],
+        watch_cold=True,
+    )
+    db.start_background()
+    server = db.serve_obs(port=args.port, host=args.host)
+    print(f"monitoring at {server.url}  (endpoints: {server.url}/)")
+    print("running a continuous demo workload; Ctrl-C to stop")
+
+    stop = threading.Event()
+    rng = random.Random(0)
+
+    def workload() -> None:
+        next_id = 0
+        while not stop.is_set():
+            try:
+                with db.transaction() as txn:
+                    for _ in range(10):
+                        info.table.insert(
+                            txn,
+                            {0: next_id, 1: f"row-{next_id}", 2: rng.uniform(0, 100)},
+                        )
+                        next_id += 1
+            except Exception:
+                pass
+            time.sleep(args.write_interval)
+
+    worker = threading.Thread(target=workload, daemon=True, name="demo-writer")
+    worker.start()
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        worker.join()
+        db.close()
+    return 0
+
+
+def _check(ok: bool, label: str, failures: list[str]) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        failures.append(label)
+
+
+def _smoke(args: argparse.Namespace) -> int:
+    from repro import Database, obs
+    from repro.workloads.tpcc import TpccConfig, TpccDriver
+
+    failures: list[str] = []
+    db = Database(cold_threshold_epochs=1, slow_txn_threshold=0.0)
+    driver = TpccDriver(db, TpccConfig.small())
+    print("loading TPC-C ...")
+    driver.setup()
+    db.start_background()
+    server = db.serve_obs(port=args.port)
+    print(f"serving at {server.url}; running {args.txns} transactions ...")
+
+    run_box: dict = {}
+
+    def workload() -> None:
+        run_box["run"] = driver.run(transactions_per_worker=args.txns)
+
+    worker = threading.Thread(target=workload, name="tpcc-worker")
+    worker.start()
+    time.sleep(0.2)  # let some transactions land before the live scrape
+
+    # --- live scrapes while the workload is running -------------------- #
+    status, prom = _fetch(f"{server.url}/metrics")
+    sample_lines = [
+        line for line in prom.splitlines() if line and not line.startswith("#")
+    ]
+    _check(
+        status == 200 and all(len(line.split()) >= 2 for line in sample_lines),
+        f"/metrics parses ({len(sample_lines)} samples)",
+        failures,
+    )
+    _check("txn_commit_total" in prom, "/metrics includes txn_commit_total", failures)
+
+    status, raw = _fetch(f"{server.url}/healthz")
+    health = json.loads(raw)
+    _check(
+        status == 200 and health["status"] == "ok" and health["wal"]["healthy"],
+        "/healthz ok while workload runs",
+        failures,
+    )
+    _check(
+        "backlog" in health["wal"] and "last_fsync_age_seconds" in health["wal"],
+        "/healthz reports WAL backlog + fsync age",
+        failures,
+    )
+
+    status, raw = _fetch(f"{server.url}/varz")
+    varz = json.loads(raw)
+    _check(
+        status == 200 and {"counters", "gauges", "histograms"} <= set(varz),
+        "/varz JSON snapshot",
+        failures,
+    )
+
+    status, raw = _fetch(f"{server.url}/events?component=txn&limit=50")
+    events = json.loads(raw)["events"]
+    _check(status == 200 and len(events) > 0, "/events returns journal entries", failures)
+
+    worker.join()
+    run = run_box.get("run")
+    _check(run is not None and run.committed > 0, "workload committed transactions", failures)
+
+    # --- post-run forensic checks -------------------------------------- #
+    commits = db.recorder.events(kind="txn.commit", limit=5)
+    _check(len(commits) > 0, "journal captured commits", failures)
+    if commits:
+        txn_id = commits[-1].txn_id
+        status, raw = _fetch(f"{server.url}/timeline/{txn_id}")
+        timeline = json.loads(raw)
+        _check(
+            status == 200
+            and timeline["complete"]
+            and timeline["status"] == "committed",
+            f"/timeline/{txn_id} reconstructs a complete chain",
+            failures,
+        )
+    slow = db.recorder.slow_transactions()
+    _check(len(slow) > 0, "slow-transaction log captured timelines", failures)
+
+    db.stop_background()
+    trace_json = obs.render_chrome_trace(db.recorder)
+    parsed = json.loads(trace_json)
+    _check(len(parsed["traceEvents"]) > 0, "chrome trace has events", failures)
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(trace_json)
+        print(f"chrome trace written to {args.trace_out}")
+
+    server.stop()
+    db.close()
+    if failures:
+        print(f"\nsmoke FAILED: {failures}")
+        return 1
+    print("\nsmoke ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs", description="live monitoring for the repro engine"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve monitoring endpoints over a demo DB")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--write-interval", type=float, default=0.05)
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.05,
+        help="slow-transaction capture threshold in seconds",
+    )
+
+    smoke = sub.add_parser("smoke", help="CI smoke: workload + HTTP scrape validation")
+    smoke.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    smoke.add_argument("--txns", type=int, default=300)
+    smoke.add_argument("--trace-out", default=None, help="write Chrome trace JSON here")
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    return _smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

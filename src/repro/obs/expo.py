@@ -5,6 +5,15 @@ name-sorted order, so output is deterministic and diffable.  Dotted metric
 names become underscored in Prometheus (``txn.commit_seconds`` →
 ``txn_commit_seconds``); histograms expand to the standard
 ``_bucket{le=...}`` / ``_sum`` / ``_count`` family.
+
+The Prometheus renderer follows the text-format spec (v0.0.4) to the
+letter — ``# HELP`` / ``# TYPE`` exactly once per family with HELP first,
+HELP text escaped (``\\`` and newlines), exactly one terminal
+``le="+Inf"`` bucket whose value equals ``_count`` — and
+``tests/obs/test_expo.py`` holds a line-level conformance test against
+it.  Dotted names that sanitize to an already-emitted family (possible
+only through adversarial naming) are skipped rather than emitting a
+duplicate family.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ def _prom_name(name: str) -> str:
 
 def _prom_value(value: float) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
         if math.isinf(value):
             return "+Inf" if value > 0 else "-Inf"
         if value == int(value) and abs(value) < 1e15:
@@ -36,13 +47,24 @@ def _prom_bound(bound: float) -> str:
     return format(bound, ".12g")
 
 
+def _escape_help(text: str) -> str:
+    """HELP text per the spec: escape backslash and line feed."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def render_prometheus(registry: MetricRegistry) -> str:
     """The registry in Prometheus text exposition format (v0.0.4)."""
     lines: list[str] = []
+    emitted: set[str] = set()
     for instrument in registry:
         name = _prom_name(instrument.name)
+        if name in emitted:
+            # Two dotted names sanitized to one family; a second HELP/TYPE
+            # block would be malformed, so only the first instrument wins.
+            continue
+        emitted.add(name)
         if instrument.help:
-            lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
         if isinstance(instrument, Counter):
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {_prom_value(instrument.value)}")

@@ -20,6 +20,7 @@ Dots become underscores in the Prometheus exposition.
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from bisect import bisect_left
@@ -197,6 +198,13 @@ class Histogram:
         bounds = tuple(float(b) for b in buckets)
         if not bounds or list(bounds) != sorted(set(bounds)):
             raise ValueError("histogram buckets must be sorted, unique, non-empty")
+        # The +Inf bucket is implicit (the overflow slot); an explicit
+        # trailing +Inf bound would double it in the exposition, so fold
+        # it away here and keep every stored bound finite.
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]
+        if not bounds or not all(math.isfinite(b) for b in bounds):
+            raise ValueError("histogram buckets must contain finite bounds")
         self._bounds = bounds
         self._local = threading.local()
         self._shards: list[_HistogramShard] = []

@@ -1,0 +1,201 @@
+"""The stdlib-only HTTP monitoring server: live scrape of one Database.
+
+``db.serve_obs(port)`` starts a daemon :class:`ObsServer` exposing:
+
+- ``/metrics``  — Prometheus text exposition of ``db.obs``,
+- ``/healthz``  — ``db.health()`` as JSON; 503 while degraded,
+- ``/varz``     — the stable JSON metric snapshot,
+- ``/events``   — recent journal events; filter with
+  ``?component=wal&kind=wal.flush&txn=123&block=7&limit=100``,
+- ``/timeline/<txn_id>`` — the causal timeline of one transaction,
+- ``/trace``    — the Chrome-trace document (drop into chrome://tracing),
+- ``/``         — an endpoint index.
+
+Scrapes run on short-lived handler threads (``ThreadingHTTPServer``) and
+only ever *read*: a merge of metric shards, a snapshot of the journal ring.
+Nothing on the transaction critical path waits for a scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, urlparse
+
+if TYPE_CHECKING:
+    from repro.db import Database
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_ENDPOINTS = {
+    "/metrics": "Prometheus text exposition",
+    "/healthz": "liveness + durability status (503 while degraded)",
+    "/varz": "stable JSON metric snapshot",
+    "/events": "recent journal events (?component=&kind=&txn=&block=&limit=)",
+    "/timeline/<txn_id>": "causal timeline of one transaction",
+    "/trace": "Chrome-trace document of spans + events",
+}
+
+
+def _int_param(params: dict[str, list[str]], name: str) -> int | None:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer")
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's database."""
+
+    server: "_ObsHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # scrapes arrive every few seconds, so count them instead.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        db = self.server.db
+        db.obs.counter(
+            "obs.http_requests_total", "monitoring endpoint requests served"
+        ).inc()
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                from repro.obs.expo import render_prometheus
+
+                self._respond(200, render_prometheus(db.obs), PROMETHEUS_CONTENT_TYPE)
+            elif path == "/healthz":
+                health = db.health()
+                status = 200 if health["status"] == "ok" else 503
+                self._respond_json(status, health)
+            elif path == "/varz":
+                from repro.obs.expo import snapshot
+
+                self._respond_json(200, snapshot(db.obs))
+            elif path == "/events":
+                self._serve_events(parse_qs(parsed.query))
+            elif path.startswith("/timeline/"):
+                self._serve_timeline(path.removeprefix("/timeline/"))
+            elif path == "/trace":
+                from repro.obs.recorder import render_chrome_trace
+
+                self._respond(
+                    200,
+                    render_chrome_trace(db.recorder),
+                    "application/json; charset=utf-8",
+                )
+            elif path == "/":
+                self._respond_json(200, {"endpoints": _ENDPOINTS})
+            else:
+                self._respond_json(404, {"error": f"no such endpoint: {path}"})
+        except ValueError as exc:
+            self._respond_json(400, {"error": str(exc)})
+        except Exception as exc:  # never kill the handler thread silently
+            self._respond_json(500, {"error": repr(exc)})
+
+    def _serve_events(self, params: dict[str, list[str]]) -> None:
+        db = self.server.db
+        limit = _int_param(params, "limit")
+        events = db.recorder.events(
+            component=params.get("component", [None])[0],
+            kind=params.get("kind", [None])[0],
+            txn_id=_int_param(params, "txn"),
+            block_id=_int_param(params, "block"),
+            limit=limit if limit is not None else 250,
+        )
+        self._respond_json(
+            200,
+            {
+                "events": [e.to_dict() for e in events],
+                "dropped_total": db.recorder.events_dropped,
+            },
+        )
+
+    def _serve_timeline(self, raw_id: str) -> None:
+        try:
+            txn_id = int(raw_id)
+        except ValueError:
+            raise ValueError(f"timeline id must be an integer, got {raw_id!r}")
+        timeline = self.server.db.timeline(txn_id)
+        if not timeline["events"]:
+            self._respond_json(
+                404, {"error": f"no journal events for transaction {txn_id}"}
+            )
+            return
+        self._respond_json(200, timeline)
+
+    def _respond_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._respond(
+            status,
+            json.dumps(payload, indent=2, sort_keys=True, default=str),
+            "application/json; charset=utf-8",
+        )
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], db: "Database") -> None:
+        super().__init__(address, _ObsHandler)
+        self.db = db
+
+
+class ObsServer:
+    """Lifecycle wrapper around the monitoring HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`port` (or :attr:`url`).  ``stop()`` is idempotent.
+    """
+
+    def __init__(self, db: "Database", host: str = "127.0.0.1", port: int = 0) -> None:
+        self.db = db
+        self.host = host
+        self._httpd = _ObsHTTPServer((host, port), db)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="obs-server",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join()
+        self._httpd.server_close()

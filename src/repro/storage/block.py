@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.arrowfmt.buffer import Bitmap, Buffer
 from repro.errors import BlockStateError, StorageError
+from repro.obs.recorder import broadcast as _record_event
 from repro.storage.constants import BlockState, VARLEN_ENTRY_SIZE
 from repro.storage.layout import BlockLayout
 from repro.storage.varlen import VarlenHeap
@@ -168,11 +169,17 @@ class RawBlock:
                     # must materialize now) but are kept alive: relaxed
                     # varlen entries may still point into them until the
                     # next gather rewrites every entry.
+                    _record_event(
+                        "block.reheated", block_id=self.block_id, from_state="FROZEN"
+                    )
                     self._seed_hot_zone_maps()
                     self.wait_for_readers()
                     return
             elif state is BlockState.COOLING:
                 if self.compare_and_swap_state(BlockState.COOLING, BlockState.HOT):
+                    _record_event(
+                        "block.preempted", block_id=self.block_id, from_state="COOLING"
+                    )
                     return
             else:  # FREEZING: wait out the short critical section.
                 with self._state_lock:

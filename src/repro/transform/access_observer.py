@@ -71,7 +71,7 @@ class AccessObserver:
     with a ~10 ms GC period, one epoch ≈ the paper's aggressive setting.
     """
 
-    def __init__(self, threshold_epochs: int = 1, registry=None) -> None:
+    def __init__(self, threshold_epochs: int = 1, registry=None, recorder=None) -> None:
         if threshold_epochs < 1:
             raise ValueError("threshold must be at least one epoch")
         self.threshold_epochs = threshold_epochs
@@ -82,8 +82,10 @@ class AccessObserver:
         self._tables: "list[DataTable]" = []
         self._block_tables: "dict[int, DataTable]" = {}
         self.blocks_queued = 0
+        from repro.obs.recorder import get_recorder
         from repro.obs.registry import MetricRegistry
 
+        self.recorder = recorder if recorder is not None else get_recorder()
         self.registry = registry if registry is not None else MetricRegistry()
         self._m_blocks_queued = self.registry.counter(
             "transform.blocks_queued_total", "blocks detected cold and enqueued"
@@ -116,6 +118,14 @@ class AccessObserver:
                     if self.queue.push(table, block):
                         self.blocks_queued += 1
                         self._m_blocks_queued.inc()
+                        self.recorder.record(
+                            "block.queued_cold",
+                            block_id=block.block_id,
+                            table=table.name,
+                            last_modified_epoch=block.last_modified_epoch,
+                            gc_epoch=epoch,
+                            idle_epochs=epoch - block.last_modified_epoch,
+                        )
 
     def _is_cold(self, table: "DataTable", block: "RawBlock", epoch: int) -> bool:
         if block.state is not BlockState.HOT:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Literal
 from repro.fault.crashpoints import crash_point
 from repro.gc_engine.collector import GarbageCollector
 from repro.obs import trace
+from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import STATE, MetricRegistry
 from repro.storage.constants import BlockState
 from repro.transform.access_observer import AccessObserver
@@ -83,10 +84,12 @@ class BlockTransformer:
         optimal_compaction: bool = False,
         group_policy=None,
         registry: MetricRegistry | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.txn_manager = txn_manager
         self.gc = gc
         self.observer = observer
+        self.recorder = recorder if recorder is not None else get_recorder()
         self.compaction_group_size = compaction_group_size
         #: Group-formation policy; defaults to fixed-size chunks (the
         #: paper's evaluated configuration).  See transform/policy.py.
@@ -233,6 +236,25 @@ class BlockTransformer:
             self._m_groups_compacted.inc()
             self._m_tuples_moved.inc(plan.movement_count)
             self._m_compaction_seconds.observe(elapsed)
+            epoch = self.gc.epoch
+            for block in cooled:
+                # HOT → COOLING, with the heat statistics that justified it.
+                self.recorder.record(
+                    "block.cooling",
+                    block_id=block.block_id,
+                    table=table.name,
+                    last_modified_epoch=block.last_modified_epoch,
+                    gc_epoch=epoch,
+                    idle_epochs=epoch - block.last_modified_epoch,
+                )
+            self.recorder.record(
+                "transform.compacted",
+                table=table.name,
+                blocks=len(plan.blocks),
+                tuples_moved=plan.movement_count,
+                emptied=len(plan.empty_blocks),
+                duration_seconds=elapsed,
+            )
         for block in plan.empty_blocks:
             self._schedule_block_release(table, block, commit_ts)
         with self._pending_lock:
@@ -272,21 +294,33 @@ class BlockTransformer:
             if block.state is not BlockState.COOLING:
                 self.stats.freezes_preempted += 1
                 self._m_freezes_preempted.inc()
+                self._record_preempted(table, block, "left_cooling")
                 continue
             if block.has_active_versions():
                 self.stats.freeze_retries += 1
                 self._m_freeze_retries.inc()
+                self.recorder.record(
+                    "block.freeze_retry", block_id=block.block_id, table=table.name
+                )
                 still_pending.append((table, block))
                 continue
             if not block.compare_and_swap_state(BlockState.COOLING, BlockState.FREEZING):
                 self.stats.freezes_preempted += 1
                 self._m_freezes_preempted.inc()
+                self._record_preempted(table, block, "cas_lost")
                 continue
+            self.recorder.record(
+                "block.freezing",
+                block_id=block.block_id,
+                table=table.name,
+                gc_epoch=self.gc.epoch,
+            )
             if block.has_active_versions():
                 # An interloper slipped in between scan and CAS; back off.
                 block.set_state(BlockState.HOT)
                 self.stats.freezes_preempted += 1
                 self._m_freezes_preempted.inc()
+                self._record_preempted(table, block, "interloper")
                 continue
             began = time.perf_counter()
             unlink_ts = self.txn_manager.timestamps.checkpoint()
@@ -309,10 +343,27 @@ class BlockTransformer:
                     self._m_dictionary_seconds.observe(elapsed)
                 else:
                     self._m_gather_seconds.observe(elapsed)
+                self.recorder.record(
+                    "block.frozen",
+                    block_id=block.block_id,
+                    table=table.name,
+                    format=self.cold_format,
+                    frozen_at=block.frozen_at,
+                    duration_seconds=elapsed,
+                )
             frozen += 1
         with self._pending_lock:
             self.freeze_pending = still_pending + self.freeze_pending
         return frozen
+
+    def _record_preempted(self, table: "DataTable", block: "RawBlock", why: str) -> None:
+        self.recorder.record(
+            "block.freeze_preempted",
+            block_id=block.block_id,
+            table=table.name,
+            reason=why,
+            state=block.state.name,
+        )
 
     def run_pass(self) -> int:
         """One full pipeline turn: GC feeds the queue, compaction runs, GC

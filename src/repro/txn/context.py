@@ -32,6 +32,10 @@ class TransactionContext:
         self.txn_id = txn_id
         #: Commit timestamp, set inside the commit critical section.
         self.commit_ts: int | None = None
+        #: ``perf_counter()`` at begin (0.0 while observability is off);
+        #: commit/abort derive the whole-transaction latency the flight
+        #: recorder's slow-transaction log thresholds on.
+        self.began_at = 0.0
         self.undo_buffer = UndoBuffer()
         self.redo_buffer = RedoBuffer()
         self.state = TxnState.ACTIVE

@@ -15,6 +15,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import DegradedError, TransactionAborted
+from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import STATE, MetricRegistry
 from repro.txn.context import TransactionContext, TxnState
 from repro.txn.timestamps import TimestampManager
@@ -32,6 +33,7 @@ class TransactionManager:
         timestamps: TimestampManager | None = None,
         log_manager: "LogManager | None" = None,
         registry: MetricRegistry | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         self.timestamps = timestamps or TimestampManager()
         self.log_manager = log_manager
@@ -43,6 +45,7 @@ class TransactionManager:
         #: Set (with a reason) when the engine can no longer make commits
         #: durable; new writers are rejected with :class:`DegradedError`.
         self._degraded_reason: str | None = None
+        self.recorder = recorder if recorder is not None else get_recorder()
         self.registry = registry if registry is not None else MetricRegistry()
         reg = self.registry
         self._m_begin_total = reg.counter("txn.begin_total", "transactions started")
@@ -73,12 +76,14 @@ class TransactionManager:
         began = perf_counter() if STATE.enabled else 0.0
         start_ts, txn_id = self.timestamps.begin()
         txn = TransactionContext(start_ts, txn_id)
+        txn.began_at = began
         txn.write_gate = self._check_write_allowed
         with self._lock:
             self._active[start_ts] = txn
         if began:
             self._m_begin_total.inc()
             self._m_begin_seconds.observe(perf_counter() - began)
+            self.recorder.record("txn.begin", txn_id=txn_id, start_ts=start_ts)
         return txn
 
     def commit(
@@ -120,6 +125,15 @@ class TransactionManager:
         if began:
             self._m_commit_total.inc()
             self._m_commit_seconds.observe(perf_counter() - began)
+            lifetime = perf_counter() - txn.began_at if txn.began_at else 0.0
+            self.recorder.record(
+                "txn.commit",
+                txn_id=txn.txn_id,
+                commit_ts=commit_ts,
+                writes=len(txn.undo_buffer),
+                duration_seconds=lifetime,
+            )
+            self.recorder.note_txn_complete(txn.txn_id, lifetime, "committed")
         return commit_ts
 
     def abort(self, txn: TransactionContext) -> None:
@@ -150,6 +164,15 @@ class TransactionManager:
             if txn.must_abort:
                 self._m_conflict_total.inc()
             self._m_abort_seconds.observe(perf_counter() - began)
+            lifetime = perf_counter() - txn.began_at if txn.began_at else 0.0
+            self.recorder.record(
+                "txn.abort",
+                txn_id=txn.txn_id,
+                conflict=txn.must_abort,
+                writes=len(txn.undo_buffer),
+                duration_seconds=lifetime,
+            )
+            self.recorder.note_txn_complete(txn.txn_id, lifetime, "aborted")
 
     # ------------------------------------------------------------------ #
     # degraded read-only mode                                             #
@@ -168,6 +191,7 @@ class TransactionManager:
         """Flip into degraded read-only mode (sticky; reads keep working)."""
         if self._degraded_reason is None:
             self._degraded_reason = reason
+            self.recorder.record("txn.degraded_mode", reason=reason)
 
     def _check_write_allowed(self) -> None:
         """The per-write gate installed on every transaction context."""

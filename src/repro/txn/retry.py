@@ -54,8 +54,20 @@ def retry_transaction(
     """
     draw = rng.random if rng is not None else random.random
     attempts = retries + 1
+    recorder = getattr(db, "recorder", None)
+    prev_txn_id: int | None = None
     for attempt in range(attempts):
         txn = db.begin()
+        if prev_txn_id is not None and recorder is not None:
+            # Link the fresh attempt to the aborted one so the flight
+            # recorder can reconstruct the begin→(retries)→commit chain.
+            recorder.record(
+                "txn.retry",
+                txn_id=txn.txn_id,
+                prev_txn_id=prev_txn_id,
+                attempt=attempt,
+            )
+        prev_txn_id = txn.txn_id
         try:
             result = body(txn)
         except TransactionAborted:

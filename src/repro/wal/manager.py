@@ -34,6 +34,7 @@ from typing import BinaryIO, Callable
 
 from repro.fault.crashpoints import crash_point
 from repro.obs import trace
+from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import DEFAULT_SIZE_BUCKETS, STATE, MetricRegistry
 from repro.txn.context import TransactionContext
 from repro.wal.records import encode_transaction
@@ -48,6 +49,7 @@ class LogManager:
         synchronous: bool = True,
         registry: MetricRegistry | None = None,
         degrade_after: int = 5,
+        recorder: Recorder | None = None,
     ) -> None:
         #: The "disk": any binary file-like object.
         self.device = device if device is not None else io.BytesIO()
@@ -77,8 +79,14 @@ class LogManager:
         #: Exception from the background thread's final drain, surfaced by
         #: ``Database.close()``.
         self.last_flush_error: BaseException | None = None
+        #: ``perf_counter()`` of the last successful fsync; ``None`` until
+        #: the first one.  ``last_fsync_age_seconds`` and the health report
+        #: derive the staleness operators alert on.
+        self.last_fsync_at: float | None = None
+        self._created_at = perf_counter()
         self._background: threading.Thread | None = None
         self._stop = threading.Event()
+        self.recorder = recorder if recorder is not None else get_recorder()
         self.registry = registry if registry is not None else MetricRegistry()
         reg = self.registry
         self._m_flush_total = reg.counter("wal.flush_total", "non-empty flush passes")
@@ -115,6 +123,20 @@ class LogManager:
             "current flush failure streak",
             callback=lambda: self.consecutive_flush_failures,
         )
+        reg.gauge(
+            "wal.last_fsync_age_seconds",
+            "seconds since the last successful fsync (since startup if none yet)",
+            callback=lambda: self.last_fsync_age_seconds
+            if self.last_fsync_at is not None
+            else perf_counter() - self._created_at,
+        )
+
+    @property
+    def last_fsync_age_seconds(self) -> float | None:
+        """Seconds since the last successful fsync (``None`` until one)."""
+        if self.last_fsync_at is None:
+            return None
+        return perf_counter() - self.last_fsync_at
 
     def submit(self, txn: TransactionContext) -> None:
         """Enqueue a committed transaction's redo buffer for flushing."""
@@ -158,6 +180,10 @@ class LogManager:
             # Success: only now does anything count as persisted.
             self._durable_offset += flushed_bytes
             self.consecutive_flush_failures = 0
+            self.last_fsync_at = perf_counter()
+            self.recorder.record(
+                "wal.fsync", offset=self._durable_offset, bytes=flushed_bytes
+            )
             with self._lock:
                 self.bytes_written += flushed_bytes
                 self.flush_count += 1
@@ -175,6 +201,12 @@ class LogManager:
             self._m_persisted_total.inc(len(batch))
             self._m_batch_size.observe(len(batch))
             self._m_flush_seconds.observe(perf_counter() - began)
+            self.recorder.record(
+                "wal.flush",
+                txns=len(batch),
+                bytes=flushed_bytes,
+                duration_seconds=perf_counter() - began,
+            )
         return len(batch)
 
     def _recover_from_flush_failure(
@@ -193,6 +225,12 @@ class LogManager:
         self.flush_failures += 1
         self.consecutive_flush_failures += 1
         self._m_flush_failures.inc()
+        self.recorder.record(
+            "wal.flush_failure",
+            txns=len(batch),
+            streak=self.consecutive_flush_failures,
+            error=repr(exc),
+        )
         rewound = False
         try:
             if hasattr(self.device, "seek") and hasattr(self.device, "truncate"):
@@ -214,6 +252,7 @@ class LogManager:
             return
         self.degraded = True
         self.degraded_reason = reason
+        self.recorder.record("wal.degraded", reason=reason)
         hook = self.on_degrade
         if hook is not None:
             hook(reason)

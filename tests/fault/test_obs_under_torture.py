@@ -1,0 +1,128 @@
+"""Flight-recorder forensics under crash injection.
+
+The journal's reason to exist is the post-incident question: *what was the
+engine doing when it died?*  These tests crash a live engine at a seeded
+WAL crash point and assert the journal supports the investigation — the
+crash fire is recorded, it orders correctly against the durability events
+around it, and the timelines of transactions committed before the crash
+still reconstruct completely.
+"""
+
+import json
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8, obs
+from repro.fault.crashpoints import CrashPointInjector, armed
+from repro.fault.device import SimulatedCrash
+from repro.obs.recorder import render_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+def _run_until_crash(db, info, crash_site, skip):
+    """Commit+flush until the armed crash point fires; returns the commit
+    timestamps that were fully flushed before the crash."""
+    flushed = []
+    db.log_manager.synchronous = False
+    with armed(CrashPointInjector(crash_site, skip=skip)):
+        with pytest.raises(SimulatedCrash):
+            for i in range(50):
+                txn = db.begin()
+                info.table.insert(txn, {0: i, 1: f"row-{i}"})
+                db.commit(txn)
+                db.log_manager.flush()
+                flushed.append(txn.txn_id)
+    return flushed
+
+
+def test_crash_fire_journaled_and_ordered_against_wal_events():
+    db = Database()
+    info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)])
+    _run_until_crash(db, info, "wal.flush.pre_fsync", skip=3)
+
+    fires = db.recorder.events(kind="fault.crash_point")
+    assert len(fires) == 1
+    assert fires[0].attrs["point"] == "wal.flush.pre_fsync"
+    # Three flushes completed before the fatal fourth: their fsync events
+    # precede the crash fire on the global sequence.
+    fsyncs = db.recorder.events(kind="wal.fsync")
+    assert len(fsyncs) == 3
+    assert all(e.seq < fires[0].seq for e in fsyncs)
+    # pre_fsync means the fatal batch never fsynced — no fsync after it.
+    assert not [e for e in fsyncs if e.seq > fires[0].seq]
+    db.close()
+
+
+def test_timelines_of_pre_crash_transactions_reconstruct_complete():
+    db = Database()
+    info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)])
+    flushed = _run_until_crash(db, info, "wal.flush.post_fsync", skip=4)
+    assert len(flushed) >= 4
+
+    for txn_id in flushed[:4]:  # durably flushed before the crash
+        timeline = db.timeline(txn_id)
+        assert timeline["complete"], f"txn {txn_id} timeline incomplete"
+        assert timeline["status"] == "committed"
+        kinds = [e["kind"] for e in timeline["events"]]
+        assert kinds[0] == "txn.begin" and kinds[-1] == "txn.commit"
+        assert timeline["duration_seconds"] >= 0
+    db.close()
+
+
+def test_chrome_trace_renders_the_incident():
+    db = Database()
+    info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)])
+    _run_until_crash(db, info, "wal.flush.pre_fsync", skip=2)
+
+    doc = json.loads(render_chrome_trace(recorder=db.recorder))
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    names = {e["name"] for e in instants}
+    assert "fault.crash_point" in names
+    assert "txn.commit" in names and "wal.fsync" in names
+    crash = next(e for e in instants if e["name"] == "fault.crash_point")
+    assert crash["args"]["point"] == "wal.flush.pre_fsync"
+    db.close()
+
+
+def test_degraded_flip_is_journaled():
+    """Repeated flush failures flip degraded mode; the journal must hold
+    the failure streak and the flip, in order."""
+    import io
+
+    class _BrokenDevice(io.BytesIO):
+        def write(self, data):
+            raise OSError("device gone")
+
+    db = Database(log_device=_BrokenDevice())
+    db.log_manager.synchronous = False
+    info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)])
+    txn = db.begin()
+    info.table.insert(txn, {0: 1, 1: "x"})
+    db.commit(txn)
+    for _ in range(db.log_manager.degrade_after + 1):
+        with pytest.raises(OSError):
+            db.log_manager.flush()
+        if db.degraded:
+            break
+    assert db.degraded
+
+    failures = db.recorder.events(kind="wal.flush_failure")
+    assert failures
+    assert failures[-1].attrs["streak"] >= db.log_manager.degrade_after
+    flips = db.recorder.events(kind="wal.degraded")
+    assert len(flips) == 1
+    assert flips[0].seq > failures[0].seq
+    health = db.health()
+    assert health["status"] == "degraded"
+    assert health["wal"]["backlog"] >= 1  # the unflushable commit
+    import contextlib
+
+    with contextlib.suppress(OSError):  # close() drains onto the dead device
+        db.close()

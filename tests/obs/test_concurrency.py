@@ -1,0 +1,192 @@
+"""Concurrency stress: shard merges and journal accounting stay exact.
+
+Thread-local shards make the hot paths lock-free, which means correctness
+lives entirely in the merge logic.  These tests churn short-lived threads
+(spawn, increment, join, repeat) and hammer the journal ring from many
+writers at once, then assert the merged totals are *exact* — not
+approximately right, exact: drops must be counted, finished threads'
+contributions must survive, and concurrent reads must never lose events.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import Recorder
+from repro.obs.registry import Histogram, MetricRegistry
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+def _run_all(threads):
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+# ---------------------------------------------------------------------- #
+# registry shard merges                                                   #
+# ---------------------------------------------------------------------- #
+
+
+def test_counter_exact_total_across_thread_churn():
+    """Spawn/join waves of short-lived threads; every shard's contribution
+    must survive its thread's death (counters are cumulative)."""
+    reg = MetricRegistry()
+    counter = reg.counter("stress.churn_total")
+    waves, per_wave, incs = 8, 6, 250
+    for _ in range(waves):
+        _run_all(
+            [
+                threading.Thread(
+                    target=lambda: [counter.inc() for _ in range(incs)]
+                )
+                for _ in range(per_wave)
+            ]
+        )
+    assert counter.value == waves * per_wave * incs
+
+
+def test_counter_reads_race_with_writers():
+    """Merging while writers are mid-increment never over-counts and the
+    final merged total is exact."""
+    reg = MetricRegistry()
+    counter = reg.counter("stress.race_total")
+    stop = threading.Event()
+    observed = []
+
+    def reader():
+        while not stop.is_set():
+            observed.append(counter.value)
+
+    def writer():
+        for _ in range(20_000):
+            counter.inc()
+
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    watch = threading.Thread(target=reader)
+    watch.start()
+    _run_all(writers)
+    stop.set()
+    watch.join()
+    total = 4 * 20_000
+    assert counter.value == total
+    assert all(0 <= v <= total for v in observed)
+
+
+def test_histogram_exact_counts_across_thread_churn():
+    reg = MetricRegistry()
+    hist = reg.histogram("stress.churn_seconds", buckets=(0.1, 1.0, 10.0))
+    samples = (0.05, 0.5, 5.0, 50.0)  # one per bucket incl. overflow
+
+    def work():
+        for _ in range(100):
+            for s in samples:
+                hist.observe(s)
+
+    for _ in range(5):
+        _run_all([threading.Thread(target=work) for _ in range(4)])
+    snap = hist.snapshot()
+    assert snap.counts == [2000, 2000, 2000, 2000]
+    assert snap.count == 8000
+    assert snap.cumulative()[-1] == (float("inf"), 8000)
+    assert snap.sum == pytest.approx(2000 * sum(samples))
+
+
+def test_disabled_window_loses_only_disabled_increments():
+    """Flipping the global switch mid-run: increments inside the disabled
+    window vanish, every enabled increment still lands exactly once."""
+    reg = MetricRegistry()
+    counter = reg.counter("stress.window_total")
+    counter.inc(10)
+    obs.configure(enabled=False)
+    _run_all(
+        [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(100)])
+            for _ in range(4)
+        ]
+    )
+    obs.configure(enabled=True)
+    counter.inc(5)
+    assert counter.value == 15
+
+
+# ---------------------------------------------------------------------- #
+# journal ring under concurrency                                          #
+# ---------------------------------------------------------------------- #
+
+
+def test_ring_drop_oldest_exact_accounting_under_contention():
+    """Many writers overflow a tiny ring concurrently: events retained +
+    events dropped must equal events written, with no double counting."""
+    reg = MetricRegistry()
+    recorder = Recorder(capacity=128, registry=reg, local_buffer=4)
+    writers, per_writer = 8, 1_000
+
+    def work(wid):
+        for i in range(per_writer):
+            recorder.record("stress.event", writer=wid, i=i)
+
+    _run_all([threading.Thread(target=work, args=(w,)) for w in range(writers)])
+    retained = len(recorder)
+    dropped = recorder.events_dropped
+    assert retained + dropped == writers * per_writer
+    assert retained <= 128 + writers * 3  # ring + at most a partial buffer each
+    assert reg.counter("obs.events_dropped_total").value == dropped
+
+
+def test_ring_no_loss_below_capacity_with_concurrent_readers():
+    """Under capacity nothing may drop, even with readers racing writers,
+    and every event must be observable exactly once in the final merge."""
+    reg = MetricRegistry()
+    recorder = Recorder(capacity=10_000, registry=reg, local_buffer=8)
+    writers, per_writer = 6, 500
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            recorder.events(component="stress")
+
+    def work(wid):
+        for i in range(per_writer):
+            recorder.record("stress.event", writer=wid, i=i)
+
+    watch = threading.Thread(target=reader)
+    watch.start()
+    _run_all([threading.Thread(target=work, args=(w,)) for w in range(writers)])
+    stop.set()
+    watch.join()
+
+    events = recorder.events()
+    assert len(events) == writers * per_writer
+    assert recorder.events_dropped == 0
+    # Exactly-once: every (writer, i) pair present, no duplicates.
+    seen = {(e.attrs["writer"], e.attrs["i"]) for e in events}
+    assert len(seen) == writers * per_writer
+    # Global sequence numbers are unique and strictly increasing.
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_ring_per_thread_order_preserved_after_merge():
+    recorder = Recorder(capacity=50_000, registry=MetricRegistry(), local_buffer=16)
+    writers, per_writer = 4, 2_000
+
+    def work(wid):
+        for i in range(per_writer):
+            recorder.record("stress.event", writer=wid, i=i)
+
+    _run_all([threading.Thread(target=work, args=(w,)) for w in range(writers)])
+    per_thread: dict[int, list[int]] = {}
+    for event in recorder.events():
+        per_thread.setdefault(event.attrs["writer"], []).append(event.attrs["i"])
+    for wid, order in per_thread.items():
+        assert order == list(range(per_writer)), f"writer {wid} reordered"

@@ -110,8 +110,14 @@ def test_json_snapshot_parses_and_is_stable(worked_db):
     hist = payload["histograms"]["txn.commit_seconds"]
     assert hist["count"] == sum(count for _, count in hist["buckets"])
     assert hist["buckets"][-1][0] == "+Inf"
-    # Stable: a quiescent engine renders byte-identical JSON.
-    assert obs.render_json(worked_db.obs) == first
+    # Stable: a quiescent engine renders identical JSON, modulo gauges
+    # that measure elapsed time and therefore advance between renders.
+    def stable(raw):
+        snap = json.loads(raw)
+        snap["gauges"].pop("wal.last_fsync_age_seconds", None)
+        return snap
+
+    assert stable(obs.render_json(worked_db.obs)) == stable(first)
 
 
 def test_snapshot_counts_match_engine_activity(worked_db):
@@ -122,6 +128,125 @@ def test_snapshot_counts_match_engine_activity(worked_db):
     assert snap["counters"]["txn.abort_total"] >= 1
     assert snap["counters"]["transform.blocks_frozen_total"] == m["transform_blocks_frozen"] > 0
     assert snap["counters"]["query.blocks_pruned_total"] >= 0
+
+
+# ---------------------------------------------------------------------- #
+# line-level Prometheus conformance (text format v0.0.4)                  #
+# ---------------------------------------------------------------------- #
+
+
+def _family_of(line):
+    """The family a sample or comment line belongs to."""
+    if line.startswith("# "):
+        return line.split(" ")[2]
+    name = line.split("{")[0].split(" ")[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def test_prometheus_help_and_type_exactly_once_per_family(worked_db):
+    text = obs.render_prometheus(worked_db.obs)
+    help_seen, type_seen = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            family = line.split(" ")[2]
+            help_seen[family] = help_seen.get(family, 0) + 1
+        elif line.startswith("# TYPE "):
+            family = line.split(" ")[2]
+            type_seen[family] = type_seen.get(family, 0) + 1
+    assert help_seen and type_seen
+    dup_help = {f: n for f, n in help_seen.items() if n > 1}
+    dup_type = {f: n for f, n in type_seen.items() if n > 1}
+    assert not dup_help, f"HELP emitted more than once: {dup_help}"
+    assert not dup_type, f"TYPE emitted more than once: {dup_type}"
+
+
+def test_prometheus_help_precedes_type_and_samples_are_contiguous(worked_db):
+    text = obs.render_prometheus(worked_db.obs)
+    lines = text.splitlines()
+    closed = set()  # families whose block has ended
+    current = None
+    for line in lines:
+        family = _family_of(line)
+        if line.startswith("# HELP "):
+            assert family not in closed, f"family {family} reopened"
+            if current is not None and current != family:
+                closed.add(current)
+            current = family
+        elif line.startswith("# TYPE "):
+            assert family == current, f"TYPE {family} not directly after its HELP"
+        else:
+            assert family == current, (
+                f"sample {line!r} outside its family block ({current})"
+            )
+
+
+def test_prometheus_histogram_single_terminal_inf_bucket(worked_db):
+    text = obs.render_prometheus(worked_db.obs)
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+    histograms = [name for name, kind in types.items() if kind == "histogram"]
+    assert histograms
+    lines = text.splitlines()
+    for family in histograms:
+        buckets = [l for l in lines if l.startswith(f"{family}_bucket{{")]
+        inf_buckets = [l for l in buckets if 'le="+Inf"' in l]
+        assert len(inf_buckets) == 1, f"{family}: {len(inf_buckets)} +Inf buckets"
+        assert buckets[-1] == inf_buckets[0], f"{family}: +Inf bucket not terminal"
+        count = next(l for l in lines if l.startswith(f"{family}_count "))
+        assert inf_buckets[0].rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1], (
+            f"{family}: +Inf bucket != _count"
+        )
+
+
+def test_prometheus_explicit_inf_bound_not_doubled():
+    """A histogram declared with a trailing inf bound must still expose
+    exactly one +Inf bucket (the implicit overflow bucket)."""
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    hist = reg.histogram(
+        "test.explicit_inf_seconds",
+        "declared with a trailing +Inf bound",
+        buckets=(0.1, 1.0, float("inf")),
+    )
+    hist.observe(0.05)
+    hist.observe(50.0)
+    text = obs.render_prometheus(reg)
+    inf_lines = [l for l in text.splitlines() if 'le="+Inf"' in l]
+    assert len(inf_lines) == 1
+    assert inf_lines[0].endswith(" 2")
+
+
+def test_prometheus_help_escaping():
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter("test.escapes_total", "line one\nline two with back\\slash")
+    text = obs.render_prometheus(reg)
+    assert (
+        "# HELP test_escapes_total line one\\nline two with back\\\\slash"
+        in text.splitlines()
+    )
+
+
+def test_prometheus_family_collision_skipped():
+    """Two dotted names sanitizing to one family emit one HELP/TYPE block."""
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter("test.collide_total", "dotted").inc(3)
+    reg.counter("test_collide_total", "underscored").inc(5)
+    text = obs.render_prometheus(reg)
+    lines = text.splitlines()
+    assert lines.count("# TYPE test_collide_total counter") == 1
+    samples = [l for l in lines if l.startswith("test_collide_total ")]
+    assert len(samples) == 1
 
 
 def test_wal_counter_matches_log_manager(worked_db):

@@ -1,0 +1,184 @@
+"""HTTP monitoring server: endpoint payloads, filters, and error handling."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, UTF8, obs
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+@pytest.fixture
+def served_db():
+    db = Database()
+    info = db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)])
+    with db.transaction() as txn:
+        info.table.insert(txn, {0: 1, 1: "hello"})
+        committed = txn.txn_id
+    server = db.serve_obs()
+    yield db, server, committed
+    db.close()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+def _get_json(server, path):
+    status, _, body = _get(server, path)
+    return status, json.loads(body)
+
+
+def test_serve_obs_is_idempotent(served_db):
+    db, server, _ = served_db
+    assert db.serve_obs() is server
+    assert server.url.startswith("http://127.0.0.1:")
+    assert server.port > 0
+
+
+def test_metrics_endpoint(served_db):
+    _, server, _ = served_db
+    status, content_type, body = _get(server, "/metrics")
+    assert status == 200
+    assert content_type == PROMETHEUS_CONTENT_TYPE
+    assert "txn_commit_total 1" in body
+    assert "# TYPE txn_commit_total counter" in body
+    assert "obs_http_requests_total" in body
+
+
+def test_healthz_endpoint(served_db):
+    _, server, _ = served_db
+    status, payload = _get_json(server, "/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    wal = payload["wal"]
+    assert wal["backlog"] == 0
+    assert wal["last_fsync_age_seconds"] >= 0
+
+
+def test_healthz_degraded_returns_503():
+    db = Database()
+    server = db.serve_obs()
+    db.txn_manager.enter_degraded("disk gone")
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/healthz")
+        assert err.value.code == 503
+        payload = json.loads(err.value.read().decode())
+        assert payload["status"] == "degraded"
+        assert payload["degraded_reason"] == "disk gone"
+    finally:
+        db.close()
+
+
+def test_varz_endpoint(served_db):
+    _, server, _ = served_db
+    status, payload = _get_json(server, "/varz")
+    assert status == 200
+    assert set(payload) == {"counters", "gauges", "histograms"}
+    assert payload["counters"]["txn.commit_total"] == 1
+
+
+def test_events_endpoint_and_filters(served_db):
+    _, server, committed = served_db
+    status, payload = _get_json(server, "/events")
+    assert status == 200
+    assert payload["dropped_total"] == 0
+    kinds = {e["kind"] for e in payload["events"]}
+    assert "txn.begin" in kinds and "txn.commit" in kinds
+
+    _, filtered = _get_json(server, f"/events?component=txn&txn={committed}")
+    assert filtered["events"]
+    assert all(e["txn_id"] == committed for e in filtered["events"])
+
+    _, limited = _get_json(server, "/events?limit=1")
+    assert len(limited["events"]) == 1
+
+
+def test_events_bad_param_is_400(served_db):
+    _, server, _ = served_db
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/events?txn=notanint")
+    assert err.value.code == 400
+
+
+def test_timeline_endpoint(served_db):
+    _, server, committed = served_db
+    status, payload = _get_json(server, f"/timeline/{committed}")
+    assert status == 200
+    assert payload["txn_id"] == committed
+    assert payload["status"] == "committed"
+    assert payload["complete"] is True
+    assert [e["kind"] for e in payload["events"]][0] == "txn.begin"
+
+
+def test_timeline_unknown_txn_is_404(served_db):
+    _, server, _ = served_db
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/timeline/999999999")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/timeline/notanint")
+    assert err.value.code == 400
+
+
+def test_trace_endpoint(served_db):
+    _, server, _ = served_db
+    status, content_type, body = _get(server, "/trace")
+    assert status == 200
+    assert content_type.startswith("application/json")
+    doc = json.loads(body)
+    assert doc["traceEvents"]
+    assert doc["otherData"]["producer"] == "repro.obs.recorder"
+
+
+def test_index_and_404(served_db):
+    _, server, _ = served_db
+    status, payload = _get_json(server, "/")
+    assert status == 200
+    assert "/metrics" in payload["endpoints"]
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/nope")
+    assert err.value.code == 404
+
+
+def test_scrapes_counted(served_db):
+    db, server, _ = served_db
+    before = db.obs.counter("obs.http_requests_total").value
+    _get(server, "/metrics")
+    _get(server, "/varz")
+    assert db.obs.counter("obs.http_requests_total").value == before + 2
+
+
+def test_stop_releases_socket(served_db):
+    db, server, _ = served_db
+    port = server.port
+    db.stop_serving_obs()
+    db.stop_serving_obs()  # idempotent
+    with pytest.raises((urllib.error.URLError, ConnectionError)):
+        urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)
+    # Serving again after stop binds a fresh server.
+    fresh = db.serve_obs()
+    assert fresh is not server
+    status, _, _ = _get(fresh, "/metrics")
+    assert status == 200
+
+
+def test_close_stops_server():
+    db = Database()
+    server = db.serve_obs()
+    port = server.port
+    db.close()
+    with pytest.raises((urllib.error.URLError, ConnectionError)):
+        urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)
