@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Database
+from repro import Database, ShardedDatabase
 from repro.bench.reporting import format_series, format_table
 from repro.bench.scaling_model import ScalingModel
 from repro.workloads.tpcc import TpccConfig, TpccDriver
+from repro.workloads.tpcc.consistency import check_consistency
+from repro.workloads.tpcc.schema import TPCC_SHARD_KEYS
 
-from conftest import publish, scaled
+from conftest import publish, scaled, shard_counts
 
 TXNS = scaled(700, minimum=300)
 WORKER_AXIS = [1, 2, 4, 8, 12, 16, 20]
@@ -111,6 +113,75 @@ def test_tpcc_with_dictionary(benchmark):
         iterations=1,
     )
     assert result.committed > 0
+
+
+def _sharded_trial(n_shards: int) -> tuple[float, int, int]:
+    """One TPC-C run against an ``n_shards``-way cluster.
+
+    One warehouse per shard, so the spec's 15% remote payments and ~10%
+    remote new-order lines become genuine cross-shard 2PC transactions.
+    Returns ``(throughput, committed, cross_shard_commits)``.
+    """
+    if n_shards == 1:
+        db = Database(cold_threshold_epochs=1, logging_enabled=True)
+    else:
+        db = ShardedDatabase(
+            n_shards=n_shards,
+            shard_keys=TPCC_SHARD_KEYS,
+            cold_threshold_epochs=1,
+            logging_enabled=True,
+        )
+    driver = TpccDriver(db, TpccConfig.small(warehouses=n_shards))
+    driver.setup()
+    run = driver.run(transactions_per_worker=scaled(300, minimum=150))
+    report = check_consistency(db)
+    assert report.consistent, "; ".join(report.violations)
+    cross = 0
+    if n_shards > 1:
+        cross = int(db.obs.counter("cluster.txn_cross_shard_total").value)
+    return run.throughput, run.committed, cross
+
+
+def test_report_oltp_sharding(benchmark, request):
+    """Throughput vs shard count with 2PC engaged on remote transactions.
+
+    Select shard counts with ``--shards N[,N...]`` (default ``1,2,4``).
+    The interesting shape is the *cost* of distribution on a single
+    machine: every shard competes for the same interpreter, and
+    cross-shard transactions pay prepare + decision forcing, so
+    throughput should not scale with shard count — this benchmark prices
+    the coordination, it does not simulate a real multi-node speedup.
+    """
+    counts = shard_counts(request.config)
+
+    def run():
+        return {n: _sharded_trial(n) for n in counts}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results[counts[0]][0]
+    rows = [
+        (
+            str(n),
+            f"{tput:.0f}",
+            f"{tput / base:.2f}x",
+            str(committed),
+            str(cross),
+        )
+        for n, (tput, committed, cross) in results.items()
+    ]
+    publish(
+        "fig10c_sharded_oltp",
+        format_table(
+            "Figure 10c — TPC-C on the sharded engine (one warehouse per "
+            "shard; cross-shard commits via 2PC)",
+            ["shards", "txn/s", "relative", "committed", "cross-shard 2PC"],
+            rows,
+        ),
+    )
+    for n, (tput, committed, cross) in results.items():
+        assert committed > 0
+        if n > 1:
+            assert cross > 0, f"no cross-shard traffic at {n} shards"
 
 
 def test_report_figure_10(benchmark, measurements):

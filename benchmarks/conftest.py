@@ -14,6 +14,20 @@ import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts for the sharded OLTP benchmark "
+        "(bench_fig10_oltp.py); 1 uses the plain single-node engine",
+    )
+
+
+def shard_counts(config) -> list[int]:
+    """The ``--shards`` option parsed into a list of shard counts."""
+    return [int(n) for n in str(config.getoption("--shards")).split(",") if n]
+
 #: Global workload multiplier.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 

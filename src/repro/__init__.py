@@ -31,10 +31,16 @@ from repro.arrowfmt.datatypes import (
 )
 from repro import obs
 from repro.db import Database
+
+# Imported after repro.db: the cluster facade builds on the full engine,
+# and entering the storage/txn import cycle anywhere else breaks it.
+from repro.cluster import ShardedDatabase
 from repro.errors import (
+    CoordinationAbort,
     DegradedError,
     ReproError,
     TransactionAborted,
+    TwoPhaseInDoubt,
     WriteWriteConflict,
 )
 from repro.storage.layout import ColumnSpec
@@ -45,6 +51,7 @@ __version__ = "0.1.0"
 __all__ = [
     "BOOL",
     "ColumnSpec",
+    "CoordinationAbort",
     "Database",
     "DegradedError",
     "FLOAT32",
@@ -54,7 +61,9 @@ __all__ = [
     "INT32",
     "INT64",
     "ReproError",
+    "ShardedDatabase",
     "TransactionAborted",
+    "TwoPhaseInDoubt",
     "UINT8",
     "UINT16",
     "UINT32",

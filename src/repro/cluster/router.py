@@ -1,0 +1,134 @@
+"""Hash routing: which shard owns a row, a key, a table.
+
+Every sharded table declares one *shard column*; a row lives on
+``shard_of(row[shard_column])``.  Integer keys route by value modulo the
+shard count — TPC-C's dense warehouse ids spread perfectly that way and
+the mapping stays human-predictable in tests — while strings and bytes
+route by CRC-32.  Tables without a shard column are *replicated*: writes
+broadcast to every shard, reads go to any one replica (TPC-C's ``item``
+table, read on every new-order but never written after load).
+
+An index is *routable* when its leading key column is the table's shard
+column, which makes every equality lookup and every TPC-C range scan a
+single-shard operation.  Lookups on non-routable indexes of sharded
+tables fan out to all shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class TableRoute:
+    """Routing metadata for one table."""
+
+    table_name: str
+    #: Shard column position, or ``None`` for replicated tables.
+    shard_column: int | None
+    #: Shard column name (``None`` for replicated tables).
+    shard_column_name: str | None
+
+    @property
+    def replicated(self) -> bool:
+        return self.shard_column is None
+
+
+class Router:
+    """Maps rows and index keys to shard ids."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise CatalogError("a cluster needs at least one shard")
+        self.n_shards = n_shards
+        self._tables: dict[str, TableRoute] = {}
+        self._routable_indexes: dict[tuple[str, str], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration                                                        #
+    # ------------------------------------------------------------------ #
+
+    def register_table(
+        self,
+        name: str,
+        shard_column: int | None,
+        shard_column_name: str | None = None,
+    ) -> TableRoute:
+        """Declare a table's shard column (``None`` = replicated)."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already routed")
+        route = TableRoute(name, shard_column, shard_column_name)
+        self._tables[name] = route
+        return route
+
+    def register_index(
+        self, table_name: str, index_name: str, key_column_names: list[str]
+    ) -> bool:
+        """Record whether an index can route lookups; returns that fact."""
+        route = self.route(table_name)
+        routable = (
+            not route.replicated
+            and bool(key_column_names)
+            and key_column_names[0] == route.shard_column_name
+        )
+        self._routable_indexes[(table_name, index_name)] = routable
+        return routable
+
+    # ------------------------------------------------------------------ #
+    # routing                                                             #
+    # ------------------------------------------------------------------ #
+
+    def route(self, table_name: str) -> TableRoute:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise CatalogError(f"no route for table {table_name!r}") from None
+
+    def shard_of(self, value: Any) -> int:
+        """The shard owning one shard-key value."""
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            return value % self.n_shards
+        if isinstance(value, str):
+            return zlib.crc32(value.encode("utf-8")) % self.n_shards
+        if isinstance(value, bytes):
+            return zlib.crc32(value) % self.n_shards
+        raise CatalogError(
+            f"cannot shard on a value of type {type(value).__name__}"
+        )
+
+    def shard_for_row(self, table_name: str, values: Mapping[int, Any]) -> int:
+        """The shard a new row of a *sharded* table belongs to."""
+        route = self.route(table_name)
+        if route.shard_column is None:
+            raise CatalogError(f"table {table_name!r} is replicated, not sharded")
+        try:
+            key = values[route.shard_column]
+        except KeyError:
+            raise CatalogError(
+                f"insert into {table_name!r} omits shard column "
+                f"{route.shard_column_name!r}"
+            ) from None
+        return self.shard_of(key)
+
+    def is_routable(self, table_name: str, index_name: str) -> bool:
+        """Whether lookups on an index resolve to a single shard."""
+        try:
+            return self._routable_indexes[(table_name, index_name)]
+        except KeyError:
+            raise CatalogError(
+                f"no route for index {table_name!r}.{index_name!r}"
+            ) from None
+
+    def shard_for_key(self, table_name: str, index_name: str, key: tuple) -> int:
+        """The shard a routable index key resolves to."""
+        if not self.is_routable(table_name, index_name):
+            raise CatalogError(
+                f"index {table_name!r}.{index_name!r} cannot route lookups"
+            )
+        return self.shard_of(key[0])

@@ -45,6 +45,32 @@ class WriteWriteConflict(TransactionAborted):
     """
 
 
+class CoordinationAbort(TransactionAborted):
+    """A distributed transaction was aborted by its 2PC coordinator.
+
+    Raised by :class:`repro.cluster.coordinator.TwoPhaseCoordinator` when
+    the prepare phase fails for an *infrastructural* reason — a shard in
+    degraded mode, a coordinator-log write error, a participant lost to a
+    write-write conflict during prepare.  These are transient by
+    construction (the transaction's effects are fully rolled back on every
+    shard), so :func:`repro.txn.retry.retry_transaction` treats them as
+    retryable, exactly like single-node conflict aborts.  Semantic aborts
+    decided by the workload itself never surface as this type.
+    """
+
+
+class TwoPhaseInDoubt(TransactionError):
+    """A distributed commit could neither complete nor safely abort.
+
+    The coordinator wrote (part of) a commit decision it could not make
+    durable *and* could not rewind away — so aborting the participants
+    could diverge from what crash recovery would later decide.  The
+    participants are left prepared; recovery resolves them from the
+    coordinator log (presumed abort).  Not retryable: the prepared
+    transactions pin their write sets until resolution.
+    """
+
+
 class DegradedError(TransactionError):
     """The database is in degraded read-only mode.
 

@@ -15,6 +15,10 @@ Registered points (grep for ``crash_point(`` to verify the list):
 - ``checkpoint.write`` — between per-table snapshot streams
 - ``transform.gather`` — before a FREEZING block's varlen gather
 - ``export.serialize`` — before an export run's server-side serialization
+- ``coordinator.prepare`` — before each 2PC participant's prepare call
+- ``participant.ack`` — after a durable prepare ack / phase-2 application
+- ``coordinator.decide`` — twice around the 2PC decision write (use the
+  injector's ``skip`` to land before or after the decision is forced)
 
 The armed injector is deliberately process-global and single-crash: the
 harness runs one seeded schedule at a time, and a crash by definition ends

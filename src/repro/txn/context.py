@@ -11,9 +11,17 @@ from repro.txn.undo import UndoBuffer
 
 
 class TxnState(enum.Enum):
-    """Lifecycle of a transaction context."""
+    """Lifecycle of a transaction context.
+
+    ``PREPARED`` is the two-phase-commit half-state: the transaction's
+    redo stream is durable under a global id but the commit/abort
+    decision has not been applied yet.  A prepared transaction still
+    occupies the active-transactions table (pinning the GC horizon and
+    blocking conflicting writers) until it resolves.
+    """
 
     ACTIVE = "active"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -41,6 +49,9 @@ class TransactionContext:
         self.state = TxnState.ACTIVE
         #: Set when a conflict forces this transaction to abort.
         self.must_abort = False
+        #: Global transaction id, set when this context becomes a 2PC
+        #: participant at prepare time; ``None`` for local transactions.
+        self.gid: str | None = None
         #: Durability signal: fired by the log manager after the commit
         #: record reaches "disk" (Section 3.4's callback scheme).
         self._durable = threading.Event()

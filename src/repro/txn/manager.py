@@ -55,6 +55,9 @@ class TransactionManager:
             "txn.ww_conflict_abort_total",
             "aborts forced by write-write conflicts",
         )
+        self._m_prepare_total = reg.counter(
+            "txn.prepare_total", "transactions prepared for two-phase commit"
+        )
         self._m_begin_seconds = reg.histogram("txn.begin_seconds", "begin latency")
         self._m_commit_seconds = reg.histogram(
             "txn.commit_seconds", "commit latency incl. log submission"
@@ -136,10 +139,134 @@ class TransactionManager:
             self.recorder.note_txn_complete(txn.txn_id, lifetime, "committed")
         return commit_ts
 
+    # ------------------------------------------------------------------ #
+    # two-phase commit participant hooks                                   #
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, txn: TransactionContext, gid: str) -> None:
+        """Vote yes on distributed transaction ``gid``: force the redo
+        stream durable under a ``PRP`` record, then hold the transaction
+        in ``PREPARED`` until :meth:`commit_prepared` or :meth:`abort`.
+
+        The prepared transaction stays in the active-transactions table —
+        it pins the GC horizon and its undo records keep blocking
+        conflicting writers — but it can no longer read or write.
+
+        Raises :class:`TransactionAborted` (conflict), :class:`DegradedError`
+        (read-only mode), or the device error that prevented the prepare
+        record from becoming durable; in every failure case the
+        transaction is fully rolled back first, so a raising ``prepare``
+        is a completed no-vote.
+        """
+        from repro.wal.records import LogMarker, encode_prepare
+
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionAborted(f"transaction already {txn.state.value}")
+        if txn.must_abort:
+            self.abort(txn)
+            raise TransactionAborted("transaction aborted by write-write conflict")
+        if self._degraded_reason is not None and not txn.is_read_only:
+            self.abort(txn)
+            raise DegradedError(
+                f"cannot prepare writes in degraded read-only mode: "
+                f"{self._degraded_reason}"
+            )
+        txn.gid = gid
+        txn.state = TxnState.PREPARED
+        if self.log_manager is not None and len(txn.redo_buffer) > 0:
+            marker = LogMarker(encode_prepare(txn, gid))
+            try:
+                self.log_manager.submit(marker)
+                if not marker.durable:
+                    # Prepare is a *forced* write: the yes-vote must be on
+                    # disk before it is spoken.
+                    self.log_manager.flush()
+                if not marker.durable:
+                    raise OSError("prepare record did not become durable")
+            except Exception:
+                # A failed prepare is a no-vote: roll back completely.
+                # The stale PRP marker may still sit in the re-queued
+                # flush batch; the DEC-abort the rollback appends after
+                # it (or presumed abort, if neither ever hits the disk)
+                # keeps recovery correct.
+                txn.state = TxnState.ACTIVE
+                self.abort(txn)
+                raise
+        if STATE.enabled:
+            self._m_prepare_total.inc()
+            self.recorder.record(
+                "txn.prepare",
+                txn_id=txn.txn_id,
+                gid=gid,
+                writes=len(txn.undo_buffer),
+            )
+
+    def commit_prepared(self, txn: TransactionContext) -> int:
+        """Apply a coordinator's commit decision to a prepared transaction.
+
+        Identical to :meth:`commit`'s critical section, but skips the
+        conflict/degraded pre-checks — those were settled at prepare time,
+        and the decision is already durable at the coordinator, so this
+        must succeed even on a degraded shard.  The participant's own
+        ``DEC`` record is written lazily (unforced): if it never reaches
+        the disk, recovery resolves the in-doubt prepare from the
+        coordinator log instead.
+        """
+        from repro.txn.redo import CommitRecord
+        from repro.wal.records import DECISION_COMMIT, LogMarker, encode_decision
+
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionAborted(
+                f"cannot commit a {txn.state.value} transaction as prepared"
+            )
+        began = perf_counter() if STATE.enabled else 0.0
+        with self._lock:
+            commit_ts = self.timestamps.commit_timestamp()
+            for record in txn.undo_buffer:
+                record.timestamp = commit_ts
+            txn.commit_ts = commit_ts
+            txn.state = TxnState.COMMITTED
+            del self._active[txn.start_ts]
+            self._completed.append((commit_ts, txn))
+        txn.redo_buffer.seal(CommitRecord(commit_ts, None, txn.is_read_only))
+        if self.log_manager is not None and len(txn.redo_buffer) > 0:
+            assert txn.gid is not None
+            marker = LogMarker(
+                encode_decision(txn.gid, DECISION_COMMIT, commit_ts), txn=txn
+            )
+            try:
+                self.log_manager.submit(marker)
+            except Exception:
+                # The failure-atomic flush re-queued the marker; the
+                # outcome is already decided durably at the coordinator,
+                # so the commit stands regardless.
+                pass
+        else:
+            txn.signal_durable()
+        if began:
+            self._m_commit_total.inc()
+            self._m_commit_seconds.observe(perf_counter() - began)
+            lifetime = perf_counter() - txn.began_at if txn.began_at else 0.0
+            self.recorder.record(
+                "txn.commit",
+                txn_id=txn.txn_id,
+                commit_ts=commit_ts,
+                gid=txn.gid,
+                writes=len(txn.undo_buffer),
+                duration_seconds=lifetime,
+            )
+            self.recorder.note_txn_complete(txn.txn_id, lifetime, "committed")
+        return commit_ts
+
     def abort(self, txn: TransactionContext) -> None:
         """Roll back ``txn``: restore before-images newest-first, then stamp
-        records with the aborted sentinel so they are invisible forever."""
-        if txn.state is not TxnState.ACTIVE:
+        records with the aborted sentinel so they are invisible forever.
+
+        Also accepts ``PREPARED`` transactions (a coordinator abort
+        decision); their abort decision is logged lazily — presumed abort
+        makes an unwritten ``DEC`` record equivalent to a written one.
+        """
+        if txn.state not in (TxnState.ACTIVE, TxnState.PREPARED):
             raise TransactionAborted(f"transaction already {txn.state.value}")
         began = perf_counter() if STATE.enabled else 0.0
         for record in txn.undo_buffer.reverse_iter():
@@ -157,6 +284,19 @@ class TransactionManager:
             txn.state = TxnState.ABORTED
             del self._active[txn.start_ts]
             self._completed.append((abort_ts, txn))
+        if (
+            txn.gid is not None
+            and self.log_manager is not None
+            and len(txn.redo_buffer) > 0
+        ):
+            from repro.wal.records import DECISION_ABORT, LogMarker, encode_decision
+
+            try:
+                # Lazy, unforced: presumed abort makes losing this record
+                # in a crash harmless, and it must never raise here.
+                self.log_manager.submit(LogMarker(encode_decision(txn.gid, DECISION_ABORT)))
+            except Exception:
+                pass
         # An abort needs no durability: its commit record is never written.
         txn.signal_durable()
         if began:

@@ -7,7 +7,13 @@ backing off exponentially with jitter so herds of conflicting workers
 decorrelate instead of re-colliding.
 
 :class:`~repro.errors.DegradedError` and other non-abort failures are
-*not* retried — only conflict aborts are transient by construction.
+*not* retried — only conflict aborts are transient by construction.  An
+abort raised by ``commit`` itself is retried too: on a cluster that is
+how a 2PC :class:`~repro.errors.CoordinationAbort` surfaces (a prepare
+lost to a transient device error), and it is exactly as transient as a
+conflict.  :class:`~repro.errors.TwoPhaseInDoubt` is *not* an abort —
+the outcome is unknown, so re-running could double-apply — and
+propagates.
 """
 
 from __future__ import annotations
@@ -93,7 +99,20 @@ def retry_transaction(
                      retry_counter, on_retry)
             continue
         if txn.is_active:
-            db.commit(txn)
+            try:
+                db.commit(txn)
+            except TransactionAborted:
+                # A commit-time abort: on a single node a conflict caught
+                # at commit, on a cluster a CoordinationAbort from 2PC.
+                # Both leave the transaction fully rolled back and are as
+                # transient as an in-body conflict, so they retry.
+                if txn.is_active:
+                    db.abort(txn)
+                if attempt == attempts - 1:
+                    raise
+                _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                         retry_counter, on_retry)
+                continue
         return result
 
 

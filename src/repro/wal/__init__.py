@@ -10,9 +10,16 @@ published to the client until the callback fires.
 """
 
 from repro.wal.records import (
+    decode_entries,
     decode_stream,
+    decode_with_indoubt,
+    encode_decision,
+    encode_prepare,
     encode_transaction,
+    LogMarker,
+    LoggedDecision,
     LoggedOperation,
+    LoggedPrepare,
     LoggedTransaction,
 )
 from repro.wal.manager import LogManager
@@ -20,9 +27,16 @@ from repro.wal.recovery import RecoveryManager
 
 __all__ = [
     "LogManager",
+    "LogMarker",
+    "LoggedDecision",
     "LoggedOperation",
+    "LoggedPrepare",
     "LoggedTransaction",
     "RecoveryManager",
+    "decode_entries",
     "decode_stream",
+    "decode_with_indoubt",
+    "encode_decision",
+    "encode_prepare",
     "encode_transaction",
 ]

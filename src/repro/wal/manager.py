@@ -37,7 +37,11 @@ from repro.obs import trace
 from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import DEFAULT_SIZE_BUCKETS, STATE, MetricRegistry
 from repro.txn.context import TransactionContext
-from repro.wal.records import encode_transaction
+from repro.wal.records import LogMarker, encode_transaction
+
+#: Anything the flush queue accepts: a committed transaction (encoded at
+#: flush time) or a pre-encoded 2PC marker (PREPARE / DECISION record).
+LogEntry = TransactionContext | LogMarker
 
 
 class LogManager:
@@ -54,7 +58,7 @@ class LogManager:
         #: The "disk": any binary file-like object.
         self.device = device if device is not None else io.BytesIO()
         self.synchronous = synchronous
-        self._queue: deque[TransactionContext] = deque()
+        self._queue: deque[LogEntry] = deque()
         #: Guards the queue and the persisted-state counters (never held
         #: across device I/O — commits must not stall behind an fsync).
         self._lock = threading.Lock()
@@ -138,8 +142,9 @@ class LogManager:
             return None
         return perf_counter() - self.last_fsync_at
 
-    def submit(self, txn: TransactionContext) -> None:
-        """Enqueue a committed transaction's redo buffer for flushing."""
+    def submit(self, txn: LogEntry) -> None:
+        """Enqueue a committed transaction (or a pre-encoded 2PC marker,
+        see :class:`repro.wal.records.LogMarker`) for flushing."""
         with self._lock:
             self._queue.append(txn)
         if self.synchronous:
@@ -167,7 +172,11 @@ class LogManager:
                 with trace.span("wal.group_commit"):
                     flushed_bytes = 0
                     for txn in batch:
-                        raw = encode_transaction(txn)
+                        raw = (
+                            txn.payload
+                            if isinstance(txn, LogMarker)
+                            else encode_transaction(txn)
+                        )
                         if raw:
                             self.device.write(raw)
                             flushed_bytes += len(raw)
@@ -210,7 +219,7 @@ class LogManager:
         return len(batch)
 
     def _recover_from_flush_failure(
-        self, batch: list[TransactionContext], exc: Exception
+        self, batch: list[LogEntry], exc: Exception
     ) -> None:
         """Restore the pre-flush state after a device error.
 

@@ -10,6 +10,19 @@ The serialized form of one transaction is::
 Values are self-describing (type tags) so recovery needs no catalog access
 to parse the stream.  Read-only transactions produce no bytes at all: their
 commit records exist only for the in-memory callback protocol.
+
+Two-phase commit (see :mod:`repro.cluster`) adds two more record kinds:
+
+    'PRP<'  gid_len:u16 gid:utf8  op_count:u32  [ops as above]  '>PRP'
+    'DEC<'  gid_len:u16 gid:utf8  decision:u8  commit_ts:u64    '>DEC'
+
+A ``PRP`` record is a participant's durable yes-vote: the full redo stream
+of a prepared-but-undecided transaction, written (and fsynced) before the
+participant acks prepare.  A ``DEC`` record resolves it — decision 1 is
+commit (with the participant's commit timestamp), 0 is abort.  The same
+``DEC`` framing doubles as the coordinator log's decision records.
+Recovery follows presumed-abort: a prepare without a commit decision is
+*in doubt* and resolves to abort unless the coordinator log says commit.
 """
 
 from __future__ import annotations
@@ -27,6 +40,15 @@ from repro.txn.redo import RedoRecord
 
 _TXN_BEGIN = b"TXN<"
 _TXN_END = b">TXN"
+
+_PRP_BEGIN = b"PRP<"
+_PRP_END = b">PRP"
+
+_DEC_BEGIN = b"DEC<"
+_DEC_END = b">DEC"
+
+DECISION_ABORT = 0
+DECISION_COMMIT = 1
 
 _OP_TAGS = {RedoRecord.INSERT: 0, RedoRecord.UPDATE: 1, RedoRecord.DELETE: 2}
 _OP_NAMES = {v: k for k, v in _OP_TAGS.items()}
@@ -63,6 +85,60 @@ class LoggedTransaction:
 
     commit_ts: int
     operations: list[LoggedOperation] = field(default_factory=list)
+
+
+@dataclass
+class LoggedPrepare:
+    """A decoded PREPARE record: a durable yes-vote awaiting a decision."""
+
+    gid: str
+    operations: list[LoggedOperation] = field(default_factory=list)
+
+
+@dataclass
+class LoggedDecision:
+    """A decoded DECISION record resolving a prepared transaction."""
+
+    gid: str
+    decision: int
+    commit_ts: int
+
+    @property
+    def is_commit(self) -> bool:
+        return self.decision == DECISION_COMMIT
+
+
+class LogMarker:
+    """A pre-encoded entry queued on the log alongside transactions.
+
+    The log manager derives a committed transaction's bytes itself via
+    :func:`encode_transaction`.  Two-phase commit needs to append records
+    that are *not* commit records — a participant's ``PRP`` yes-vote, a
+    ``DEC`` resolution — so those are wrapped in a marker the flush path
+    treats uniformly: write ``payload``, then ``signal_durable()``.  When
+    ``txn`` is given, its durability callbacks fire once the marker's
+    bytes are fsynced (used to tie a commit decision's durability back to
+    the distributed transaction that produced it).
+    """
+
+    __slots__ = ("payload", "is_read_only", "_txn", "_durable")
+
+    def __init__(self, payload: bytes, txn: TransactionContext | None = None):
+        self.payload = payload
+        # An empty payload is skipped by the flush path, mirroring
+        # read-only transactions.
+        self.is_read_only = len(payload) == 0
+        self._txn = txn
+        self._durable = False
+
+    @property
+    def durable(self) -> bool:
+        return self._durable
+
+    def signal_durable(self) -> None:
+        self._durable = True
+        if self._txn is not None:
+            self._txn.signal_durable()
 
 
 def _encode_value(out: io.BytesIO, column_id: int, value: Any) -> None:
@@ -124,6 +200,46 @@ def encode_transaction(txn: TransactionContext) -> bytes:
     return out.getvalue()
 
 
+def encode_prepare(txn: TransactionContext, gid: str) -> bytes:
+    """Serialize a prepared transaction's redo stream under its global id.
+
+    Returns ``b''`` for read-only participants: a transaction with no
+    writes needs no durable vote (aborting it is indistinguishable from
+    committing it), and its commit decision is likewise never logged.
+    """
+    if len(txn.redo_buffer) == 0:
+        return b""
+    out = io.BytesIO()
+    out.write(_PRP_BEGIN)
+    raw_gid = gid.encode("utf-8")
+    out.write(struct.pack("<H", len(raw_gid)))
+    out.write(raw_gid)
+    out.write(struct.pack("<I", len(txn.redo_buffer)))
+    for record in txn.redo_buffer:
+        _encode_record(out, record)
+    out.write(_PRP_END)
+    return out.getvalue()
+
+
+def encode_decision(gid: str, decision: int, commit_ts: int = 0) -> bytes:
+    """Serialize a decision record for ``gid``.
+
+    ``commit_ts`` is meaningful only for commit decisions on participant
+    logs (it is the timestamp recovery replays the prepared operations
+    under); coordinator-log decisions leave it zero.
+    """
+    if decision not in (DECISION_ABORT, DECISION_COMMIT):
+        raise RecoveryError(f"invalid decision {decision!r}")
+    out = io.BytesIO()
+    out.write(_DEC_BEGIN)
+    raw_gid = gid.encode("utf-8")
+    out.write(struct.pack("<H", len(raw_gid)))
+    out.write(raw_gid)
+    out.write(struct.pack("<BQ", decision, commit_ts))
+    out.write(_DEC_END)
+    return out.getvalue()
+
+
 def _encode_record(out: io.BytesIO, record: RedoRecord) -> None:
     table_raw = record.table_name.encode("utf-8")
     out.write(struct.pack("<BH", _OP_TAGS[record.op], len(table_raw)))
@@ -135,49 +251,125 @@ def _encode_record(out: io.BytesIO, record: RedoRecord) -> None:
         _encode_value(out, column_id, value)
 
 
-def decode_stream(
-    raw: bytes, tolerate_torn_tail: bool = False
-) -> list[LoggedTransaction]:
-    """Parse a log produced by concatenating :func:`encode_transaction`
-    outputs; transactions come back in commit (write) order.
+def _decode_operation(stream: io.BytesIO) -> LoggedOperation:
+    tag, table_len = struct.unpack("<BH", _read(stream, 3))
+    if tag not in _OP_NAMES:
+        raise RecoveryError(f"unknown operation tag {tag}")
+    table_name = _read(stream, table_len).decode("utf-8")
+    (packed_slot,) = struct.unpack("<Q", _read(stream, 8))
+    (value_count,) = struct.unpack("<H", _read(stream, 2))
+    values = dict(_decode_value(stream) for _ in range(value_count))
+    return LoggedOperation(
+        _OP_NAMES[tag], table_name, TupleSlot.unpack(packed_slot), values
+    )
 
-    With ``tolerate_torn_tail=True``, a truncated *final* transaction —
-    what a crash mid-flush leaves behind — is silently dropped: its commit
-    record never fully reached the device, so it never committed.  Damage
-    anywhere before the tail is still an error.
+
+def _decode_gid(stream: io.BytesIO) -> str:
+    (gid_len,) = struct.unpack("<H", _read(stream, 2))
+    return _read(stream, gid_len).decode("utf-8")
+
+
+def decode_entries(
+    raw: bytes, tolerate_torn_tail: bool = False
+) -> list[LoggedTransaction | LoggedPrepare | LoggedDecision]:
+    """Parse every physical record in ``raw``, in log order.
+
+    With ``tolerate_torn_tail=True``, a truncated *final* record — what a
+    crash mid-flush leaves behind — is silently dropped: its bytes never
+    fully reached the device, so whatever it recorded never happened.
+    Damage anywhere before the tail is still an error.
     """
     stream = io.BytesIO(raw)
-    transactions: list[LoggedTransaction] = []
+    entries: list[LoggedTransaction | LoggedPrepare | LoggedDecision] = []
     while True:
         marker = stream.read(4)
         if not marker:
-            return transactions
+            return entries
         try:
-            if marker != _TXN_BEGIN:
-                raise RecoveryError(f"bad transaction marker {marker!r}")
-            commit_ts, op_count = struct.unpack("<QI", _read(stream, 12))
-            txn = LoggedTransaction(commit_ts)
-            for _ in range(op_count):
-                tag, table_len = struct.unpack("<BH", _read(stream, 3))
-                if tag not in _OP_NAMES:
-                    raise RecoveryError(f"unknown operation tag {tag}")
-                table_name = _read(stream, table_len).decode("utf-8")
-                (packed_slot,) = struct.unpack("<Q", _read(stream, 8))
-                (value_count,) = struct.unpack("<H", _read(stream, 2))
-                values = dict(_decode_value(stream) for _ in range(value_count))
-                txn.operations.append(
-                    LoggedOperation(
-                        _OP_NAMES[tag], table_name, TupleSlot.unpack(packed_slot), values
-                    )
-                )
-            if _read(stream, 4) != _TXN_END:
-                raise RecoveryError("missing transaction end marker")
+            entry: LoggedTransaction | LoggedPrepare | LoggedDecision
+            if marker == _TXN_BEGIN:
+                commit_ts, op_count = struct.unpack("<QI", _read(stream, 12))
+                txn = LoggedTransaction(commit_ts)
+                for _ in range(op_count):
+                    txn.operations.append(_decode_operation(stream))
+                if _read(stream, 4) != _TXN_END:
+                    raise RecoveryError("missing transaction end marker")
+                entry = txn
+            elif marker == _PRP_BEGIN:
+                gid = _decode_gid(stream)
+                (op_count,) = struct.unpack("<I", _read(stream, 4))
+                prepare = LoggedPrepare(gid)
+                for _ in range(op_count):
+                    prepare.operations.append(_decode_operation(stream))
+                if _read(stream, 4) != _PRP_END:
+                    raise RecoveryError("missing prepare end marker")
+                entry = prepare
+            elif marker == _DEC_BEGIN:
+                gid = _decode_gid(stream)
+                decision, commit_ts = struct.unpack("<BQ", _read(stream, 9))
+                if decision not in (DECISION_ABORT, DECISION_COMMIT):
+                    raise RecoveryError(f"unknown decision value {decision}")
+                if _read(stream, 4) != _DEC_END:
+                    raise RecoveryError("missing decision end marker")
+                entry = LoggedDecision(gid, decision, commit_ts)
+            else:
+                raise RecoveryError(f"bad record marker {marker!r}")
         except RecoveryError:
             if tolerate_torn_tail and stream.read(1) == b"":
                 # The failure consumed the rest of the stream: a torn tail.
-                return transactions
+                return entries
             raise
-        transactions.append(txn)
+        entries.append(entry)
+
+
+def decode_with_indoubt(
+    raw: bytes, tolerate_torn_tail: bool = False
+) -> tuple[list[LoggedTransaction], list[LoggedPrepare]]:
+    """Resolve a participant log into committed and in-doubt transactions.
+
+    A prepare followed by a commit decision becomes a committed
+    transaction, positioned at the decision (not the prepare) so replay
+    order matches commit order.  A prepare followed by an abort decision
+    vanishes.  A prepare with no decision at all is *in doubt*; the
+    caller consults the coordinator log (presumed abort) to resolve it.
+
+    An abort decision with no matching prepare is ignored — it is what a
+    lazily-logged abort looks like when the prepare itself was resolved
+    by an earlier recovery.  A *commit* decision with no matching prepare
+    is corruption: commit decisions only exist after the prepare was
+    forced durable.
+    """
+    pending: dict[str, LoggedPrepare] = {}
+    committed: list[LoggedTransaction] = []
+    for entry in decode_entries(raw, tolerate_torn_tail):
+        if isinstance(entry, LoggedTransaction):
+            committed.append(entry)
+        elif isinstance(entry, LoggedPrepare):
+            pending[entry.gid] = entry
+        else:
+            prepare = pending.pop(entry.gid, None)
+            if entry.is_commit:
+                if prepare is None:
+                    raise RecoveryError(
+                        f"commit decision for unknown gid {entry.gid!r}"
+                    )
+                committed.append(
+                    LoggedTransaction(entry.commit_ts, prepare.operations)
+                )
+    return committed, list(pending.values())
+
+
+def decode_stream(
+    raw: bytes, tolerate_torn_tail: bool = False
+) -> list[LoggedTransaction]:
+    """Parse a log into its committed transactions, in commit order.
+
+    Prepared-but-undecided transactions are dropped (presumed abort);
+    use :func:`decode_with_indoubt` when the caller can resolve them
+    against a coordinator log.
+    """
+    committed, _ = decode_with_indoubt(raw, tolerate_torn_tail)
+    return committed
 
 
 def redo_from_row(op: str, table_name: str, slot: TupleSlot, row: ProjectedRow | None) -> RedoRecord:

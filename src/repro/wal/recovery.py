@@ -14,7 +14,7 @@ from repro.errors import RecoveryError
 from repro.storage.data_table import DataTable
 from repro.storage.tuple_slot import TupleSlot
 from repro.txn.manager import TransactionManager
-from repro.wal.records import decode_stream
+from repro.wal.records import LoggedOperation, decode_stream, decode_with_indoubt
 
 
 class RecoveryManager:
@@ -50,28 +50,53 @@ class RecoveryManager:
         (a crash mid-flush): its commit never became durable.
         """
         for logged in decode_stream(raw, tolerate_torn_tail=tolerate_torn_tail):
-            txn = self.txn_manager.begin()
-            for op in logged.operations:
-                table = self._resolve(op.table_name)
-                key = (op.table_name, op.slot)
-                if op.op == "insert":
-                    new_slot = table.insert(txn, op.values)
-                    self.slot_map[key] = new_slot
-                elif op.op == "update":
-                    if not table.update(txn, self._mapped(key), op.values):
-                        raise RecoveryError(
-                            f"conflict replaying update of {op.slot} — the log "
-                            "is not in commit order"
-                        )
-                elif op.op == "delete":
-                    if not table.delete(txn, self._mapped(key)):
-                        raise RecoveryError(f"conflict replaying delete of {op.slot}")
-                else:
-                    raise RecoveryError(f"unknown logged op {op.op!r}")
-                self.operations_replayed += 1
-            self.txn_manager.commit(txn)
-            self.transactions_replayed += 1
+            self.apply_operations(logged.operations)
         return self.transactions_replayed
+
+    def replay_with_indoubt(
+        self, raw: bytes, tolerate_torn_tail: bool = True
+    ) -> tuple[int, dict[str, list[LoggedOperation]]]:
+        """Replay committed transactions and surface in-doubt prepares.
+
+        Returns ``(committed_count, {gid: operations})`` where the mapping
+        holds every prepared-but-undecided transaction in log order.  The
+        caller resolves each against the coordinator log: a commit decision
+        is applied via :meth:`apply_operations` (the retained ``slot_map``
+        makes the prepared operations' old slots resolvable); anything
+        else is presumed aborted and simply never applied.
+        """
+        committed, indoubt = decode_with_indoubt(
+            raw, tolerate_torn_tail=tolerate_torn_tail
+        )
+        for logged in committed:
+            self.apply_operations(logged.operations)
+        return self.transactions_replayed, {
+            prepare.gid: prepare.operations for prepare in indoubt
+        }
+
+    def apply_operations(self, operations: list[LoggedOperation]) -> None:
+        """Apply one logged transaction's operations in a fresh commit."""
+        txn = self.txn_manager.begin()
+        for op in operations:
+            table = self._resolve(op.table_name)
+            key = (op.table_name, op.slot)
+            if op.op == "insert":
+                new_slot = table.insert(txn, op.values)
+                self.slot_map[key] = new_slot
+            elif op.op == "update":
+                if not table.update(txn, self._mapped(key), op.values):
+                    raise RecoveryError(
+                        f"conflict replaying update of {op.slot} — the log "
+                        "is not in commit order"
+                    )
+            elif op.op == "delete":
+                if not table.delete(txn, self._mapped(key)):
+                    raise RecoveryError(f"conflict replaying delete of {op.slot}")
+            else:
+                raise RecoveryError(f"unknown logged op {op.op!r}")
+            self.operations_replayed += 1
+        self.txn_manager.commit(txn)
+        self.transactions_replayed += 1
 
     def _mapped(self, key: tuple[str, TupleSlot]) -> TupleSlot:
         try:

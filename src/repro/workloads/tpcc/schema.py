@@ -36,6 +36,10 @@ class TpccConfig:
     #: Fraction of NewOrder transactions aborted by an unused item id (the
     #: spec mandates 1%).
     new_order_rollback_rate: float = 0.01
+    #: Fraction of Payment transactions paying a *remote* customer (the
+    #: spec's clause 2.5.1.2 mandates 15%).  Only drawn when there is more
+    #: than one warehouse, so single-warehouse RNG streams are unchanged.
+    payment_remote_rate: float = 0.15
     block_size: int = BLOCK_SIZE
 
     @staticmethod
@@ -170,6 +174,23 @@ TPCC_TABLES: dict[str, list[ColumnSpec]] = {
 #: Tables that generate cold data, the ones the paper's transformation
 #: targets in Section 6.1.
 COLD_TABLES = ("oorder", "order_line", "history", "item")
+
+#: Shard-column map for running TPC-C on a :class:`repro.cluster.ShardedDatabase`:
+#: every table shards by its home-warehouse column, so a single-warehouse
+#: transaction is single-shard and the consistency conditions (clause
+#: 3.3.2, all scoped per warehouse/district) hold shard-locally.  ``item``
+#: is deliberately absent — it is read-everywhere/written-never after
+#: load, the canonical replicated table.
+TPCC_SHARD_KEYS: dict[str, str] = {
+    "warehouse": "w_id",
+    "district": "d_w_id",
+    "customer": "c_w_id",
+    "history": "h_w_id",
+    "new_order": "no_w_id",
+    "oorder": "o_w_id",
+    "order_line": "ol_w_id",
+    "stock": "s_w_id",
+}
 
 
 def create_tpcc_tables(db: "Database", config: TpccConfig) -> None:

@@ -245,11 +245,25 @@ class TpccTransactions:
         w_id = w_id or r.uniform(1, self.config.warehouses)
         d_id = r.uniform(1, self.config.districts_per_warehouse)
         amount = r.decimal(1.0, 5000.0)
+        # Clause 2.5.1.2: 15% of payments are made by a customer of a
+        # *remote* warehouse (cross-shard on a cluster).  The guard
+        # short-circuits so single-warehouse RNG streams are unchanged.
+        remote = (
+            self.config.warehouses > 1
+            and r.random() < self.config.payment_remote_rate
+        )
+        if remote:
+            c_w_id = r.choice(
+                [w for w in range(1, self.config.warehouses + 1) if w != w_id]
+            )
+            c_d_id = r.uniform(1, self.config.districts_per_warehouse)
+        else:
+            c_w_id, c_d_id = w_id, d_id
 
         def body(txn: "TransactionContext") -> bool:
             warehouse_slot, warehouse = self._lookup_one(txn, "warehouse", "pk", (w_id,))
             district_slot, district = self._lookup_one(txn, "district", "pk", (w_id, d_id))
-            customer_slot, customer = self._pick_customer(txn, w_id, d_id)
+            customer_slot, customer = self._pick_customer(txn, c_w_id, c_d_id)
             if None in (warehouse, district, customer):
                 return False
             w = self._named("warehouse", warehouse)

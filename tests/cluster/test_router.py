@@ -1,0 +1,75 @@
+"""Routing unit tests: shard placement of rows, keys, and indexes."""
+
+import pytest
+
+from repro.cluster.router import Router
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def router():
+    r = Router(4)
+    r.register_table("orders", shard_column=1, shard_column_name="w_id")
+    r.register_table("item", None, None)  # replicated
+    return r
+
+
+class TestShardOf:
+    def test_integers_route_by_modulo(self, router):
+        assert [router.shard_of(v) for v in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_negative_integers_stay_in_range(self, router):
+        assert 0 <= router.shard_of(-17) < 4
+
+    def test_bools_route_as_integers(self, router):
+        assert router.shard_of(True) == router.shard_of(1)
+
+    def test_strings_and_bytes_route_by_crc32(self, router):
+        assert router.shard_of("w-7") == router.shard_of(b"w-7")
+        assert 0 <= router.shard_of("anything") < 4
+
+    def test_unhashable_type_raises(self, router):
+        with pytest.raises(CatalogError):
+            router.shard_of(3.14)
+
+
+class TestTableRoutes:
+    def test_row_routes_by_shard_column(self, router):
+        assert router.shard_for_row("orders", {0: 99, 1: 6}) == 6 % 4
+
+    def test_missing_shard_column_raises(self, router):
+        with pytest.raises(CatalogError, match="omits shard column"):
+            router.shard_for_row("orders", {0: 99})
+
+    def test_replicated_table_has_no_row_shard(self, router):
+        assert router.route("item").replicated
+        with pytest.raises(CatalogError, match="replicated"):
+            router.shard_for_row("item", {0: 1})
+
+    def test_unknown_table_raises(self, router):
+        with pytest.raises(CatalogError):
+            router.route("nope")
+
+    def test_duplicate_registration_raises(self, router):
+        with pytest.raises(CatalogError):
+            router.register_table("orders", 0, "other")
+
+
+class TestIndexRoutes:
+    def test_index_routable_iff_leading_column_is_shard_column(self, router):
+        assert router.register_index("orders", "pk", ["w_id", "o_id"]) is True
+        assert router.register_index("orders", "by_o", ["o_id", "w_id"]) is False
+        assert router.is_routable("orders", "pk")
+        assert not router.is_routable("orders", "by_o")
+
+    def test_replicated_table_indexes_never_route(self, router):
+        assert router.register_index("item", "pk", ["i_id"]) is False
+
+    def test_shard_for_key_uses_leading_component(self, router):
+        router.register_index("orders", "pk", ["w_id", "o_id"])
+        assert router.shard_for_key("orders", "pk", (6, 123)) == 6 % 4
+
+    def test_shard_for_key_on_unroutable_index_raises(self, router):
+        router.register_index("orders", "by_o", ["o_id"])
+        with pytest.raises(CatalogError, match="cannot route"):
+            router.shard_for_key("orders", "by_o", (1,))

@@ -1,0 +1,168 @@
+"""Two-phase commit under coordinator faults and crash points.
+
+Covers the four interesting failure shapes one at a time:
+
+- the commit-decision write fails but rewinds → ``CoordinationAbort``,
+  which ``retry_transaction`` treats as retryable;
+- crash *before* the decision is forced → recovery presumes abort;
+- crash *after* the decision is forced → recovery commits everywhere;
+- the decision write fails *and* cannot be rewound → ``TwoPhaseInDoubt``,
+  participants stay prepared, the coordinator log is poisoned.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro import INT64, UTF8, ColumnSpec, CoordinationAbort, TwoPhaseInDoubt
+from repro.cluster import ShardedDatabase
+from repro.fault import FaultSchedule, FaultSpec, FaultyDevice, SimulatedCrash
+from repro.fault.crashpoints import CrashPointInjector, armed
+from repro.txn.context import TxnState
+
+
+def _make_cluster(coordinator_device=None, log_devices=None):
+    cluster = ShardedDatabase(
+        n_shards=2,
+        log_devices=log_devices,
+        coordinator_device=coordinator_device,
+    )
+    cluster.create_table(
+        "kv",
+        [ColumnSpec("id", INT64), ColumnSpec("v", UTF8)],
+        shard_key="id",
+    )
+    return cluster
+
+
+def _insert_both_shards(cluster, txn, base=0):
+    table = cluster.catalog.table("kv")
+    table.insert(txn, {0: base, 1: "a"})  # shard base % 2
+    table.insert(txn, {0: base + 1, 1: "b"})  # the other shard
+
+
+def _rows(cluster):
+    reader = cluster.begin()
+    rows = {r.get(0) for _, r in cluster.catalog.table("kv").scan(reader)}
+    cluster.abort(reader)
+    return rows
+
+
+class TestCoordinationAbort:
+    def test_failed_decision_write_aborts_both_shards(self):
+        device = FaultyDevice(
+            schedule=FaultSchedule([FaultSpec("write", 1, "io_error")], seed=7)
+        )
+        cluster = _make_cluster(coordinator_device=device)
+        txn = cluster.begin()
+        _insert_both_shards(cluster, txn)
+        with pytest.raises(CoordinationAbort):
+            cluster.commit(txn)
+        assert txn.state is TxnState.ABORTED
+        assert _rows(cluster) == set()
+        # The failed commit record was rewound; only the lazy abort
+        # decision reached the log.
+        assert cluster.coordinator_log.commits_logged == 0
+        assert cluster.coordinator_log.aborts_logged == 1
+        assert not cluster.coordinator_log.degraded
+
+    def test_retry_transaction_retries_a_coordination_abort(self):
+        device = FaultyDevice(
+            schedule=FaultSchedule([FaultSpec("write", 1, "io_error")], seed=7)
+        )
+        cluster = _make_cluster(coordinator_device=device)
+
+        attempts = []
+
+        def body(txn):
+            attempts.append(txn)
+            _insert_both_shards(cluster, txn)
+            return "done"
+
+        # Attempt 1 hits the one-shot io_error at decision time and
+        # aborts; attempt 2 commits cleanly.
+        assert cluster.run_transaction(body) == "done"
+        assert len(attempts) == 2
+        assert _rows(cluster) == {0, 1}
+        assert cluster.coordinator_log.commits_logged == 1
+
+
+class TestCrashAroundDecision:
+    def _crash_images(self, skip):
+        """Run one cross-shard commit that crashes at ``coordinator.decide``
+        (``skip`` visits in), and return the crash-time log images."""
+        shard_devices = [FaultyDevice(), FaultyDevice()]
+        coord_device = FaultyDevice()
+        cluster = _make_cluster(
+            coordinator_device=coord_device, log_devices=shard_devices
+        )
+        txn = cluster.begin()
+        _insert_both_shards(cluster, txn)
+        with pytest.raises(SimulatedCrash):
+            with armed(CrashPointInjector("coordinator.decide", skip=skip)):
+                cluster.commit(txn)
+        rng = random.Random(42)
+        return (
+            [d.crash_image(rng) for d in shard_devices],
+            coord_device.crash_image(rng),
+        )
+
+    def _recover(self, shard_logs, coordinator_log):
+        fresh = _make_cluster()
+        stats = fresh.recover_from(shard_logs, coordinator_log)
+        return fresh, stats
+
+    def test_crash_before_decision_presumes_abort(self):
+        shard_logs, coord_log = self._crash_images(skip=0)
+        fresh, stats = self._recover(shard_logs, coord_log)
+        # Both participants were durably prepared, no decision survived.
+        assert stats["in_doubt"] == 2
+        assert stats["resolved_abort"] == 2
+        assert stats["resolved_commit"] == 0
+        assert _rows(fresh) == set()
+
+    def test_crash_after_decision_commits_everywhere(self):
+        # skip=1 lands on the second ``coordinator.decide`` visit — the
+        # commit decision is forced, phase 2 never runs.
+        shard_logs, coord_log = self._crash_images(skip=1)
+        fresh, stats = self._recover(shard_logs, coord_log)
+        assert stats["in_doubt"] == 2
+        assert stats["resolved_commit"] == 2
+        assert stats["resolved_abort"] == 0
+        assert _rows(fresh) == {0, 1}
+
+
+class _UnrewindableDevice(io.BytesIO):
+    """Fails every decision write *and* the rewind that would undo it."""
+
+    def write(self, data):
+        raise OSError("decision write failed")
+
+    def seek(self, *args):
+        raise OSError("seek failed")
+
+
+class TestInDoubt:
+    def test_unrewindable_decision_failure_poisons_the_coordinator(self):
+        cluster = _make_cluster(coordinator_device=_UnrewindableDevice())
+        txn = cluster.begin()
+        _insert_both_shards(cluster, txn)
+        with pytest.raises(TwoPhaseInDoubt):
+            cluster.commit(txn)
+        # Participants stay prepared for recovery to resolve — nothing
+        # was committed, nothing was rolled back.
+        assert txn.state is TxnState.PREPARED
+        assert all(
+            p.state is TxnState.PREPARED for p in txn.participants.values()
+        )
+        assert cluster.coordinator_log.degraded
+        assert cluster.degraded
+        health = cluster.health()
+        assert health["status"] == "degraded"
+        assert not health["coordinator"]["healthy"]
+        # The poisoned log refuses further 2PC traffic outright.
+        txn2 = cluster.begin()
+        _insert_both_shards(cluster, txn2, base=10)
+        with pytest.raises(TwoPhaseInDoubt):
+            cluster.commit(txn2)

@@ -1,0 +1,145 @@
+"""PREPARE/DECISION records under truncation: presumed-abort resolution.
+
+Extends the every-byte-offset torn-tail property to logs carrying 2PC
+records.  The log under test interleaves plain commits with two prepared
+transactions — one that was decided commit on the participant, one that
+was aborted after preparing — and asserts that *every* prefix of the log
+recovers to a well-defined state:
+
+- full records replay, the torn tail is dropped;
+- a prepare whose decision record is missing is surfaced in doubt, and
+  resolving it against a coordinator decision map commits exactly the
+  gids the coordinator decided commit (everything else presumed abort).
+"""
+
+import pytest
+
+from repro import INT64, UTF8, ColumnSpec, Database
+from repro.errors import RecoveryError
+from repro.wal.records import (
+    DECISION_ABORT,
+    DECISION_COMMIT,
+    LoggedDecision,
+    decode_entries,
+    decode_with_indoubt,
+    encode_decision,
+)
+from repro.wal.recovery import RecoveryManager
+
+
+def _make_db():
+    db = Database()
+    db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+    return db
+
+
+class TestDecisionCodec:
+    def test_decision_round_trips(self):
+        raw = encode_decision("node0.7", DECISION_COMMIT, commit_ts=99)
+        (entry,) = decode_entries(raw)
+        assert isinstance(entry, LoggedDecision)
+        assert entry.gid == "node0.7"
+        assert entry.is_commit
+        assert entry.commit_ts == 99
+
+    def test_invalid_decision_rejected_at_encode_time(self):
+        with pytest.raises(RecoveryError):
+            encode_decision("g", 2)
+
+    def test_commit_decision_without_prepare_is_corruption(self):
+        raw = encode_decision("ghost", DECISION_COMMIT)
+        with pytest.raises(RecoveryError, match="unknown gid"):
+            decode_with_indoubt(raw)
+
+    def test_abort_decision_without_prepare_is_ignored(self):
+        # What a lazily-logged abort looks like after an earlier recovery
+        # already resolved the prepare.
+        raw = encode_decision("ghost", DECISION_ABORT)
+        committed, indoubt = decode_with_indoubt(raw)
+        assert committed == [] and indoubt == []
+
+
+class TestEveryOffsetWithPrepares:
+    def _build_log(self):
+        """A log mixing plain commits and both 2PC outcomes.
+
+        Returns ``(raw, boundaries)`` where the boundaries are the
+        ``bytes_written`` marks after each durability event.
+        """
+        db = _make_db()
+        table = db.catalog.table("t")
+        marks = {}
+
+        with db.transaction() as txn:  # txn0: plain commit
+            table.insert(txn, {0: 0, 1: "plain-0"})
+        marks["b0"] = db.log_manager.bytes_written
+
+        txn1 = db.begin()  # txn1: prepared, then decided commit
+        table.insert(txn1, {0: 1, 1: "two-phase-commit"})
+        db.txn_manager.prepare(txn1, "g.1")
+        marks["b1_prepared"] = db.log_manager.bytes_written
+        db.txn_manager.commit_prepared(txn1)
+        db.log_manager.flush()
+        marks["b1_decided"] = db.log_manager.bytes_written
+
+        with db.transaction() as txn:  # txn2: plain commit
+            table.insert(txn, {0: 2, 1: "plain-2"})
+        marks["b2"] = db.log_manager.bytes_written
+
+        txn3 = db.begin()  # txn3: prepared, then aborted
+        table.insert(txn3, {0: 3, 1: "two-phase-abort"})
+        db.txn_manager.prepare(txn3, "g.3")
+        marks["b3_prepared"] = db.log_manager.bytes_written
+        db.txn_manager.abort(txn3)
+        db.log_manager.flush()
+        marks["b3_decided"] = db.log_manager.bytes_written
+
+        raw = db.log_contents()
+        assert marks["b3_decided"] == len(raw)
+        return raw, marks
+
+    def test_every_truncation_point_resolves_presumed_abort(self):
+        raw, m = self._build_log()
+        # The coordinator decided commit for g.1; g.3 has no commit
+        # decision anywhere, so every recovery presumes it aborted.
+        coordinator_decisions = {"g.1": DECISION_COMMIT}
+
+        for cut in range(len(raw) + 1):
+            fresh = _make_db()
+            recovery = RecoveryManager(
+                fresh.txn_manager, fresh.catalog.data_tables()
+            )
+            replayed, indoubt = recovery.replay_with_indoubt(
+                raw[:cut], tolerate_torn_tail=True
+            )
+
+            expected_replayed = sum(
+                cut >= b for b in (m["b0"], m["b1_decided"], m["b2"])
+            )
+            assert replayed == expected_replayed, f"cut={cut}"
+
+            expected_indoubt = set()
+            if m["b1_prepared"] <= cut < m["b1_decided"]:
+                expected_indoubt.add("g.1")
+            if m["b3_prepared"] <= cut < m["b3_decided"]:
+                expected_indoubt.add("g.3")
+            assert set(indoubt) == expected_indoubt, f"cut={cut}"
+
+            for gid, operations in indoubt.items():
+                if coordinator_decisions.get(gid) == DECISION_COMMIT:
+                    recovery.apply_operations(operations)
+
+            reader = fresh.begin()
+            rows = {
+                r.get(0) for _, r in fresh.catalog.table("t").scan(reader)
+            }
+            fresh.abort(reader)
+            expected_rows = set()
+            if cut >= m["b0"]:
+                expected_rows.add(0)
+            if cut >= m["b1_prepared"]:  # committed outright or resolved
+                expected_rows.add(1)
+            if cut >= m["b2"]:
+                expected_rows.add(2)
+            # Row 3 never survives: its prepare is always presumed abort.
+            assert rows == expected_rows, f"cut={cut}"
