@@ -1,0 +1,86 @@
+"""Shared workload + measurement helpers for the worker-process benches.
+
+Three benchmarks share this machinery: the ``--workers`` axis of
+``bench_ablation_parallel.py`` and the measured (not modeled) scaling
+curves of ``bench_fig11_row_vs_column.py`` (cold scan) and
+``bench_fig15_export.py`` (Flight export).  All of them sweep real
+``repro.parallel.WorkerPool`` processes over the same frozen table, so the
+numbers are directly comparable and honestly bounded by the machine's
+physical cores — on a single-core container the sweep measures the
+dispatch/IPC overhead, and the speedup assertions only arm when
+``os.cpu_count() >= 4``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+from repro.export.flight import export_stream
+from repro.parallel import WorkerPool
+from repro.query.scan import TableScanner
+
+#: Worker counts where the acceptance thresholds (2x scan, 1.5x export at
+#: 4 workers) are meaningful: they need at least 4 real cores.
+MIN_CORES_FOR_SPEEDUP_ASSERTS = 4
+
+
+def build_frozen_db(rows: int, block_size: int = 1 << 14):
+    """A fully frozen 3-column table with its shared-memory arena enabled."""
+    db = Database(
+        logging_enabled=False, cold_threshold_epochs=1, parallel_workers=1
+    )
+    info = db.create_table(
+        "cold",
+        [ColumnSpec("id", INT64), ColumnSpec("x", FLOAT64), ColumnSpec("s", UTF8)],
+        block_size=block_size,
+        watch_cold=True,
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            s = None if i % 13 == 0 else f"payload-{i}-{'ab' * (i % 7)}"
+            info.table.insert(txn, {0: i, 1: float(i % 997), 2: s})
+    db.freeze_table("cold", max_passes=16)
+    assert all(b.shm_descriptor is not None for b in info.table.blocks if b.state.name == "FROZEN")
+    return db, info
+
+
+def measured_scan_rate(db, info, pool=None, repeats: int = 3) -> float:
+    """Cold-scan throughput in rows/second (full materialization)."""
+    total_rows = 0
+    began = time.perf_counter()
+    for _ in range(repeats):
+        scanner = TableScanner(db.txn_manager, info.table, pool=pool)
+        for batch in scanner.batches():
+            batch.pylist(0)
+            batch.pylist(1)
+            batch.pylist(2)
+            total_rows += batch.num_rows
+    return total_rows / (time.perf_counter() - began)
+
+
+def measured_export_rate(db, info, pool=None, repeats: int = 3) -> float:
+    """Flight serialization throughput in MB/second (no network model)."""
+    total_bytes = 0
+    began = time.perf_counter()
+    for _ in range(repeats):
+        stream = export_stream(db.txn_manager, info.table, pool=pool)
+        total_bytes += len(stream.payload)
+    return total_bytes / 1e6 / (time.perf_counter() - began)
+
+
+def sweep_workers(db, info, counts, measure, repeats: int = 3) -> dict[int, float]:
+    """Measure ``measure(db, info, pool)`` at each worker count.
+
+    Each count gets its own freshly warmed pool so process startup stays
+    out of the measured interval; pools are stopped before returning.
+    """
+    rates: dict[int, float] = {}
+    for workers in counts:
+        pool = WorkerPool(workers)
+        try:
+            assert pool.warm(), f"pool with {workers} workers failed to warm"
+            rates[workers] = measure(db, info, pool=pool, repeats=repeats)
+        finally:
+            pool.stop()
+    return rates

@@ -12,6 +12,16 @@ oversubscribe the cores — the effect the paper reports at 20 workers.
 Everything configuration-dependent (the relative cost of gather vs
 dictionary compression, the transformation interference) comes from real
 measurements; only the hardware-parallelism shape is assumed.
+
+Scope note: since the ``repro.parallel`` worker pool landed, this model
+only covers the curves that *must* stay modeled because the workers would
+mutate engine state under the GIL — Figure 10a's OLTP thread axis and
+Figure 12's transformation threads.  Cold-scan scaling (Figure 11) and
+Flight serialization scaling (Figure 15) are **measured** on real worker
+processes over shared-memory frozen blocks; see
+``benchmarks/parallel_support.py`` and the ``--workers`` axis of
+``benchmarks/bench_ablation_parallel.py``, which publishes measured and
+modeled curves side by side.
 """
 
 from __future__ import annotations

@@ -52,7 +52,17 @@ class Database:
         obs_registry: MetricRegistry | None = None,
         recorder: Recorder | None = None,
         slow_txn_threshold: float | None = None,
+        parallel_workers: int = 0,
+        parallel_start_method: str | None = None,
     ) -> None:
+        """``parallel_workers > 0`` enables the multiprocess scan/export
+        pool (:mod:`repro.parallel`): frozen blocks are placed into a
+        shared-memory arena at freeze time and scans/exports that opt in
+        (``parallel=True``) fan block fragments out to worker processes.
+        ``parallel_start_method`` forces ``fork``/``spawn``/``forkserver``
+        (default: ``REPRO_PARALLEL_START_METHOD`` or ``fork`` where
+        available).  On platforms without ``multiprocessing.shared_memory``
+        the setting is ignored and everything stays in-process."""
         #: The engine-wide metric registry (see :mod:`repro.obs`): every
         #: component publishes into it, ``metrics()`` and the Prometheus /
         #: JSON expositions read from it.  Per-instance by default so
@@ -68,8 +78,19 @@ class Database:
             if recorder is not None
             else Recorder(registry=self.obs, slow_txn_threshold=slow_txn_threshold)
         )
-        self.block_store = BlockStore()
+        self.block_store = BlockStore(registry=self.obs)
         self.catalog = Catalog(self.block_store)
+        self.arena = None
+        self._parallel_pool = None
+        self._parallel_workers = 0
+        if parallel_workers > 0:
+            from repro.parallel import SharedMemoryArena, shm_available
+
+            if shm_available():
+                self.arena = SharedMemoryArena(registry=self.obs)
+                self.block_store.arena = self.arena
+                self._parallel_workers = int(parallel_workers)
+                self._parallel_start_method = parallel_start_method
         self.log_manager = (
             LogManager(
                 device=log_device or io.BytesIO(),
@@ -102,6 +123,7 @@ class Database:
             optimal_compaction=optimal_compaction,
             registry=self.obs,
             recorder=self.recorder,
+            arena=self.arena,
         )
         self._obs_server = None
         if self.log_manager is not None:
@@ -328,16 +350,42 @@ class Database:
         except Exception:
             self._m_background_errors.inc()
 
+    @property
+    def parallel_pool(self):
+        """The scan/export worker pool, or ``None`` when parallelism is off.
+
+        Created lazily on first access (workers are spawned lazily on first
+        dispatch after that), so a database configured with
+        ``parallel_workers`` but never scanned in parallel pays nothing.
+        """
+        if self._parallel_workers <= 0:
+            return None
+        if self._parallel_pool is None:
+            from repro.parallel import WorkerPool
+
+            self._parallel_pool = WorkerPool(
+                self._parallel_workers,
+                start_method=self._parallel_start_method,
+                registry=self.obs,
+            )
+        return self._parallel_pool
+
     def close(self) -> None:
         """Orderly shutdown: stop background work and drain the log.
 
         Unlike :meth:`stop_background`, a final failed flush is *raised* —
         a caller closing the database must learn that the tail of the log
         never became durable (the background thread's own last-drain error
-        is surfaced the same way).
+        is surfaced the same way).  Also stops the parallel worker pool and
+        unlinks every shared-memory segment the arena still owns.
         """
         self.stop_serving_obs()
         self.stop_background()
+        if self._parallel_pool is not None:
+            self._parallel_pool.stop()
+            self._parallel_pool = None
+        if self.arena is not None:
+            self.arena.close()
         if self.log_manager is not None:
             self.log_manager.flush()
             error = self.log_manager.last_flush_error

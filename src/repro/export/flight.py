@@ -35,37 +35,116 @@ class FlightStream:
     materialized_blocks: int
 
 
-def export_stream(
-    txn_manager: "TransactionManager", table: "DataTable"
-) -> FlightStream:
-    """Encode the whole table as an Arrow IPC stream, block by block."""
-    out = io.BytesIO()
+def _write_header(out: io.BytesIO, schema) -> None:
     import json
     import struct
 
-    schema = table_schema(table.layout)
     out.write(ipc.MAGIC)
     header = json.dumps(schema.to_json()).encode("utf-8")
     out.write(struct.pack("<i", len(header)))
     out.write(header)
+
+
+def export_stream(
+    txn_manager: "TransactionManager", table: "DataTable", pool=None
+) -> FlightStream:
+    """Encode the whole table as an Arrow IPC stream, block by block.
+
+    ``pool`` (a :class:`repro.parallel.WorkerPool`) serializes frozen
+    blocks with shared-memory descriptors in worker processes; the encoded
+    per-block payloads are stitched back in block order, so the stream is
+    byte-identical to the serial one.  Blocks the pool cannot handle
+    (hot, dictionary-compressed, fragment lost to a worker crash) are
+    encoded in-process.
+    """
+    out = io.BytesIO()
+    schema = table_schema(table.layout)
+    _write_header(out, schema)
     frozen = materialized = batches = 0
-    for block in list(table.blocks):
-        batch = _block_batch(txn_manager, table, block)
-        if batch is None:
-            continue
-        if batch.num_rows == 0:
-            continue
-        was_frozen = block.state is BlockState.FROZEN
-        # Dictionary-encoded frozen batches use a different schema; for a
-        # homogeneous stream we decode them through the same zero-copy view.
-        if batch.schema != schema:
-            batch = _decode_dictionary_batch(batch, schema)
-        ipc.write_batch(out, batch)
-        batches += 1
-        if was_frozen:
-            frozen += 1
-        else:
-            materialized += 1
+    if pool is None:
+        for block in list(table.blocks):
+            batch = _block_batch(txn_manager, table, block)
+            if batch is None:
+                continue
+            if batch.num_rows == 0:
+                continue
+            was_frozen = block.state is BlockState.FROZEN
+            # Dictionary-encoded frozen batches use a different schema; for
+            # a homogeneous stream we decode them through the zero-copy view.
+            if batch.schema != schema:
+                batch = _decode_dictionary_batch(batch, schema)
+            ipc.write_batch(out, batch)
+            batches += 1
+            if was_frozen:
+                frozen += 1
+            else:
+                materialized += 1
+        out.write(b"EOS\x00")
+        return FlightStream(out.getvalue(), batches, frozen, materialized)
+
+    from repro.parallel.placement import descriptor_if_valid
+
+    blocks = list(table.blocks)
+    plan: list[tuple[str, object]] = []  # ("worker", desc) | ("frozen"|"hot", None)
+    pinned = []
+    try:
+        for block in blocks:
+            if block.begin_frozen_read():
+                pinned.append(block)
+                descriptor = descriptor_if_valid(block)
+                if descriptor is not None and descriptor.num_rows > 0:
+                    plan.append(("worker", descriptor))
+                else:
+                    plan.append(("frozen", None))
+            else:
+                plan.append(("hot", None))
+        jobs = [
+            (i, descriptor)
+            for i, (kind, descriptor) in enumerate(plan)
+            if kind == "worker"
+        ]
+        payloads_by_index: dict[int, bytes] = {}
+        if jobs:
+            workers = max(1, getattr(pool, "num_workers", 1))
+            size = max(1, -(-len(jobs) // (2 * workers)))
+            fragments = [jobs[i : i + size] for i in range(0, len(jobs), size)]
+            answers = pool.run_fragments(
+                "serialize", [([d for _, d in frag],) for frag in fragments]
+            )
+            for fragment, answer in zip(fragments, answers):
+                if answer is None:
+                    continue  # fallback: encoded in-process below
+                for (block_index, _), result in zip(fragment, answer):
+                    payloads_by_index[block_index] = result["payload"]
+        for block_index, (kind, _descriptor) in enumerate(plan):
+            block = blocks[block_index]
+            payload = payloads_by_index.get(block_index)
+            if payload is not None:
+                out.write(payload)
+                batches += 1
+                frozen += 1
+                continue
+            if kind == "hot":
+                batch = snapshot_transform(txn_manager, table, block)
+                was_frozen = False
+            else:
+                # Pin still held: in-place view is safe (also the fallback
+                # for worker fragments the pool failed to complete).
+                batch = block_to_record_batch(block)
+                was_frozen = True
+            if batch is None or batch.num_rows == 0:
+                continue
+            if batch.schema != schema:
+                batch = _decode_dictionary_batch(batch, schema)
+            ipc.write_batch(out, batch)
+            batches += 1
+            if was_frozen:
+                frozen += 1
+            else:
+                materialized += 1
+    finally:
+        for block in pinned:
+            block.end_frozen_read()
     out.write(b"EOS\x00")
     return FlightStream(out.getvalue(), batches, frozen, materialized)
 
@@ -127,15 +206,9 @@ def incremental_export(
     This replaces the nightly ETL job the paper's introduction criticizes:
     repeated exports cost O(changed data), not O(database).
     """
-    import json
-    import struct
-
     out = io.BytesIO()
     schema = table_schema(table.layout)
-    out.write(ipc.MAGIC)
-    header = json.dumps(schema.to_json()).encode("utf-8")
-    out.write(struct.pack("<i", len(header)))
-    out.write(header)
+    _write_header(out, schema)
     cursor = txn_manager.timestamps.checkpoint()
     frozen = hot = skipped = 0
     for block in list(table.blocks):

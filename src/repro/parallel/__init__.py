@@ -1,0 +1,46 @@
+"""Multiprocess scan/export parallelism over shared-memory frozen blocks.
+
+The GIL caps every in-process scan, gather, and Arrow-IPC serialization at
+one core.  Frozen blocks, though, are immutable Arrow-compatible byte
+buffers — the paper's central premise — so they can be handed to *other
+processes* with zero copies:
+
+- :mod:`repro.parallel.arena` — a slot allocator over named
+  ``multiprocessing.shared_memory`` segments with strict cleanup hygiene;
+- :mod:`repro.parallel.placement` — copies blocks into arena slots at
+  freeze time and records picklable descriptors;
+- :mod:`repro.parallel.worker` — the worker-process side: rebuilds Arrow
+  views from descriptors and runs scan/serialize fragments;
+- :mod:`repro.parallel.pool` — the persistent worker pool with stale-result
+  filtering, crash fallback, and respawn.
+
+The hot/MVCC path never leaves the owning process (Hekaton's
+owning-thread-of-control discipline at process granularity); the
+coordinator decides snapshot visibility for frozen data by pinning blocks
+with valid descriptors, so workers never touch version chains.  Every
+parallel path degrades to the serial one when the pool is unavailable.
+"""
+
+from repro.parallel.arena import ArenaSlot, SharedMemoryArena, shm_available
+from repro.parallel.placement import (
+    BlockDescriptor,
+    ColumnRegion,
+    descriptor_if_valid,
+    place_block,
+    release_block_slot,
+)
+from repro.parallel.pool import START_METHOD_ENV, WorkerPool, default_start_method
+
+__all__ = [
+    "ArenaSlot",
+    "BlockDescriptor",
+    "ColumnRegion",
+    "START_METHOD_ENV",
+    "SharedMemoryArena",
+    "WorkerPool",
+    "default_start_method",
+    "descriptor_if_valid",
+    "place_block",
+    "release_block_slot",
+    "shm_available",
+]

@@ -1,0 +1,293 @@
+"""A shared-memory arena for frozen blocks (ROADMAP item 2).
+
+Frozen blocks are immutable, Arrow-compatible byte buffers — the paper's
+whole point — which makes them handable not just to external readers but to
+*other processes* with zero copies.  The :class:`SharedMemoryArena` backs
+that hand-off: it owns a set of ``multiprocessing.shared_memory`` segments,
+carved into fixed-size slots (1 MB by default, the paper's block size), and
+hands out contiguous slot runs for frozen-block payloads.  Worker processes
+(:mod:`repro.parallel.pool`) attach the segments read-only and scan or
+serialize the payloads with true hardware parallelism.
+
+Hygiene rules, because leaked ``/dev/shm`` segments outlive the process:
+
+- **Deterministic, prefix-namespaced names**: every segment is called
+  ``repro-<pid hex>-<arena#>-<segment#>``, so a crashed run's leftovers are
+  identifiable (and removable) by prefix.
+- **Unlink on last release**: a segment whose slots are all free again is
+  closed and unlinked immediately.
+- **atexit + close()**: the creating process unlinks everything it still
+  owns at interpreter exit; :meth:`close` (called by ``Database.close``)
+  does the same eagerly.  The stdlib resource tracker is the final safety
+  net for hard crashes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.obs.recorder import broadcast as _record_event
+from repro.storage.constants import BLOCK_SIZE
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
+    HAVE_SHARED_MEMORY = False
+
+#: Process-wide arena sequence so two Databases never collide on names.
+_ARENA_SEQ = itertools.count()
+
+
+@dataclass(frozen=True)
+class ArenaSlot:
+    """One allocation: a contiguous run of slots inside a segment."""
+
+    segment: str
+    segment_index: int
+    slot_index: int
+    slot_count: int
+    nbytes: int
+
+    def byte_offset(self, slot_size: int) -> int:
+        """Byte offset of the payload within the segment (slot-aligned)."""
+        return self.slot_index * slot_size
+
+
+class SharedMemoryArena:
+    """Fixed-slot allocator over named shared-memory segments."""
+
+    def __init__(
+        self,
+        slot_size: int = BLOCK_SIZE,
+        slots_per_segment: int = 8,
+        prefix: str | None = None,
+        registry=None,
+    ) -> None:
+        if not HAVE_SHARED_MEMORY:
+            raise StorageError("multiprocessing.shared_memory is unavailable")
+        if slot_size <= 0 or slots_per_segment <= 0:
+            raise StorageError("arena slot_size/slots_per_segment must be positive")
+        if slot_size % 8:
+            # Slot bases must stay 8-aligned so typed views over payloads
+            # (int64 columns, int32 offsets) are legal in every process.
+            raise StorageError("arena slot_size must be a multiple of 8")
+        self.slot_size = slot_size
+        self.slots_per_segment = slots_per_segment
+        #: Deterministic namespace: crashed runs are identifiable by prefix.
+        self.prefix = (
+            prefix
+            if prefix is not None
+            else f"repro-{os.getpid():x}-{next(_ARENA_SEQ)}"
+        )
+        self._lock = threading.Lock()
+        self._segments: dict[int, "_shm.SharedMemory"] = {}
+        self._segment_slots: dict[int, int] = {}
+        self._free: dict[int, set[int]] = {}
+        self._next_segment = 0
+        self._closed = False
+        if registry is not None:
+            self._m_alloc = registry.counter(
+                "arena.allocations_total", "slot runs handed out"
+            )
+            self._m_release = registry.counter(
+                "arena.releases_total", "slot runs returned"
+            )
+            self._m_bytes = registry.counter(
+                "arena.bytes_placed_total", "payload bytes placed into slots"
+            )
+            self._m_unlinked = registry.counter(
+                "arena.segments_unlinked_total", "segments unlinked on last release"
+            )
+            self._m_double_free = registry.counter(
+                "arena.slot_double_free_total", "rejected double releases"
+            )
+            registry.gauge(
+                "arena.segments", "live shared-memory segments",
+                callback=lambda: len(self._segments),
+            )
+            registry.gauge(
+                "arena.slots_used", "slots currently allocated",
+                callback=self._used_slot_count,
+            )
+        else:
+            self._m_alloc = self._m_release = self._m_bytes = None
+            self._m_unlinked = self._m_double_free = None
+        # A bound method would keep `self` alive through atexit even after
+        # close(); register a handle we can unregister instead.
+        self._atexit_cb = self.close
+        atexit.register(self._atexit_cb)
+
+    # ------------------------------------------------------------------ #
+    # allocation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, nbytes: int) -> ArenaSlot:
+        """Hand out a contiguous slot run covering ``nbytes``."""
+        if nbytes <= 0:
+            raise StorageError("cannot allocate an empty arena slot")
+        slots_needed = -(-nbytes // self.slot_size)
+        with self._lock:
+            if self._closed:
+                raise StorageError("arena is closed")
+            for index, free in self._free.items():
+                start = self._find_run(free, slots_needed)
+                if start is not None:
+                    for s in range(start, start + slots_needed):
+                        free.discard(s)
+                    return self._slot(index, start, slots_needed, nbytes)
+            index = self._create_segment(max(self.slots_per_segment, slots_needed))
+            free = self._free[index]
+            for s in range(slots_needed):
+                free.discard(s)
+            return self._slot(index, 0, slots_needed, nbytes)
+
+    def _slot(self, index: int, start: int, count: int, nbytes: int) -> ArenaSlot:
+        if self._m_alloc is not None:
+            self._m_alloc.inc()
+            self._m_bytes.inc(nbytes)
+        return ArenaSlot(self._segments[index].name, index, start, count, nbytes)
+
+    @staticmethod
+    def _find_run(free: set[int], count: int) -> int | None:
+        if len(free) < count:
+            return None
+        ordered = sorted(free)
+        run_start, run_len = ordered[0], 1
+        if run_len == count:
+            return run_start
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur == prev + 1:
+                run_len += 1
+            else:
+                run_start, run_len = cur, 1
+            if run_len == count:
+                return run_start
+        return None
+
+    def _create_segment(self, slots: int) -> int:
+        index = self._next_segment
+        self._next_segment += 1
+        name = f"{self.prefix}-{index}"
+        segment = _shm.SharedMemory(name=name, create=True, size=slots * self.slot_size)
+        self._segments[index] = segment
+        self._segment_slots[index] = slots
+        self._free[index] = set(range(slots))
+        _record_event("arena.segment_created", name=name, bytes=slots * self.slot_size)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # access + release                                                    #
+    # ------------------------------------------------------------------ #
+
+    def view(self, slot: ArenaSlot) -> np.ndarray:
+        """Writable uint8 view of the slot's payload (owner process only)."""
+        with self._lock:
+            segment = self._segments.get(slot.segment_index)
+            if segment is None or segment.name != slot.segment:
+                raise StorageError(f"arena slot {slot.segment} is not live")
+        offset = slot.byte_offset(self.slot_size)
+        return np.frombuffer(
+            segment.buf, dtype=np.uint8, count=slot.nbytes, offset=offset
+        )
+
+    def release(self, slot: ArenaSlot) -> None:
+        """Return a slot run; unlinks the segment once fully free."""
+        with self._lock:
+            if self._closed:
+                return
+            segment = self._segments.get(slot.segment_index)
+            if segment is None or segment.name != slot.segment:
+                if self._m_double_free is not None:
+                    self._m_double_free.inc()
+                raise StorageError(
+                    f"arena slot in {slot.segment} already released (segment gone)"
+                )
+            free = self._free[slot.segment_index]
+            run = range(slot.slot_index, slot.slot_index + slot.slot_count)
+            if any(s in free for s in run):
+                if self._m_double_free is not None:
+                    self._m_double_free.inc()
+                raise StorageError(
+                    f"arena slot {slot.slot_index}+{slot.slot_count} in "
+                    f"{slot.segment} double-freed"
+                )
+            free.update(run)
+            if self._m_release is not None:
+                self._m_release.inc()
+            if len(free) == self._segment_slots[slot.segment_index]:
+                self._unlink_segment(slot.segment_index)
+
+    def _unlink_segment(self, index: int) -> None:
+        segment = self._segments.pop(index)
+        del self._free[index]
+        del self._segment_slots[index]
+        _close_segment(segment)
+        if self._m_unlinked is not None:
+            self._m_unlinked.inc()
+        _record_event("arena.segment_unlinked", name=segment.name)
+
+    def close(self) -> None:
+        """Unlink every live segment (idempotent; wired to atexit)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._free.clear()
+            self._segment_slots.clear()
+        for segment in segments:
+            _close_segment(segment)
+        atexit.unregister(self._atexit_cb)
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of live segments (test hook: check /dev/shm against it)."""
+        with self._lock:
+            return [s.name for s in self._segments.values()]
+
+    def _used_slot_count(self) -> int:
+        with self._lock:
+            return sum(
+                self._segment_slots[i] - len(free) for i, free in self._free.items()
+            )
+
+
+def _close_segment(segment) -> None:
+    """Unlink a segment; tolerate still-live numpy views of its buffer.
+
+    Unlinking removes the ``/dev/shm`` name (the hygiene property that
+    matters); if a caller still holds a view, the mapping itself stays
+    alive until that view dies, and ``close`` would raise ``BufferError``
+    — swallow it, the memory is reclaimed when the last view drops.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reaped
+        pass
+
+
+def shm_available() -> bool:
+    """Whether this platform supports the shared-memory arena at all."""
+    return HAVE_SHARED_MEMORY

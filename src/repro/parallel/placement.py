@@ -1,0 +1,191 @@
+"""Placing frozen blocks into the shared-memory arena at freeze time.
+
+A block that just finished its gather is canonical Arrow: the fixed-width
+column regions and validity bitmaps inside the 1 MB buffer, plus one
+offsets/values buffer pair per varlen column.  :func:`place_block` copies
+that payload into an arena slot while the transformer still holds exclusive
+access (state FREEZING), and records a :class:`BlockDescriptor` — a plain
+picklable value object from which a worker process can rebuild zero-copy
+numpy views without importing any storage-engine state.
+
+Hot blocks never enter the arena: the mutating MVCC path stays entirely in
+the owning process (the Hekaton-style split of Larson et al., at process
+granularity).  Dictionary-compressed blocks also stay process-private —
+their two-level layout is not worth teaching the workers about.
+
+Slot layout::
+
+    [ block buffer bytes 0..layout.used_bytes )      # bitmaps + fixed cols
+    [ per varlen column: offsets int32[n+1], values uint8[*], 8-aligned ]
+
+A descriptor is valid only while the block is FROZEN *and* its ``frozen_at``
+stamp still matches: reheating a block strands the descriptor (readers see
+the mismatch under the frozen-read pin) and the next freeze replaces it,
+releasing the old slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.parallel.arena import ArenaSlot, SharedMemoryArena
+from repro.transform.gather import live_prefix_length
+
+if TYPE_CHECKING:
+    from repro.storage.block import RawBlock
+
+
+def _pad8(nbytes: int) -> int:
+    return (nbytes + 7) // 8 * 8
+
+
+@dataclass(frozen=True)
+class ColumnRegion:
+    """Where one column's buffers live inside the slot payload."""
+
+    name: str
+    type_json: dict
+    is_varlen: bool
+    is_utf8: bool
+    numpy_dtype: str          # fixed-width columns; "" for varlen
+    validity_offset: int      # relative to the slot payload base
+    validity_nbytes: int      # logical bitmap bytes ((num_slots + 7) // 8)
+    data_offset: int = 0      # fixed: column region offset
+    offsets_offset: int = 0   # varlen: int32[n + 1]
+    values_offset: int = 0    # varlen: uint8[values_nbytes]
+    values_nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """Everything a worker needs to scan or serialize one frozen block."""
+
+    block_id: int
+    segment: str
+    base_offset: int          # byte offset of the payload within the segment
+    nbytes: int
+    num_rows: int             # live prefix length n
+    num_slots: int
+    frozen_at: int
+    columns: tuple[ColumnRegion, ...]
+    zone_maps: dict[int, tuple[float, float]]
+    slot: ArenaSlot
+
+
+def place_block(arena: SharedMemoryArena, block: "RawBlock") -> BlockDescriptor | None:
+    """Copy a freshly gathered block into the arena; returns the descriptor.
+
+    Must be called with exclusive access to the block (state FREEZING,
+    after the gather, with ``frozen_at`` already stamped).  Returns ``None``
+    — leaving the block process-private — for dictionary-compressed blocks
+    or when any varlen column lacks gathered buffers.  Replaces (and
+    releases) any descriptor from a previous freeze of the same block.
+    """
+    old = block.shm_descriptor
+    block.shm_descriptor = None
+    descriptor = _build(arena, block)
+    block.shm_descriptor = descriptor
+    if old is not None:
+        # No in-flight reader can hold the old descriptor: the reheat that
+        # preceded this re-freeze waited out every frozen-read pin.
+        arena.release(old.slot)
+    return descriptor
+
+
+def _build(arena: SharedMemoryArena, block: "RawBlock") -> BlockDescriptor | None:
+    if block.dictionaries:
+        return None
+    layout = block.layout
+    varlen_ids = layout.varlen_column_ids()
+    for column_id in varlen_ids:
+        if column_id not in block.gathered:
+            return None
+    n = live_prefix_length(block)
+    bitmap_nbytes = (layout.num_slots + 7) // 8
+
+    total = _pad8(layout.used_bytes)
+    varlen_regions: dict[int, tuple[int, int, int]] = {}
+    for column_id in varlen_ids:
+        offsets, values = block.gathered[column_id]
+        offsets_off = total
+        total += _pad8(offsets.nbytes)
+        values_off = total
+        total += _pad8(max(values.nbytes, 1))
+        varlen_regions[column_id] = (offsets_off, values_off, values.nbytes)
+
+    slot = arena.allocate(total)
+    view = arena.view(slot)
+    view[: layout.used_bytes] = block.buffer.data[: layout.used_bytes]
+    for column_id in varlen_ids:
+        offsets, values = block.gathered[column_id]
+        offsets_off, values_off, values_nbytes = varlen_regions[column_id]
+        view[offsets_off : offsets_off + offsets.nbytes] = offsets.view(np.uint8)
+        if values_nbytes:
+            view[values_off : values_off + values_nbytes] = values.view(np.uint8)
+
+    columns = []
+    for column_id, spec in enumerate(layout.columns):
+        if spec.is_varlen:
+            offsets_off, values_off, values_nbytes = varlen_regions[column_id]
+            columns.append(
+                ColumnRegion(
+                    name=spec.name,
+                    type_json=spec.dtype.to_json(),
+                    is_varlen=True,
+                    is_utf8=getattr(spec.dtype, "is_utf8", False),
+                    numpy_dtype="",
+                    validity_offset=layout.validity_offsets[column_id],
+                    validity_nbytes=bitmap_nbytes,
+                    offsets_offset=offsets_off,
+                    values_offset=values_off,
+                    values_nbytes=values_nbytes,
+                )
+            )
+        else:
+            columns.append(
+                ColumnRegion(
+                    name=spec.name,
+                    type_json=spec.dtype.to_json(),
+                    is_varlen=False,
+                    is_utf8=False,
+                    numpy_dtype=spec.dtype.numpy_dtype.str,  # type: ignore[union-attr]
+                    validity_offset=layout.validity_offsets[column_id],
+                    validity_nbytes=bitmap_nbytes,
+                    data_offset=layout.column_offsets[column_id],
+                )
+            )
+    return BlockDescriptor(
+        block_id=block.block_id,
+        segment=slot.segment,
+        base_offset=slot.byte_offset(arena.slot_size),
+        nbytes=total,
+        num_rows=n,
+        num_slots=layout.num_slots,
+        frozen_at=block.frozen_at,
+        columns=tuple(columns),
+        zone_maps=dict(block.zone_maps),
+        slot=slot,
+    )
+
+
+def release_block_slot(arena: SharedMemoryArena | None, block: "RawBlock") -> None:
+    """Drop a block's arena slot (block release / table drop)."""
+    descriptor = getattr(block, "shm_descriptor", None)
+    block.shm_descriptor = None
+    if descriptor is not None and arena is not None and not arena.closed:
+        arena.release(descriptor.slot)
+
+
+def descriptor_if_valid(block: "RawBlock") -> BlockDescriptor | None:
+    """The block's descriptor, iff it matches the current freeze.
+
+    Call while holding a frozen-read pin: FROZEN plus an unchanged
+    ``frozen_at`` proves the slot payload equals the live block content.
+    """
+    descriptor = getattr(block, "shm_descriptor", None)
+    if descriptor is None or descriptor.frozen_at != block.frozen_at:
+        return None
+    return descriptor

@@ -1,0 +1,317 @@
+"""A persistent pool of scan/export worker processes.
+
+The coordinator (the process that owns the :class:`~repro.db.Database`)
+dispatches fragments — lists of block descriptors plus what to do with them
+— over a task queue; workers push tagged results back.  The pool is built
+for graceful degradation, never correctness-by-parallelism:
+
+- every fragment the pool cannot complete (pool not started, worker died
+  mid-task, timeout) comes back as ``None``, and the caller redoes exactly
+  that fragment in-process;
+- results are matched by task id, so a worker that answers late (or a
+  fragment from an abandoned query) is dropped as stale rather than
+  misattributed;
+- dead workers are respawned after every dispatch round, so one crash
+  degrades a single query instead of the pool;
+- workers share **no** locks with each other: each worker has its own task
+  queue (fragments are dealt round-robin) *and* its own result queue.  A
+  shared queue is poisoned by a SIGKILL'd worker — a blocked reader holds
+  the queue's reader lock, and a writer can die between sending its bytes
+  and releasing the write lock (on a single-core machine the coordinator
+  routinely consumes a result before the worker's feeder thread is
+  rescheduled to release the lock, so "idle" workers still hold it).
+  With dedicated queues a kill only strands that worker's own plumbing,
+  which the respawn replaces wholesale.
+
+Start method defaults to ``fork`` where available (cheap, inherits the
+import state) and can be forced with ``REPRO_PARALLEL_START_METHOD`` or the
+constructor — the CI matrix runs the suite under both ``fork`` and
+``spawn``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from typing import Any
+
+from repro.obs.recorder import broadcast as _record_event
+from repro.parallel.worker import worker_main
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def default_start_method() -> str:
+    method = os.environ.get(START_METHOD_ENV)
+    if method:
+        return method
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """Persistent worker processes executing scan/serialize fragments."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        start_method: str | None = None,
+        registry=None,
+        task_timeout: float = 60.0,
+    ) -> None:
+        self.num_workers = max(1, int(num_workers))
+        self.start_method = start_method or default_start_method()
+        self.task_timeout = task_timeout
+        self._ctx = mp.get_context(self.start_method)
+        self._task_queues: list[Any] = []
+        self._result_queues: list[Any] = []
+        self._workers: list[Any] = []
+        self._next_worker = 0
+        self._task_seq = itertools.count()
+        self._started = False
+        self._broken = False
+        if registry is not None:
+            self._m_dispatched = registry.counter(
+                "parallel.tasks_dispatched_total", "fragments sent to workers"
+            )
+            self._m_completed = registry.counter(
+                "parallel.tasks_completed_total", "fragments answered by workers"
+            )
+            self._m_failures = registry.counter(
+                "parallel.task_failures_total", "fragments that errored in a worker"
+            )
+            self._m_fallbacks = registry.counter(
+                "parallel.fallbacks_total",
+                "fragments redone in-process (pool down, crash, timeout)",
+            )
+            self._m_restarts = registry.counter(
+                "parallel.worker_restarts_total", "dead workers respawned"
+            )
+            registry.gauge(
+                "parallel.workers_configured", "pool size",
+                callback=lambda: self.num_workers,
+            )
+            registry.gauge(
+                "parallel.workers_alive", "workers currently alive",
+                callback=lambda: sum(1 for w in self._workers if w.is_alive()),
+            )
+            self._m_worker_tasks = [
+                registry.counter(
+                    f"parallel.worker_{i}.tasks_total",
+                    f"fragments completed by worker {i}",
+                )
+                for i in range(self.num_workers)
+            ]
+        else:
+            self._m_dispatched = self._m_completed = self._m_failures = None
+            self._m_fallbacks = self._m_restarts = None
+            self._m_worker_tasks = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._task_queues = [self._ctx.Queue() for _ in range(self.num_workers)]
+        self._result_queues = [self._ctx.Queue() for _ in range(self.num_workers)]
+        self._workers = [self._spawn(i) for i in range(self.num_workers)]
+        self._started = True
+
+    def _spawn(self, index: int):
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(index, self._task_queues[index], self._result_queues[index]),
+            name=f"repro-parallel-{index}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def ensure_started(self) -> bool:
+        """Start lazily; a failed start marks the pool broken (no retries)."""
+        if self._broken:
+            return False
+        if not self._started:
+            try:
+                self.start()
+            except Exception:
+                self._broken = True
+                _record_event("parallel.pool_broken", method=self.start_method)
+                return False
+        return True
+
+    @property
+    def available(self) -> bool:
+        return not self._broken
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def stop(self) -> None:
+        """Stop all workers (idempotent); the pool can be restarted."""
+        if not self._started:
+            return
+        self._started = False
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        self._workers = []
+        for q in [*self._task_queues, *self._result_queues]:
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._task_queues = []
+        self._result_queues = []
+
+    def warm(self, timeout: float = 30.0) -> bool:
+        """Round-trip a ping through every worker (benchmarks use this to
+        keep process startup out of the measured interval)."""
+        if not self.ensure_started():
+            return False
+        results = self.run_fragments(
+            "ping", [() for _ in range(self.num_workers)], timeout=timeout
+        )
+        return all(r == "pong" for r in results)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                            #
+    # ------------------------------------------------------------------ #
+
+    def run_fragments(
+        self, kind: str, payloads: list[tuple], timeout: float | None = None
+    ) -> list[Any]:
+        """Execute ``payloads`` across the pool; order-preserving.
+
+        Returns one entry per payload: the worker's result, or ``None``
+        for any fragment the pool could not complete — the caller must
+        fall back in-process for exactly those.
+        """
+        if not payloads:
+            return []
+        if not self.ensure_started():
+            self._count_fallbacks(len(payloads), reason="pool_unavailable")
+            return [None] * len(payloads)
+        self._reap_and_respawn()  # don't deal fragments to known-dead workers
+        ids: dict[int, int] = {}
+        for position, payload in enumerate(payloads):
+            task_id = next(self._task_seq)
+            ids[task_id] = position
+            index = self._next_worker % self.num_workers
+            self._next_worker += 1
+            self._task_queues[index].put((task_id, kind, payload))
+        if self._m_dispatched is not None:
+            self._m_dispatched.inc(len(payloads))
+        _record_event("parallel.dispatch", fragment_kind=kind, fragments=len(payloads))
+
+        results: list[Any] = [None] * len(payloads)
+        pending = set(ids)
+        deadline = time.monotonic() + (timeout or self.task_timeout)
+        while pending:
+            progressed = False
+            for result_queue in self._result_queues:
+                try:
+                    task_id, worker_index, ok, payload = result_queue.get_nowait()
+                except queue_mod.Empty:
+                    continue
+                except Exception:  # pragma: no cover - truncated pickle
+                    # A worker killed mid-send leaves a partial frame in its
+                    # (private) result pipe; the reap below replaces it.
+                    continue
+                progressed = True
+                position = ids.get(task_id)
+                if position is None or task_id not in pending:
+                    continue  # stale: a fragment from an abandoned query
+                pending.discard(task_id)
+                if ok:
+                    results[position] = payload
+                    if self._m_completed is not None:
+                        self._m_completed.inc()
+                        if 0 <= worker_index < len(self._m_worker_tasks):
+                            self._m_worker_tasks[worker_index].inc()
+                    _record_event(
+                        "parallel.complete", fragment_kind=kind, worker=worker_index
+                    )
+                else:
+                    if self._m_failures is not None:
+                        self._m_failures.inc()
+                    _record_event(
+                        "parallel.task_failed", fragment_kind=kind,
+                        worker=worker_index, error=str(payload),
+                    )
+            if progressed:
+                continue
+            if any(not w.is_alive() for w in self._workers):
+                # A dead worker may have taken pending tasks with it; don't
+                # wait out the full timeout for answers that can never come.
+                # Live workers' late results for this query are dropped as
+                # stale on the next dispatch.
+                break
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.01)
+        if pending:
+            self._count_fallbacks(len(pending), reason="incomplete")
+        failed = sum(1 for r in results if r is None) - len(pending)
+        if failed > 0:
+            self._count_fallbacks(failed, reason="task_failed", record=False)
+        self._reap_and_respawn()
+        return results
+
+    def _count_fallbacks(self, count: int, reason: str, record: bool = True) -> None:
+        if self._m_fallbacks is not None:
+            self._m_fallbacks.inc(count)
+        if record:
+            _record_event("parallel.fallback", fragments=count, reason=reason)
+
+    def _reap_and_respawn(self) -> None:
+        if not self._started:
+            return
+        for index, worker in enumerate(self._workers):
+            if worker.is_alive():
+                continue
+            if self._m_restarts is not None:
+                self._m_restarts.inc()
+            _record_event(
+                "parallel.worker_respawn", worker=index, exitcode=worker.exitcode
+            )
+            # The dead worker's queues may hold undelivered fragments (stale
+            # by now), partial frames, or locks the kill stranded; replace
+            # both ends of its plumbing.
+            self._task_queues[index] = self._ctx.Queue()
+            self._result_queues[index] = self._ctx.Queue()
+            self._workers[index] = self._spawn(index)
+
+    # ------------------------------------------------------------------ #
+    # introspection / test hooks                                          #
+    # ------------------------------------------------------------------ #
+
+    def worker_pids(self) -> list[int]:
+        return [w.pid for w in self._workers if w.pid is not None]
+
+    def alive_count(self) -> int:
+        return sum(1 for w in self._workers if w.is_alive())
+
+    def __repr__(self) -> str:
+        state = "broken" if self._broken else (
+            "started" if self._started else "idle"
+        )
+        return (
+            f"WorkerPool(workers={self.num_workers}, "
+            f"method={self.start_method!r}, {state})"
+        )

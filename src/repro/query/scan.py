@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
+from repro.arrowfmt.array import VarBinaryArray
+from repro.arrowfmt.buffer import Bitmap, Buffer
 from repro.arrowfmt.datatypes import VarBinaryType
 from repro.errors import StorageError
 from repro.obs import trace
@@ -44,6 +46,68 @@ if TYPE_CHECKING:
 SELECTIVITY_BUCKETS: tuple[float, ...] = (
     0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0,
 )
+
+
+def pruned_by_zone_map(zone_maps, range_filters) -> bool:
+    """Whether a block provably holds no row inside the bounds.
+
+    Works over frozen zone maps (exact over live values at gather time) and
+    hot zone maps (widen-only supersets of every value any snapshot could
+    see) alike; an absent entry never prunes.  Shared by the in-process
+    scanner and the worker processes (:mod:`repro.parallel.worker`) so both
+    paths prune identically.
+    """
+    for column_id, (low, high) in range_filters.items():
+        zone = zone_maps.get(column_id)
+        if zone is None:
+            continue
+        zone_min, zone_max = zone[0], zone[1]
+        if low is not None and zone_max < low:
+            return True
+        if high is not None and zone_min > high:
+            return True
+    return False
+
+
+def compute_selection(
+    columns: dict[int, Any],
+    null_masks: dict[int, np.ndarray],
+    range_filters: dict[int, tuple[float | None, float | None]],
+    num_rows: int,
+) -> np.ndarray:
+    """Selection vector of the rows passing every inclusive range bound.
+
+    A row is selected iff every filtered column is non-NULL and within
+    ``[low, high]``; filter columns absent from ``columns`` are skipped
+    (the caller must re-apply their predicate).  This is the single
+    implementation behind both the serial scanner and the parallel
+    workers, so selections cannot drift between the two paths.
+    """
+    mask = np.ones(num_rows, dtype=bool)
+    for column_id, (low, high) in range_filters.items():
+        vector = columns.get(column_id)
+        if vector is None:
+            continue
+        if isinstance(vector, np.ndarray):
+            if low is not None:
+                mask &= vector >= low
+            if high is not None:
+                mask &= vector <= high
+            nulls = null_masks.get(column_id)
+            if nulls is not None:
+                mask &= ~nulls
+        else:
+            mask &= np.fromiter(
+                (
+                    v is not None
+                    and (low is None or v >= low)
+                    and (high is None or v <= high)
+                    for v in vector
+                ),
+                dtype=bool,
+                count=num_rows,
+            )
+    return np.flatnonzero(mask)
 
 
 class ArrowColumnView(Sequence):
@@ -172,6 +236,7 @@ class TableScanner:
         registry=None,
         txn: "TransactionContext | None" = None,
         vectorized: bool = True,
+        pool=None,
     ) -> None:
         """``range_filters`` maps column id → (low, high) inclusive bounds
         (either side ``None`` for open).  Blocks whose zone maps prove the
@@ -189,10 +254,18 @@ class TableScanner:
         ``DataTable.select`` per slot) — kept as the correctness oracle and
         the ablation baseline.
 
+        ``pool`` (a :class:`repro.parallel.WorkerPool`, e.g.
+        ``db.parallel_pool``) fans frozen-block fragments out to worker
+        processes over shared memory; hot blocks are always materialized
+        in-process under the scan's snapshot, and any fragment the pool
+        cannot complete is redone in-process, so results are identical to
+        the serial path.
+
         Pass a :class:`~repro.obs.registry.MetricRegistry` (e.g. ``db.obs``)
         to publish ``query.*`` scan counters."""
         self.txn_manager = txn_manager
         self.table = table
+        self.pool = pool
         self.column_ids = (
             column_ids
             if column_ids is not None
@@ -241,20 +314,101 @@ class TableScanner:
         if owns_txn:
             txn = self.txn_manager.begin()
         try:
-            for block in list(self.table.blocks):
+            if self.pool is not None:
+                yield from self._batches_parallel(txn)
+            else:
+                yield from self._batches_serial(txn)
+        finally:
+            if owns_txn:
+                self.txn_manager.commit(txn)
+
+    def _batches_serial(self, txn: "TransactionContext") -> Iterator[ColumnBatch]:
+        for block in list(self.table.blocks):
+            if block.begin_frozen_read():
+                try:
+                    if self._pruned_by_zone_map(block.zone_maps):
+                        self._count_pruned()
+                        continue
+                    with trace.span("query.scan.frozen"):
+                        batch = self._frozen_batch(block)
+                finally:
+                    block.end_frozen_read()
+                self.frozen_blocks_scanned += 1
+                if self._m_frozen is not None:
+                    self._m_frozen.inc()
+            else:
+                if self._pruned_by_zone_map(block.hot_zone_maps):
+                    self._count_pruned()
+                    continue
+                with trace.span("query.scan.hot"):
+                    if self.vectorized:
+                        batch = self._hot_batch(block, txn)
+                    else:
+                        batch = self._hot_batch_rowwise(block, txn)
+                self.hot_blocks_scanned += 1
+                if self._m_hot is not None:
+                    self._m_hot.inc()
+            self._apply_selection(batch)
+            if batch.num_rows:
+                yield batch
+
+    # ------------------------------------------------------------------ #
+    # parallel path: frozen fragments out to the worker pool              #
+    # ------------------------------------------------------------------ #
+
+    def _batches_parallel(self, txn: "TransactionContext") -> Iterator[ColumnBatch]:
+        """Fan frozen blocks out to workers; keep hot/MVCC work here.
+
+        Snapshot correctness: visibility of frozen data is decided *in
+        this process* by pinning blocks whose shared-memory descriptor
+        matches the current freeze (the pin blocks reheating, so the slot
+        payload cannot go stale while a worker reads it).  Workers never
+        see transactions or version chains.  Any fragment the pool fails
+        to complete is recomputed in-process under the still-held pins, so
+        a worker crash degrades throughput, not results.
+        """
+        from repro.parallel.placement import descriptor_if_valid
+
+        blocks = list(self.table.blocks)
+        #: per block: ("worker", descriptor) with the pin HELD, or
+        #: ("frozen", None) pinned without a descriptor, or ("hot", None).
+        plan: list[tuple[str, Any]] = []
+        pinned: list[Any] = []
+        try:
+            for block in blocks:
                 if block.begin_frozen_read():
-                    try:
-                        if self._pruned_by_zone_map(block.zone_maps):
-                            self._count_pruned()
-                            continue
-                        with trace.span("query.scan.frozen"):
-                            batch = self._frozen_batch(block)
-                    finally:
-                        block.end_frozen_read()
-                    self.frozen_blocks_scanned += 1
-                    if self._m_frozen is not None:
-                        self._m_frozen.inc()
+                    pinned.append(block)
+                    descriptor = descriptor_if_valid(block)
+                    if descriptor is not None:
+                        plan.append(("worker", descriptor))
+                    else:
+                        plan.append(("frozen", None))
                 else:
+                    plan.append(("hot", None))
+
+            jobs = [
+                (i, descriptor)
+                for i, (kind, descriptor) in enumerate(plan)
+                if kind == "worker"
+            ]
+            results: dict[int, Any] = {}
+            if jobs:
+                fragments = self._partition(jobs)
+                payloads = [
+                    ([d for _, d in fragment], self.column_ids, self.range_filters)
+                    for fragment in fragments
+                ]
+                with trace.span("query.scan.parallel_dispatch"):
+                    answers = self.pool.run_fragments("scan", payloads)
+                for fragment, answer in zip(fragments, answers):
+                    if answer is None:
+                        continue  # pool fallback: recompute below
+                    for (block_index, _), result in zip(fragment, answer):
+                        results[block_index] = result
+
+            for block_index, (kind, descriptor) in enumerate(plan):
+                block = blocks[block_index]
+                if kind == "hot":
                     if self._pruned_by_zone_map(block.hot_zone_maps):
                         self._count_pruned()
                         continue
@@ -266,12 +420,68 @@ class TableScanner:
                     self.hot_blocks_scanned += 1
                     if self._m_hot is not None:
                         self._m_hot.inc()
-                self._apply_selection(batch)
+                    self._apply_selection(batch)
+                    if batch.num_rows:
+                        yield batch
+                    continue
+                result = results.get(block_index)
+                if result is not None:
+                    if result["pruned"]:
+                        self._count_pruned()
+                        continue
+                    batch = self._batch_from_result(result)
+                else:
+                    # In-process fallback (no descriptor, or the pool did
+                    # not complete this fragment); the pin is still held,
+                    # so the block is safely readable in place.
+                    if self._pruned_by_zone_map(block.zone_maps):
+                        self._count_pruned()
+                        continue
+                    with trace.span("query.scan.frozen"):
+                        batch = self._frozen_batch(block)
+                    self._apply_selection(batch)
+                self.frozen_blocks_scanned += 1
+                if self._m_frozen is not None:
+                    self._m_frozen.inc()
                 if batch.num_rows:
                     yield batch
         finally:
-            if owns_txn:
-                self.txn_manager.commit(txn)
+            for block in pinned:
+                block.end_frozen_read()
+
+    def _partition(self, jobs: list) -> list[list]:
+        """Contiguous block-range fragments, ~2 per worker for balance."""
+        target = max(1, 2 * getattr(self.pool, "num_workers", 1))
+        size = max(1, -(-len(jobs) // target))
+        return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+    def _batch_from_result(self, result: dict) -> ColumnBatch:
+        """Rebuild a ColumnBatch from a worker's scan result — the same
+        shapes ``_frozen_batch`` produces (ndarrays for fixed columns,
+        :class:`ArrowColumnView` facades for varlen ones)."""
+        n = result["num_rows"]
+        columns: dict[int, Any] = dict(result["fixed"])
+        for column_id, (offsets, values, valid) in result["varlen"].items():
+            spec = self.table.layout.columns[column_id]
+            validity = Bitmap.from_numpy(valid) if valid is not None else None
+            array = VarBinaryArray(
+                spec.dtype,  # type: ignore[arg-type]
+                n,
+                Buffer.from_numpy(offsets),
+                Buffer.from_numpy(values),
+                validity,
+            )
+            columns[column_id] = ArrowColumnView(array)
+        selection = result["selection"]
+        if selection is not None and self._m_selectivity is not None and n:
+            self._m_selectivity.observe(len(selection) / n)
+        return ColumnBatch(
+            columns,
+            n,
+            from_frozen=True,
+            selection=selection,
+            null_masks=dict(result["null_masks"]),
+        )
 
     def _count_pruned(self) -> None:
         self.blocks_pruned += 1
@@ -279,22 +489,7 @@ class TableScanner:
             self._m_pruned.inc()
 
     def _pruned_by_zone_map(self, zone_maps) -> bool:
-        """Whether the block provably holds no row inside the bounds.
-
-        Works over frozen zone maps (exact over live values at gather
-        time) and hot zone maps (widen-only supersets of every value any
-        snapshot could see) alike; an absent entry never prunes.
-        """
-        for column_id, (low, high) in self.range_filters.items():
-            zone = zone_maps.get(column_id)
-            if zone is None:
-                continue
-            zone_min, zone_max = zone[0], zone[1]
-            if low is not None and zone_max < low:
-                return True
-            if high is not None and zone_min > high:
-                return True
-        return False
+        return pruned_by_zone_map(zone_maps, self.range_filters)
 
     # ------------------------------------------------------------------ #
     # selection vectors                                                   #
@@ -311,31 +506,9 @@ class TableScanner:
         if not self.range_filters or not batch.num_rows:
             return
         with trace.span("query.scan.selection"):
-            mask = np.ones(batch.num_rows, dtype=bool)
-            for column_id, (low, high) in self.range_filters.items():
-                vector = batch.columns.get(column_id)
-                if vector is None:
-                    continue
-                if isinstance(vector, np.ndarray):
-                    if low is not None:
-                        mask &= vector >= low
-                    if high is not None:
-                        mask &= vector <= high
-                    nulls = batch.null_masks.get(column_id)
-                    if nulls is not None:
-                        mask &= ~nulls
-                else:
-                    mask &= np.fromiter(
-                        (
-                            v is not None
-                            and (low is None or v >= low)
-                            and (high is None or v <= high)
-                            for v in vector
-                        ),
-                        dtype=bool,
-                        count=batch.num_rows,
-                    )
-            batch.selection = np.flatnonzero(mask)
+            batch.selection = compute_selection(
+                batch.columns, batch.null_masks, self.range_filters, batch.num_rows
+            )
         if self._m_selectivity is not None:
             self._m_selectivity.observe(len(batch.selection) / batch.num_rows)
 

@@ -18,11 +18,21 @@ from repro.storage.layout import BlockLayout
 class BlockStore:
     """Allocates :class:`RawBlock` instances and resolves block ids."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self._lock = threading.Lock()
         self._blocks: dict[int, RawBlock] = {}
         self._next_id = 0
         self._free_count = 0
+        #: Shared-memory arena the released blocks' frozen payloads live in;
+        #: assigned by the Database when parallel workers are enabled.
+        self.arena = None
+        if registry is not None:
+            self._m_double_free = registry.counter(
+                "storage.block_double_free_total",
+                "rejected double releases of a block",
+            )
+        else:
+            self._m_double_free = None
 
     def allocate(self, layout: BlockLayout) -> RawBlock:
         """Create (or reuse the identity of) a block with ``layout``."""
@@ -41,14 +51,28 @@ class BlockStore:
             raise StorageError(f"block {block_id} is not live") from None
 
     def release(self, block: RawBlock) -> None:
-        """Return an (empty) block to the store; its id becomes invalid."""
+        """Return an (empty) block to the store; its id becomes invalid.
+
+        Double releases are rejected loudly — by identity, so a stale
+        handle cannot free a *different* block that recycled the id — and
+        counted in ``storage.block_double_free_total`` instead of silently
+        corrupting ``freed_count``.
+        """
         with self._lock:
-            if block.block_id not in self._blocks:
-                raise StorageError(f"block {block.block_id} already released")
+            if self._blocks.get(block.block_id) is not block:
+                if self._m_double_free is not None:
+                    self._m_double_free.inc()
+                raise StorageError(
+                    f"block {block.block_id} already released (double free)"
+                )
             if not block.is_empty():
                 raise StorageError("cannot release a block with live tuples")
             del self._blocks[block.block_id]
             self._free_count += 1
+        if block.shm_descriptor is not None:
+            from repro.parallel.placement import release_block_slot
+
+            release_block_slot(self.arena, block)
 
     @property
     def live_count(self) -> int:

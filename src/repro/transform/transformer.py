@@ -85,10 +85,16 @@ class BlockTransformer:
         group_policy=None,
         registry: MetricRegistry | None = None,
         recorder: Recorder | None = None,
+        arena=None,
     ) -> None:
         self.txn_manager = txn_manager
         self.gc = gc
         self.observer = observer
+        #: Shared-memory arena (:class:`repro.parallel.SharedMemoryArena`);
+        #: when present, freshly frozen blocks are placed into it so worker
+        #: processes can scan/serialize them.  ``None`` keeps every block
+        #: process-private (the serial configuration).
+        self.arena = arena
         self.recorder = recorder if recorder is not None else get_recorder()
         self.compaction_group_size = compaction_group_size
         #: Group-formation policy; defaults to fixed-size chunks (the
@@ -333,6 +339,8 @@ class BlockTransformer:
                 with trace.span("transform.gather"):
                     gather_block(block, defer)
             block.frozen_at = self.txn_manager.timestamps.checkpoint()
+            if self.arena is not None:
+                self._place_in_arena(table, block)
             block.set_state(BlockState.FROZEN)
             elapsed = time.perf_counter() - began
             self.stats.gather_seconds += elapsed
@@ -355,6 +363,29 @@ class BlockTransformer:
         with self._pending_lock:
             self.freeze_pending = still_pending + self.freeze_pending
         return frozen
+
+    def _place_in_arena(self, table: "DataTable", block: "RawBlock") -> None:
+        """Copy the frozen payload into shared memory (best-effort).
+
+        Runs inside the FREEZING exclusive section, after the gather and
+        the ``frozen_at`` stamp: the copy is consistent by construction and
+        the descriptor's stamp proves it.  Any failure (arena full, shm
+        error) leaves the block process-private — scans fall back to the
+        in-process path for it.
+        """
+        from repro.parallel.placement import place_block
+
+        try:
+            with trace.span("transform.shm_place"):
+                place_block(self.arena, block)
+        except Exception as exc:
+            block.shm_descriptor = None
+            self.recorder.record(
+                "parallel.placement_failed",
+                block_id=block.block_id,
+                table=table.name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def _record_preempted(self, table: "DataTable", block: "RawBlock", why: str) -> None:
         self.recorder.record(

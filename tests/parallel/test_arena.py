@@ -1,0 +1,200 @@
+"""Shared-memory arena hygiene: names, unlink-on-last-release, double-free."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.obs.registry import MetricRegistry
+from repro.parallel.arena import SharedMemoryArena, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestNaming:
+    def test_deterministic_prefix_namespacing(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2)
+        try:
+            assert arena.prefix.startswith(f"repro-{os.getpid():x}-")
+            slot = arena.allocate(100)
+            assert slot.segment == f"{arena.prefix}-0"
+            assert arena.segment_names() == [slot.segment]
+        finally:
+            arena.close()
+
+    def test_two_arenas_never_collide(self):
+        a = SharedMemoryArena(slot_size=4096, slots_per_segment=2)
+        b = SharedMemoryArena(slot_size=4096, slots_per_segment=2)
+        try:
+            a.allocate(100)
+            b.allocate(100)
+            assert set(a.segment_names()).isdisjoint(b.segment_names())
+        finally:
+            a.close()
+            b.close()
+
+    def test_slot_size_must_be_8_aligned(self):
+        with pytest.raises(StorageError):
+            SharedMemoryArena(slot_size=1001)
+
+
+class TestAllocation:
+    def test_view_round_trips_bytes(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=4)
+        try:
+            slot = arena.allocate(1000)
+            view = arena.view(slot)
+            view[:] = np.arange(1000, dtype=np.uint8) % 251
+            again = arena.view(slot)
+            assert np.array_equal(again, np.arange(1000, dtype=np.uint8) % 251)
+            del view, again  # views pin the mapping; drop before close
+        finally:
+            arena.close()
+
+    def test_multi_slot_run_is_contiguous(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=4)
+        try:
+            big = arena.allocate(4096 * 3)  # three slots
+            assert big.slot_count == 3
+            assert arena.view(big).nbytes == 4096 * 3
+        finally:
+            arena.close()
+
+    def test_oversized_allocation_gets_dedicated_segment(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2)
+        try:
+            slot = arena.allocate(4096 * 5)  # more than slots_per_segment
+            assert slot.slot_count == 5
+        finally:
+            arena.close()
+
+    def test_slots_reused_after_release(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=4)
+        try:
+            first = arena.allocate(100)
+            keeper = arena.allocate(100)  # keeps the segment alive
+            arena.release(first)
+            second = arena.allocate(100)
+            assert second.segment_index == first.segment_index
+            assert second.slot_index == first.slot_index
+            arena.release(keeper)
+            arena.release(second)
+        finally:
+            arena.close()
+
+    def test_empty_allocation_rejected(self):
+        arena = SharedMemoryArena(slot_size=4096)
+        try:
+            with pytest.raises(StorageError):
+                arena.allocate(0)
+        finally:
+            arena.close()
+
+
+class TestHygiene:
+    def test_unlink_on_last_release(self):
+        reg = MetricRegistry()
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2, registry=reg)
+        try:
+            a = arena.allocate(100)
+            b = arena.allocate(100)
+            name = a.segment
+            assert shm_exists(name)
+            arena.release(a)
+            assert shm_exists(name)  # b still holds the segment
+            arena.release(b)
+            assert not shm_exists(name)
+            assert arena.segment_names() == []
+            assert reg.counter("arena.segments_unlinked_total").value == 1
+        finally:
+            arena.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2)
+        arena.allocate(100)
+        arena.allocate(4096 * 3)
+        names = arena.segment_names()
+        assert names and all(shm_exists(n) for n in names)
+        arena.close()
+        arena.close()  # idempotent
+        assert all(not shm_exists(n) for n in names)
+        assert arena.closed
+
+    def test_allocate_after_close_rejected(self):
+        arena = SharedMemoryArena(slot_size=4096)
+        arena.close()
+        with pytest.raises(StorageError):
+            arena.allocate(100)
+
+    def test_double_free_rejected_and_counted(self):
+        reg = MetricRegistry()
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2, registry=reg)
+        try:
+            slot = arena.allocate(100)
+            keeper = arena.allocate(100)
+            arena.release(slot)
+            with pytest.raises(StorageError):
+                arena.release(slot)
+            assert reg.counter("arena.slot_double_free_total").value == 1
+            arena.release(keeper)
+        finally:
+            arena.close()
+
+    def test_release_after_segment_unlinked_rejected(self):
+        reg = MetricRegistry()
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=2, registry=reg)
+        try:
+            slot = arena.allocate(100)
+            arena.release(slot)  # last slot: segment unlinked
+            with pytest.raises(StorageError):
+                arena.release(slot)
+            assert reg.counter("arena.slot_double_free_total").value == 1
+        finally:
+            arena.close()
+
+    def test_obs_gauges_track_usage(self):
+        reg = MetricRegistry()
+        arena = SharedMemoryArena(slot_size=4096, slots_per_segment=4, registry=reg)
+        try:
+            a = arena.allocate(100)
+            b = arena.allocate(4096 * 2)
+            assert reg.gauge("arena.segments").value == 1
+            assert reg.gauge("arena.slots_used").value == 3
+            assert reg.counter("arena.allocations_total").value == 2
+            arena.release(a)
+            arena.release(b)
+            assert reg.gauge("arena.slots_used").value == 0
+            assert reg.counter("arena.releases_total").value == 2
+        finally:
+            arena.close()
+
+
+class TestDatabaseLifecycle:
+    def test_database_close_leaves_no_segments(self):
+        from repro import ColumnSpec, Database, INT64, UTF8
+
+        db = Database(
+            logging_enabled=False, cold_threshold_epochs=1, parallel_workers=2
+        )
+        info = db.create_table(
+            "t",
+            [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+            block_size=1 << 13,
+            watch_cold=True,
+        )
+        with db.transaction() as txn:
+            for i in range(500):
+                info.table.insert(txn, {0: i, 1: f"v-{i}"})
+        db.freeze_table("t")
+        assert any(b.shm_descriptor is not None for b in info.table.blocks)
+        names = db.arena.segment_names()
+        assert names and all(shm_exists(n) for n in names)
+        db.close()
+        assert all(not shm_exists(n) for n in names)

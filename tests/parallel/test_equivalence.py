@@ -1,0 +1,270 @@
+"""Parallel results must be *identical* to serial — never approximately so.
+
+Every test here builds one database, runs the serial path and the parallel
+path over the same snapshot, and compares full materialized contents (and,
+for Flight, the raw payload bytes).  Parallelism is a pure performance
+lever; any divergence is a bug in the shared-memory placement or the
+worker's batch reconstruction.
+"""
+
+import pytest
+
+from repro import ColumnSpec, Database, FLOAT64, INT64, UTF8
+from repro.export.flight import export_stream
+from repro.parallel.arena import shm_available
+from repro.query.scan import TableScanner
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+COLUMNS = [
+    ColumnSpec("id", INT64),
+    ColumnSpec("amount", FLOAT64),
+    ColumnSpec("note", UTF8),
+]
+
+
+def build(rows=1500, nulls=True, freeze=True, workers=2, **db_kwargs):
+    db = Database(
+        logging_enabled=False,
+        cold_threshold_epochs=1,
+        parallel_workers=workers,
+        **db_kwargs,
+    )
+    info = db.create_table(
+        "t", COLUMNS, block_size=1 << 13, watch_cold=freeze
+    )
+    slots = []
+    with db.transaction() as txn:
+        for i in range(rows):
+            amount = None if nulls and i % 7 == 0 else float(i % 90)
+            note = None if nulls and i % 11 == 0 else f"note-{i}-{'x' * (i % 5)}"
+            slots.append(info.table.insert(txn, {0: i, 1: amount, 2: note}))
+    if freeze:
+        db.freeze_table("t")
+    return db, info, slots
+
+
+def materialize(scanner):
+    """Every batch's full contents, in scan order."""
+    out = []
+    for batch in scanner.batches():
+        out.append(
+            (batch.num_rows, tuple(tuple(batch.pylist(c)) for c in range(3)))
+        )
+    return out
+
+
+def assert_scan_equivalent(db, info, **scan_kwargs):
+    serial = TableScanner(db.txn_manager, info.table, **scan_kwargs)
+    parallel = TableScanner(
+        db.txn_manager, info.table, pool=db.parallel_pool, **scan_kwargs
+    )
+    assert materialize(serial) == materialize(parallel)
+    assert serial.frozen_blocks_scanned == parallel.frozen_blocks_scanned
+    assert serial.hot_blocks_scanned == parallel.hot_blocks_scanned
+    assert serial.blocks_pruned == parallel.blocks_pruned
+    return serial, parallel
+
+
+class TestScanEquivalence:
+    def test_fixed_varlen_and_nulls(self):
+        db, info, _ = build()
+        try:
+            serial, _ = assert_scan_equivalent(db, info)
+            assert serial.frozen_blocks_scanned >= 2
+        finally:
+            db.close()
+
+    def test_projection(self):
+        db, info, _ = build()
+        try:
+            for column_ids in ([0], [2], [1, 2]):
+                s = TableScanner(
+                    db.txn_manager, info.table, column_ids=column_ids
+                )
+                p = TableScanner(
+                    db.txn_manager,
+                    info.table,
+                    column_ids=column_ids,
+                    pool=db.parallel_pool,
+                )
+                s_rows = [
+                    tuple(tuple(b.pylist(c)) for c in column_ids)
+                    for b in s.batches()
+                ]
+                p_rows = [
+                    tuple(tuple(b.pylist(c)) for c in column_ids)
+                    for b in p.batches()
+                ]
+                assert s_rows == p_rows
+        finally:
+            db.close()
+
+    def test_selection_vectors_from_range_filters(self):
+        db, info, _ = build()
+        try:
+            serial, _ = assert_scan_equivalent(
+                db, info, range_filters={0: (200, 1000), 1: (10.0, 60.0)}
+            )
+            assert serial.blocks_pruned >= 1  # zone maps did prune
+        finally:
+            db.close()
+
+    def test_mixed_hot_and_frozen(self):
+        db, info, _ = build()
+        try:
+            with db.transaction() as txn:
+                for i in range(5000, 5200):
+                    info.table.insert(txn, {0: i, 1: 1.0, 2: "hot"})
+            serial, _ = assert_scan_equivalent(db, info)
+            assert serial.hot_blocks_scanned >= 1
+            assert serial.frozen_blocks_scanned >= 1
+        finally:
+            db.close()
+
+    def test_reheated_block_descriptor_is_ignored(self):
+        db, info, slots = build()
+        try:
+            # Updating reheats the first block: its descriptor's frozen_at
+            # no longer matches, so the parallel scan must serve that block
+            # in-process (the arena copy is stale).
+            with db.transaction() as txn:
+                info.table.update(txn, slots[0], {1: 12345.0})
+            assert_scan_equivalent(db, info)
+        finally:
+            db.close()
+
+    def test_refreeze_replaces_descriptor(self):
+        db, info, slots = build()
+        try:
+            with db.transaction() as txn:
+                info.table.update(txn, slots[0], {2: "rewritten"})
+            db.freeze_table("t")
+            serial, _ = assert_scan_equivalent(db, info)
+            assert serial.hot_blocks_scanned == 0
+        finally:
+            db.close()
+
+    def test_dictionary_blocks_stay_in_process(self):
+        db, info, _ = build(cold_format="dictionary")
+        try:
+            # Dictionary-compressed blocks never get a descriptor; the
+            # parallel scan serves them in-process and must still agree.
+            assert all(b.shm_descriptor is None for b in info.table.blocks)
+            assert_scan_equivalent(db, info)
+        finally:
+            db.close()
+
+    def test_concurrent_freeze_mid_scan(self):
+        db, info, _ = build(rows=1500)
+        try:
+            serial = TableScanner(db.txn_manager, info.table)
+            parallel = TableScanner(
+                db.txn_manager, info.table, pool=db.parallel_pool
+            )
+            s_iter, p_iter = serial.batches(), parallel.batches()
+            s_out = [next(s_iter)]
+            p_out = [next(p_iter)]  # both snapshots are now established
+            with db.transaction() as txn:
+                for i in range(9000, 9800):
+                    info.table.insert(txn, {0: i, 1: 2.0, 2: "late"})
+            db.freeze_table("t")  # grows the arena mid-scan
+            s_out.extend(s_iter)
+            p_out.extend(p_iter)
+            s_rows = [tuple(tuple(b.pylist(c)) for c in range(3)) for b in s_out]
+            p_rows = [tuple(tuple(b.pylist(c)) for c in range(3)) for b in p_out]
+            assert s_rows == p_rows
+        finally:
+            db.close()
+
+    def test_spawn_start_method(self):
+        db, info, _ = build(
+            rows=600, workers=2, parallel_start_method="spawn"
+        )
+        try:
+            assert db.parallel_pool.start_method == "spawn"
+            assert db.parallel_pool.warm(timeout=60.0)
+            assert_scan_equivalent(db, info)
+        finally:
+            db.close()
+
+
+class TestExportEquivalence:
+    def test_flight_stream_byte_identical(self):
+        db, info, _ = build()
+        try:
+            serial = export_stream(db.txn_manager, info.table)
+            parallel = export_stream(
+                db.txn_manager, info.table, pool=db.parallel_pool
+            )
+            assert serial.payload == parallel.payload
+            assert serial.batches == parallel.batches
+            assert serial.frozen_blocks == parallel.frozen_blocks
+            assert serial.materialized_blocks == parallel.materialized_blocks
+        finally:
+            db.close()
+
+    def test_flight_stream_mixed_hot_frozen_byte_identical(self):
+        db, info, _ = build()
+        try:
+            with db.transaction() as txn:
+                for i in range(7000, 7300):
+                    info.table.insert(txn, {0: i, 1: 3.5, 2: None})
+            serial = export_stream(db.txn_manager, info.table)
+            parallel = export_stream(
+                db.txn_manager, info.table, pool=db.parallel_pool
+            )
+            assert serial.payload == parallel.payload
+            assert parallel.materialized_blocks >= 1
+        finally:
+            db.close()
+
+    def test_exporter_flight_method_uses_pool(self):
+        from repro.export import TableExporter
+        from repro.export.flight import client_receive
+
+        db, info, _ = build()
+        try:
+            exporter = TableExporter(
+                db.txn_manager, info.table, pool=db.parallel_pool
+            )
+            result = exporter.export("flight")
+            assert result.rows == 1500
+            completed = db.obs.counter("parallel.tasks_completed_total").value
+            assert completed >= 1  # the pool really did the serialization
+            # And the client parses the parallel-produced stream.
+            serial = export_stream(db.txn_manager, info.table)
+            assert client_receive(serial.payload).num_rows == 1500
+        finally:
+            db.close()
+
+    def test_empty_table_exports_identically(self):
+        db, info, _ = build(rows=0, freeze=False)
+        try:
+            serial = export_stream(db.txn_manager, info.table)
+            parallel = export_stream(
+                db.txn_manager, info.table, pool=db.parallel_pool
+            )
+            assert serial.payload == parallel.payload
+        finally:
+            db.close()
+
+
+class TestBlockStoreIntegration:
+    def test_released_block_frees_its_arena_slot(self):
+        db, info, slots = build(rows=1500)
+        try:
+            used_before = db.obs.gauge("arena.slots_used").value
+            assert used_before > 0
+            # Delete everything; compaction empties blocks and the deferred
+            # GC releases them — each release must free its arena slot too.
+            with db.transaction() as txn:
+                for slot in slots:
+                    info.table.delete(txn, slot)
+            db.run_maintenance(passes=8)
+            assert db.block_store.freed_count > 0
+            assert db.obs.gauge("arena.slots_used").value < used_before
+        finally:
+            db.close()

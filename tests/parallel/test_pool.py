@@ -1,0 +1,174 @@
+"""Worker-pool lifecycle: dispatch, crash fallback, respawn, degradation."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.parallel.arena import shm_available
+from repro.parallel.pool import WorkerPool, default_start_method
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.stop()
+
+
+class TestLifecycle:
+    def test_lazy_start_and_warm(self, pool):
+        assert not pool.started
+        assert pool.warm()
+        assert pool.started
+        assert pool.alive_count() == 2
+
+    def test_stop_is_idempotent_and_restartable(self, pool):
+        assert pool.warm()
+        pids = set(pool.worker_pids())
+        pool.stop()
+        pool.stop()
+        assert pool.alive_count() == 0
+        assert pool.warm()  # restart spawns fresh workers
+        assert set(pool.worker_pids()).isdisjoint(pids)
+
+    def test_ping_round_trip(self, pool):
+        results = pool.run_fragments("ping", [(), (), ()])
+        assert results == ["pong", "pong", "pong"]
+
+
+class TestDegradation:
+    def test_unknown_kind_returns_none_per_fragment(self, pool):
+        reg_results = pool.run_fragments("no-such-kind", [(), ()])
+        assert reg_results == [None, None]
+        # The pool survives a poisoned fragment.
+        assert pool.run_fragments("ping", [()]) == ["pong"]
+
+    def test_worker_crash_mid_fragment_falls_back(self, pool):
+        assert pool.warm()
+        # "crash" makes the worker _exit(1) without answering; the dispatch
+        # loop must notice the dead worker and give the fragment back.
+        results = pool.run_fragments("crash", [()], timeout=10.0)
+        assert results == [None]
+        # The dead worker was respawned; the pool still works.
+        deadline = time.monotonic() + 5.0
+        while pool.alive_count() < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.alive_count() == 2
+        assert pool.run_fragments("ping", [()]) == ["pong"]
+
+    def test_sigkilled_worker_is_respawned(self, pool):
+        assert pool.warm()
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while victim in pool.worker_pids() and time.monotonic() < deadline:
+            pool.run_fragments("ping", [()], timeout=5.0)  # triggers reap
+            time.sleep(0.05)
+        assert victim not in pool.worker_pids()
+        assert pool.run_fragments("ping", [()]) == ["pong"]
+
+    def test_counters_track_dispatch_and_fallback(self):
+        reg = MetricRegistry()
+        pool = WorkerPool(2, registry=reg)
+        try:
+            assert pool.run_fragments("ping", [(), ()]) == ["pong", "pong"]
+            pool.run_fragments("no-such-kind", [()])
+            assert reg.counter("parallel.tasks_dispatched_total").value == 3
+            assert reg.counter("parallel.tasks_completed_total").value == 2
+            assert reg.counter("parallel.task_failures_total").value == 1
+            assert reg.counter("parallel.fallbacks_total").value == 1
+            assert reg.gauge("parallel.workers_configured").value == 2
+            assert reg.gauge("parallel.workers_alive").value == 2
+        finally:
+            pool.stop()
+
+
+class TestStartMethods:
+    def test_default_honors_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "spawn")
+        assert default_start_method() == "spawn"
+        monkeypatch.delenv("REPRO_PARALLEL_START_METHOD")
+        assert default_start_method() in ("fork", "spawn")
+
+    def test_spawn_method_round_trips(self):
+        pool = WorkerPool(1, start_method="spawn")
+        try:
+            assert pool.run_fragments("ping", [()], timeout=60.0) == ["pong"]
+        finally:
+            pool.stop()
+
+    def test_bogus_start_method_marks_pool_broken(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1, start_method="no-such-method")
+
+
+class TestScannerFallback:
+    """Parallel scans must answer correctly with the pool in any state."""
+
+    def _build(self, workers):
+        from repro import ColumnSpec, Database, INT64, UTF8
+
+        db = Database(
+            logging_enabled=False,
+            cold_threshold_epochs=1,
+            parallel_workers=workers,
+        )
+        info = db.create_table(
+            "t",
+            [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)],
+            block_size=1 << 13,
+            watch_cold=True,
+        )
+        with db.transaction() as txn:
+            for i in range(1200):
+                info.table.insert(txn, {0: i, 1: f"v-{i}"})
+        db.freeze_table("t")
+        return db, info
+
+    def _scan_ids(self, db, info, pool=None):
+        from repro.query.scan import TableScanner
+
+        scanner = TableScanner(db.txn_manager, info.table, pool=pool)
+        out = []
+        for batch in scanner.batches():
+            out.extend(batch.pylist(0))
+        return out
+
+    def test_disabled_pool_serves_serially(self):
+        db, info = self._build(workers=0)
+        try:
+            assert db.parallel_pool is None
+            assert self._scan_ids(db, info) == list(range(1200))
+        finally:
+            db.close()
+
+    def test_stopped_pool_falls_back_without_failing(self):
+        db, info = self._build(workers=2)
+        try:
+            pool = db.parallel_pool
+            assert pool.warm()
+            pool.stop()
+            pool._broken = True  # simulate an unstartable pool
+            assert self._scan_ids(db, info, pool=pool) == list(range(1200))
+        finally:
+            db.close()
+
+    def test_worker_killed_mid_query_query_still_answers(self):
+        db, info = self._build(workers=2)
+        try:
+            pool = db.parallel_pool
+            assert pool.warm()
+            # Kill every worker: all fragments come back None and the scan
+            # recomputes them in-process under its held pins.
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            assert self._scan_ids(db, info, pool=pool) == list(range(1200))
+        finally:
+            db.close()

@@ -196,3 +196,27 @@ class TestBlockStore:
         store.release(block)
         with pytest.raises(StorageError):
             store.release(block)
+
+    def test_double_release_counted_in_obs(self, layout):
+        from repro.obs.registry import MetricRegistry
+
+        reg = MetricRegistry()
+        store = BlockStore(registry=reg)
+        block = store.allocate(layout)
+        store.release(block)
+        for _ in range(2):
+            with pytest.raises(StorageError):
+                store.release(block)
+        assert reg.counter("storage.block_double_free_total").value == 2
+        assert store.freed_count == 1  # double frees never inflate the count
+
+    def test_stale_handle_cannot_free_recycled_id(self, layout):
+        store = BlockStore()
+        stale = store.allocate(layout)
+        store.release(stale)
+        # A new block may reuse storage but never the identity; releasing
+        # through the stale handle must not touch it.
+        fresh = store.allocate(layout)
+        with pytest.raises(StorageError):
+            store.release(stale)
+        assert store.get(fresh.block_id) is fresh
