@@ -1,0 +1,146 @@
+"""Ablation: cost of the cross-process telemetry relay on the parallel scan.
+
+The fig11 cold-scan path dispatches fragments to worker processes; with a
+registry attached, every fragment also carries a telemetry payload back —
+worker metric deltas, staged events, finished spans — which the
+coordinator merges into labeled series.  The relay is designed to ride
+piggyback on result messages the pool was already sending, so the whole
+plane must cost a few percent at most:
+
+* relay-on scan throughput ≥ 95% of relay-off (median of N trials,
+  interleaved so both configurations see the same machine noise);
+* the relay-on run must actually relay — nonzero worker-labeled counter
+  series after the measured interval — so the bench cannot silently
+  measure a disabled path.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import Recorder
+from repro.obs.registry import MetricRegistry
+from repro.parallel import WorkerPool
+from repro.parallel.arena import shm_available
+
+from conftest import publish, scaled
+from parallel_support import (
+    MIN_CORES_FOR_SPEEDUP_ASSERTS,
+    build_frozen_db,
+    measured_scan_rate,
+)
+from repro.bench.reporting import format_table
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+SCAN_ROWS = scaled(6000, minimum=2000)
+WORKERS = 2
+TRIALS = 5
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+def _one_trial(db, info, relay: bool) -> tuple[float, MetricRegistry | None]:
+    """One timed parallel scan sweep over a freshly warmed pool."""
+    registry = None
+    if relay:
+        registry = MetricRegistry()
+        pool = WorkerPool(
+            WORKERS,
+            registry=registry,
+            recorder=Recorder(registry=registry),
+            profile_workers=False,
+        )
+    else:
+        pool = WorkerPool(WORKERS)
+    try:
+        assert pool.warm(), "pool failed to warm"
+        measured_scan_rate(db, info, pool=pool, repeats=1)  # warm segments
+        rate = measured_scan_rate(db, info, pool=pool, repeats=3)
+    finally:
+        pool.stop()
+    return rate, registry
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    db, info = build_frozen_db(SCAN_ROWS)
+    try:
+        _one_trial(db, info, relay=True)  # warm allocator + import costs
+        rates = {True: [], False: []}
+        relayed: MetricRegistry | None = None
+        for _ in range(TRIALS):
+            for relay in (False, True):
+                rate, registry = _one_trial(db, info, relay)
+                rates[relay].append(rate)
+                if relay:
+                    relayed = registry
+    finally:
+        db.close()
+    # Median, not best-of: a lucky interval inflates the max, and on a
+    # shared machine that bias can point either way.
+    med = {k: statistics.median(v) for k, v in rates.items()}
+    return med, relayed
+
+
+def test_relay_overhead_under_five_percent(benchmark, measurements):
+    best, relayed = measurements
+
+    def run():
+        return {
+            "off_rows_s": best[False],
+            "on_rows_s": best[True],
+            "overhead": best[False] / best[True] - 1.0,
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_telemetry_relay",
+        format_table(
+            f"Ablation — telemetry relay overhead on the parallel scan "
+            f"({SCAN_ROWS} rows, {WORKERS} workers, median of {TRIALS})",
+            ["configuration", "scan rows/s", "overhead"],
+            [
+                ("relay off", f"{best[False]:,.0f}", "—"),
+                (
+                    "relay on",
+                    f"{best[True]:,.0f}",
+                    f"{stats['overhead'] * 100:+.1f}%",
+                ),
+            ],
+        ),
+    )
+    assert best[False] > 0 and best[True] > 0
+    # On a starved single-core container the interleaved trials are
+    # scheduler-noise dominated (both configurations fight the workers
+    # for the one core); the published table still documents whatever
+    # was measured, but the hard gate needs real cores to be meaningful.
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_SPEEDUP_ASSERTS:
+        assert stats["overhead"] < 0.05, (
+            f"relay-on scan was {stats['overhead'] * 100:.1f}% slower; "
+            "the per-fragment telemetry payload has regressed"
+        )
+
+
+def test_relay_actually_relayed(measurements):
+    """Guard: the measured relay-on runs produced worker-labeled series."""
+    _, relayed = measurements
+    assert relayed is not None
+    total = 0
+    for counter in relayed.series("parallel.fragment_blocks_total"):
+        assert counter.labels.get("process") == "worker"
+        assert counter.labels.get("worker_id") in {"0", "1"}
+        total += counter.value
+    assert total > 0, "no relayed worker counters after the measured scans"

@@ -44,6 +44,7 @@ from repro.errors import (
     TwoPhaseInDoubt,
 )
 from repro.fault.crashpoints import crash_point
+from repro.obs import trace
 from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import MetricRegistry
 from repro.txn.context import TxnState
@@ -170,70 +171,96 @@ class TwoPhaseCoordinator:
             for sid, txn in dtxn.participants.items()
             if not txn.is_read_only
         )
-        self.recorder.record(
-            "cluster.prepare", gid=gid, shards=[sid for sid, _ in participants]
-        )
+        # The whole protocol runs under one span (adopting any enclosing
+        # trace), and the journal events carry its trace id, so timelines
+        # and Chrome traces show coordinator + per-shard + relayed worker
+        # work as one causal tree.
+        with trace.span("cluster.2pc", gid=gid) as root_span:
+            ctx = trace.current_context()
+            trace_id = ctx.trace_id if ctx is not None else None
+            self.recorder.record(
+                "cluster.prepare", gid=gid,
+                shards=[sid for sid, _ in participants], trace_id=trace_id,
+            )
 
-        # ---- phase 1: prepare every participant, in shard order ---- #
-        reason: BaseException | None = None
-        for shard_id, txn in participants:
-            crash_point("coordinator.prepare")
-            self._m_prepares.inc()
-            try:
-                self.cluster.shards[shard_id].txn_manager.prepare(txn, gid)
-            except (TransactionAborted, DegradedError, OSError) as exc:
-                # The failing participant rolled itself back inside
-                # prepare; the rest are aborted below.
-                reason = exc
-                break
-            crash_point("participant.ack")
-
-        decision = DECISION_COMMIT if reason is None else DECISION_ABORT
-
-        # ---- decide: force commit decisions before phase 2 ---- #
-        crash_point("coordinator.decide")
-        if decision == DECISION_COMMIT:
-            try:
-                self.log.log_decision(gid, DECISION_COMMIT, force=True)
-            except TwoPhaseInDoubt:
-                # Cannot commit, cannot safely abort: hand the prepared
-                # participants to recovery.
-                self.recorder.record("cluster.decide", gid=gid, decision="in-doubt")
-                raise
-            except Exception as exc:
-                # The partial record was rewound, so no crash image can
-                # resurrect a commit decision: aborting is safe.
-                reason = exc
-                decision = DECISION_ABORT
-        if decision == DECISION_ABORT:
-            try:
-                self.log.log_decision(gid, DECISION_ABORT, force=False)
-            except Exception:
-                pass  # presumed abort: an unwritten abort record is fine
-        crash_point("coordinator.decide")
-        self.recorder.record(
-            "cluster.decide",
-            gid=gid,
-            decision="commit" if decision == DECISION_COMMIT else "abort",
-        )
-
-        # ---- phase 2: apply the decision on every participant ---- #
-        if decision == DECISION_COMMIT:
-            commit_ts = 0
+            # ---- phase 1: prepare every participant, in shard order ---- #
+            reason: BaseException | None = None
             for shard_id, txn in participants:
-                commit_ts = max(
-                    commit_ts,
-                    self.cluster.shards[shard_id].txn_manager.commit_prepared(txn),
-                )
-                crash_point("participant.ack")
-            self._m_commits.inc()
-            return commit_ts
+                with trace.span("cluster.2pc.prepare", shard=shard_id):
+                    crash_point("coordinator.prepare")
+                    self._m_prepares.inc()
+                    try:
+                        self.cluster.shards[shard_id].txn_manager.prepare(
+                            txn, gid
+                        )
+                    except (TransactionAborted, DegradedError, OSError) as exc:
+                        # The failing participant rolled itself back inside
+                        # prepare; the rest are aborted below.
+                        reason = exc
+                        break
+                    crash_point("participant.ack")
 
-        for shard_id, txn in participants:
-            if txn.state in (TxnState.ACTIVE, TxnState.PREPARED):
-                self.cluster.shards[shard_id].txn_manager.abort(txn)
-                crash_point("participant.ack")
-        self._m_aborts.inc()
-        raise CoordinationAbort(
-            f"distributed transaction {gid} aborted during 2PC: {reason!r}"
-        ) from reason
+            decision = DECISION_COMMIT if reason is None else DECISION_ABORT
+
+            # ---- decide: force commit decisions before phase 2 ---- #
+            with trace.span("cluster.2pc.decide") as decide_span:
+                crash_point("coordinator.decide")
+                if decision == DECISION_COMMIT:
+                    try:
+                        self.log.log_decision(gid, DECISION_COMMIT, force=True)
+                    except TwoPhaseInDoubt:
+                        # Cannot commit, cannot safely abort: hand the
+                        # prepared participants to recovery.
+                        decide_span.set_attr("decision", "in-doubt")
+                        self.recorder.record(
+                            "cluster.decide", gid=gid, decision="in-doubt",
+                            trace_id=trace_id,
+                        )
+                        raise
+                    except Exception as exc:
+                        # The partial record was rewound, so no crash image
+                        # can resurrect a commit decision: aborting is safe.
+                        reason = exc
+                        decision = DECISION_ABORT
+                if decision == DECISION_ABORT:
+                    try:
+                        self.log.log_decision(gid, DECISION_ABORT, force=False)
+                    except Exception:
+                        pass  # presumed abort: unwritten abort record is fine
+                crash_point("coordinator.decide")
+                decided = (
+                    "commit" if decision == DECISION_COMMIT else "abort"
+                )
+                decide_span.set_attr("decision", decided)
+                self.recorder.record(
+                    "cluster.decide", gid=gid, decision=decided,
+                    trace_id=trace_id,
+                )
+
+            # ---- phase 2: apply the decision on every participant ---- #
+            if decision == DECISION_COMMIT:
+                commit_ts = 0
+                for shard_id, txn in participants:
+                    with trace.span(
+                        "cluster.2pc.commit_prepared", shard=shard_id
+                    ):
+                        commit_ts = max(
+                            commit_ts,
+                            self.cluster.shards[
+                                shard_id
+                            ].txn_manager.commit_prepared(txn),
+                        )
+                        crash_point("participant.ack")
+                self._m_commits.inc()
+                return commit_ts
+
+            root_span.set_attr("aborted", True)
+            for shard_id, txn in participants:
+                if txn.state in (TxnState.ACTIVE, TxnState.PREPARED):
+                    with trace.span("cluster.2pc.abort", shard=shard_id):
+                        self.cluster.shards[shard_id].txn_manager.abort(txn)
+                        crash_point("participant.ack")
+            self._m_aborts.inc()
+            raise CoordinationAbort(
+                f"distributed transaction {gid} aborted during 2PC: {reason!r}"
+            ) from reason

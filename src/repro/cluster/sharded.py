@@ -467,32 +467,36 @@ class ShardedDatabase:
             self._register_shard_gauges(i, shard)
 
     def _register_shard_gauges(self, shard_id: int, shard: Database) -> None:
-        """Per-shard health/load gauges, labelled by name suffix."""
-        prefix = f"cluster.shard.{shard_id}"
+        """Per-shard health/load gauges, one labelled series per shard."""
+        labels = {"shard": str(shard_id)}
         reg = self.obs
         reg.gauge(
-            f"{prefix}.healthy",
+            "cluster.shard.healthy",
             "1 while this shard accepts writes",
             callback=lambda: 0.0 if shard.degraded else 1.0,
+            labels=labels,
         )
         reg.gauge(
-            f"{prefix}.txns_active",
+            "cluster.shard.txns_active",
             "in-flight transactions on this shard",
             callback=lambda: shard.txn_manager.active_count,
+            labels=labels,
         )
         reg.gauge(
-            f"{prefix}.wal_pending",
+            "cluster.shard.wal_pending",
             "this shard's flush-queue depth",
             callback=lambda: (
                 shard.log_manager.pending_count
                 if shard.log_manager is not None
                 else 0
             ),
+            labels=labels,
         )
         reg.gauge(
-            f"{prefix}.live_tuples",
+            "cluster.shard.live_tuples",
             "visible tuples on this shard",
             callback=shard._live_tuple_count,
+            labels=labels,
         )
 
     # ------------------------------------------------------------------ #
@@ -686,6 +690,23 @@ class ShardedDatabase:
                 f"shard {first} degraded: "
                 f"{self.shards[first].txn_manager.degraded_reason}"
             )
+        # Roll the per-shard worker-pool liveness sections up into one
+        # cluster-wide view (None when no shard has started a pool).
+        pools = [s["workers"] for s in shards.values() if s.get("workers")]
+        workers = None
+        if pools:
+            ages = [
+                p["oldest_outstanding_age_seconds"]
+                for p in pools
+                if p["oldest_outstanding_age_seconds"] is not None
+            ]
+            workers = {
+                "configured": sum(p["configured"] for p in pools),
+                "alive": sum(p["alive"] for p in pools),
+                "restarts": sum(p["restarts"] for p in pools),
+                "outstanding_tasks": sum(p["outstanding_tasks"] for p in pools),
+                "oldest_outstanding_age_seconds": max(ages) if ages else None,
+            }
         return {
             "status": "degraded" if self.degraded else "ok",
             "degraded_reason": reason,
@@ -699,6 +720,7 @@ class ShardedDatabase:
                 "in_doubt_resolved": dict(self.indoubt_resolved),
             },
             "wal": None,
+            "workers": workers,
         }
 
     def timeline(self, txn_id: int) -> dict:

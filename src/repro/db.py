@@ -367,6 +367,7 @@ class Database:
                 self._parallel_workers,
                 start_method=self._parallel_start_method,
                 registry=self.obs,
+                recorder=self.recorder,
             )
         return self._parallel_pool
 
@@ -416,6 +417,12 @@ class Database:
         fsync (``None`` until the first one) — the two numbers that say
         how far behind the log is, also scrapeable as the ``wal.pending``
         and ``wal.last_fsync_age_seconds`` gauges.
+
+        The ``workers`` section (``None`` unless a parallel pool has been
+        started) reports pool liveness: workers configured/alive, how many
+        crashed and were respawned, and the age of the oldest task still
+        outstanding — the number that catches a wedged worker before its
+        queue does.
         """
         wal = None
         if self.log_manager is not None:
@@ -429,10 +436,18 @@ class Database:
                 "last_fsync_age_seconds": lm.last_fsync_age_seconds,
                 "degraded_reason": lm.degraded_reason,
             }
+        # Deliberately self._parallel_pool, not the lazy property: a
+        # health probe must not spawn worker processes as a side effect.
+        workers = (
+            self._parallel_pool.liveness()
+            if self._parallel_pool is not None
+            else None
+        )
         return {
             "status": "degraded" if self.degraded else "ok",
             "degraded_reason": self.txn_manager.degraded_reason,
             "wal": wal,
+            "workers": workers,
         }
 
     # ------------------------------------------------------------------ #

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.arrowfmt import ipc
 from repro.arrowfmt.table import RecordBatch, Table
+from repro.obs import trace
 from repro.storage.constants import BlockState
 from repro.transform.arrow_view import block_to_record_batch, table_schema
 from repro.transform.transformer import snapshot_transform
@@ -108,9 +109,10 @@ def export_stream(
             workers = max(1, getattr(pool, "num_workers", 1))
             size = max(1, -(-len(jobs) // (2 * workers)))
             fragments = [jobs[i : i + size] for i in range(0, len(jobs), size)]
-            answers = pool.run_fragments(
-                "serialize", [([d for _, d in frag],) for frag in fragments]
-            )
+            with trace.span("export.parallel_dispatch", fragments=len(fragments)):
+                answers = pool.run_fragments(
+                    "serialize", [([d for _, d in frag],) for frag in fragments]
+                )
             for fragment, answer in zip(fragments, answers):
                 if answer is None:
                     continue  # fallback: encoded in-process below

@@ -15,7 +15,13 @@ generalized):
   log, and Chrome-trace export,
 - :mod:`repro.obs.server` — the stdlib HTTP monitoring server behind
   ``db.serve_obs(port)`` (``/metrics``, ``/healthz``, ``/varz``,
-  ``/events``, ``/timeline/<txn_id>``).
+  ``/events``, ``/timeline/<txn_id>``, ``/pprof``),
+- :mod:`repro.obs.relay` — the cross-process telemetry relay: worker
+  processes run their own registry/tracer/staging buffer and ship deltas
+  back on the result queues, with shared-memory staged-event accounting
+  so drops stay exact even through SIGKILL,
+- :mod:`repro.obs.profiler` — a stdlib wall-clock sampling profiler
+  (``sys._current_frames()``) rendering collapsed flamegraph stacks.
 
 Quick tour::
 
@@ -43,6 +49,7 @@ from __future__ import annotations
 
 from repro.obs import trace as trace
 from repro.obs.expo import render_json, render_prometheus, snapshot
+from repro.obs.profiler import SamplingProfiler, render_collapsed
 from repro.obs.recorder import (
     Event,
     Recorder,
@@ -59,7 +66,17 @@ from repro.obs.registry import (
     HistogramSnapshot,
     MetricRegistry,
 )
-from repro.obs.trace import Span, SpanSummary, Tracer, get_tracer, span
+from repro.obs.relay import TelemetryRelay, WorkerTelemetry
+from repro.obs.trace import (
+    Span,
+    SpanSummary,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    get_tracer,
+    span,
+)
 
 #: Process-default registry for callers without a Database in hand.
 _DEFAULT_REGISTRY = MetricRegistry()
@@ -108,15 +125,22 @@ __all__ = [
     "HistogramSnapshot",
     "MetricRegistry",
     "Recorder",
+    "SamplingProfiler",
     "Span",
     "SpanSummary",
+    "TelemetryRelay",
+    "TraceContext",
     "Tracer",
+    "WorkerTelemetry",
+    "activate",
     "configure",
+    "current_context",
     "get_recorder",
     "get_registry",
     "get_tracer",
     "is_enabled",
     "render_chrome_trace",
+    "render_collapsed",
     "render_json",
     "render_prometheus",
     "snapshot",

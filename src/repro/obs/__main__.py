@@ -14,7 +14,11 @@ Two subcommands:
     live, scrape ``/metrics`` / ``/healthz`` / ``/varz`` / ``/events``
     over real HTTP, validate every payload parses (Prometheus line format
     and JSON), reconstruct a committed transaction's timeline, and write
-    a Chrome-trace artifact.  Exits non-zero on any failed check.
+    a Chrome-trace artifact.  A second phase boots a two-shard cluster
+    with two parallel workers per shard, scrapes ``/metrics`` and
+    ``/pprof`` while a parallel scan and cross-shard commits are in
+    flight, and writes the merged cross-process Chrome trace
+    (``--cluster-trace-out``).  Exits non-zero on any failed check.
 """
 
 from __future__ import annotations
@@ -180,11 +184,143 @@ def _smoke(args: argparse.Namespace) -> int:
 
     server.stop()
     db.close()
+
+    _smoke_cluster(args, failures)
+
     if failures:
         print(f"\nsmoke FAILED: {failures}")
         return 1
     print("\nsmoke ok")
     return 0
+
+
+def _smoke_cluster(args: argparse.Namespace, failures: list[str]) -> None:
+    """Phase two: cross-process telemetry on a sharded, parallel engine.
+
+    Scrapes ``/metrics`` and ``/pprof`` while a two-worker parallel scan
+    and cross-shard 2PC commits are both in flight, then validates the
+    merged Chrome trace spans coordinator, shards, and worker processes.
+    """
+    from repro import obs
+    from repro.cluster import ShardedDatabase
+    from repro.obs.relay import HAVE_SHARED_MEMORY
+    from repro.query.scan import TableScanner
+    from repro.workloads.tpcc import TpccConfig, TpccDriver
+    from repro.workloads.tpcc.schema import TPCC_SHARD_KEYS
+    from repro.workloads.tpcc.transactions import TpccTransactions
+
+    if not HAVE_SHARED_MEMORY:
+        print("cluster phase skipped: no multiprocessing.shared_memory")
+        return
+
+    print("\ncluster phase: 2 shards x 2 workers ...")
+    config = TpccConfig(
+        warehouses=2,
+        districts_per_warehouse=2,
+        customers_per_district=12,
+        items=80,
+        initial_orders_per_district=8,
+        stock_per_warehouse=60,
+        payment_remote_rate=1.0,
+        block_size=1 << 12,
+    )
+    cluster = ShardedDatabase(
+        n_shards=2,
+        shard_keys=TPCC_SHARD_KEYS,
+        cold_threshold_epochs=1,
+        parallel_workers=2,
+        logging_enabled=False,
+    )
+    TpccDriver(cluster, config).setup()
+    shard = cluster.shards[0]
+    shard.freeze_table("stock")
+    stock = shard.catalog.table("stock")
+    shard_server = shard.serve_obs(port=0)
+
+    stop = threading.Event()
+    totals = {"payments": 0, "rows": 0}
+
+    def churn() -> None:
+        executor = TpccTransactions(cluster, config, seed=11)
+        with obs.span("smoke.cluster"):
+            while not stop.is_set():
+                if executor.payment(1):
+                    totals["payments"] += 1
+                scanner = TableScanner(
+                    shard.txn_manager, stock, pool=shard.parallel_pool
+                )
+                totals["rows"] += sum(b.num_rows for b in scanner.batches())
+
+    worker = threading.Thread(target=churn, name="cluster-churn")
+    worker.start()
+    time.sleep(0.3)  # let commits and fragments land before scraping
+
+    # --- scrapes while scans + 2PC commits are in flight --------------- #
+    status, prom = _fetch(f"{shard_server.url}/metrics")
+    worker_lines = [
+        line
+        for line in prom.splitlines()
+        if 'process="worker"' in line and not line.startswith("#")
+    ]
+    nonzero = [
+        line
+        for line in worker_lines
+        if line.startswith("parallel_fragment_blocks_total")
+        and float(line.rsplit(" ", 1)[1]) > 0
+    ]
+    _check(
+        status == 200 and bool(nonzero),
+        f"shard /metrics has nonzero worker-labeled series ({len(worker_lines)} lines)",
+        failures,
+    )
+
+    status, pprof = _fetch(f"{shard_server.url}/pprof?seconds=1&interval=5")
+    folded = [line for line in pprof.splitlines() if line]
+    _check(
+        status == 200
+        and all(line.rsplit(" ", 1)[1].isdigit() for line in folded),
+        f"/pprof returns collapsed stacks ({len(folded)} frames)",
+        failures,
+    )
+
+    stop.set()
+    worker.join()
+    _check(totals["payments"] > 0, "cross-shard payments committed", failures)
+    _check(totals["rows"] > 0, "parallel scans returned rows", failures)
+
+    health = cluster.health()
+    workers = health.get("workers")
+    _check(
+        workers is not None and workers["alive"] >= 2,
+        "cluster health reports live worker pools",
+        failures,
+    )
+
+    trace_json = obs.render_chrome_trace(cluster.recorder)
+    parsed = json.loads(trace_json)
+    names = {e["name"] for e in parsed["traceEvents"] if e["ph"] == "X"}
+    procs = {
+        e["args"]["name"]
+        for e in parsed["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    _check(
+        "cluster.2pc" in names and "cluster.2pc.prepare" in names,
+        "merged trace has coordinator + participant 2PC spans",
+        failures,
+    )
+    _check(
+        "parallel.scan_fragment" in names and bool(procs & {"worker0", "worker1"}),
+        "merged trace has worker-process spans on worker tracks",
+        failures,
+    )
+    if args.cluster_trace_out:
+        with open(args.cluster_trace_out, "w") as fh:
+            fh.write(trace_json)
+        print(f"cluster chrome trace written to {args.cluster_trace_out}")
+
+    shard.stop_serving_obs()
+    cluster.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -208,6 +344,11 @@ def main(argv: list[str] | None = None) -> int:
     smoke.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     smoke.add_argument("--txns", type=int, default=300)
     smoke.add_argument("--trace-out", default=None, help="write Chrome trace JSON here")
+    smoke.add_argument(
+        "--cluster-trace-out",
+        default=None,
+        help="write the cluster phase's merged cross-process Chrome trace here",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "serve":

@@ -1,19 +1,21 @@
 """Exposition: Prometheus text format and a stable JSON snapshot.
 
 Both renderers walk a :class:`~repro.obs.registry.MetricRegistry` in
-name-sorted order, so output is deterministic and diffable.  Dotted metric
-names become underscored in Prometheus (``txn.commit_seconds`` →
+family-sorted order, so output is deterministic and diffable.  Dotted
+metric names become underscored in Prometheus (``txn.commit_seconds`` →
 ``txn_commit_seconds``); histograms expand to the standard
 ``_bucket{le=...}`` / ``_sum`` / ``_count`` family.
 
 The Prometheus renderer follows the text-format spec (v0.0.4) to the
 letter — ``# HELP`` / ``# TYPE`` exactly once per family with HELP first,
-HELP text escaped (``\\`` and newlines), exactly one terminal
-``le="+Inf"`` bucket whose value equals ``_count`` — and
-``tests/obs/test_expo.py`` holds a line-level conformance test against
-it.  Dotted names that sanitize to an already-emitted family (possible
-only through adversarial naming) are skipped rather than emitting a
-duplicate family.
+all series of a family contiguous under that one block (labeled series —
+``process``/``worker_id``/``shard`` from the cross-process telemetry
+relay — are just extra samples of the family), HELP text and label values
+escaped, exactly one terminal ``le="+Inf"`` bucket per series whose value
+equals that series' ``_count`` — and ``tests/obs/test_expo.py`` holds a
+line-level conformance test against it.  Dotted names that sanitize to an
+already-emitted family of a *different* dotted name (possible only through
+adversarial naming) are skipped rather than emitting a duplicate family.
 """
 
 from __future__ import annotations
@@ -22,7 +24,13 @@ import json
 import math
 from typing import Any
 
-from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    label_suffix,
+)
 
 
 def _prom_name(name: str) -> str:
@@ -52,34 +60,68 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _escape_label(value: str) -> str:
+    """Label values per the spec: escape backslash, quote, line feed."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_body(labels: dict[str, str]) -> str:
+    """``k1="v1",k2="v2"`` (sorted, escaped) — no braces, composable
+    with an extra ``le`` for histogram buckets."""
+    return ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+
+
+def _labeled(name: str, labels: dict[str, str]) -> str:
+    body = _label_body(labels)
+    return f"{name}{{{body}}}" if body else name
+
+
 def render_prometheus(registry: MetricRegistry) -> str:
     """The registry in Prometheus text exposition format (v0.0.4)."""
     lines: list[str] = []
-    emitted: set[str] = set()
+    emitted: dict[str, str] = {}  # prometheus family -> dotted source name
     for instrument in registry:
         name = _prom_name(instrument.name)
-        if name in emitted:
+        owner = emitted.get(name)
+        if owner is None:
+            # First series of the family: one HELP/TYPE block.  Registry
+            # iteration is family-contiguous, so every further series of
+            # this dotted name lands right below.
+            emitted[name] = instrument.name
+            if instrument.help:
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+            elif isinstance(instrument, Histogram):
+                lines.append(f"# TYPE {name} histogram")
+        elif owner != instrument.name:
             # Two dotted names sanitized to one family; a second HELP/TYPE
-            # block would be malformed, so only the first instrument wins.
+            # block would be malformed, so only the first dotted name wins.
             continue
-        emitted.add(name)
-        if instrument.help:
-            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
-        if isinstance(instrument, Counter):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_prom_value(instrument.value)}")
-        elif isinstance(instrument, Gauge):
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_prom_value(instrument.value)}")
+        labels = instrument.labels
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(
+                f"{_labeled(name, labels)} {_prom_value(instrument.value)}"
+            )
         elif isinstance(instrument, Histogram):
             snap = instrument.snapshot()
-            lines.append(f"# TYPE {name} histogram")
+            body = _label_body(labels)
+            prefix = body + "," if body else ""
             for bound, cumulative in snap.cumulative():
                 lines.append(
-                    f'{name}_bucket{{le="{_prom_bound(bound)}"}} {cumulative}'
+                    f'{name}_bucket{{{prefix}le="{_prom_bound(bound)}"}} '
+                    f"{cumulative}"
                 )
-            lines.append(f"{name}_sum {_prom_value(snap.sum)}")
-            lines.append(f"{name}_count {snap.count}")
+            lines.append(
+                f"{_labeled(name + '_sum', labels)} {_prom_value(snap.sum)}"
+            )
+            lines.append(f"{_labeled(name + '_count', labels)} {snap.count}")
     return "\n".join(lines) + "\n"
 
 
@@ -93,21 +135,24 @@ def snapshot(registry: MetricRegistry) -> dict[str, Any]:
          "histograms": {name: {"buckets": [[le, count], ...],
                                "sum": float, "count": int}}}
 
-    Bucket counts are per-bucket (non-cumulative); the final bucket's
-    ``le`` is ``"+Inf"``.
+    Labeled series are keyed ``name{k="v",...}`` (canonical sorted label
+    order); unlabeled series keep their bare name, so pre-label consumers
+    see an unchanged shape.  Bucket counts are per-bucket
+    (non-cumulative); the final bucket's ``le`` is ``"+Inf"``.
     """
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, Any] = {}
     for instrument in registry:
+        key = instrument.name + label_suffix(instrument.labels)
         if isinstance(instrument, Counter):
-            counters[instrument.name] = instrument.value
+            counters[key] = instrument.value
         elif isinstance(instrument, Gauge):
-            gauges[instrument.name] = instrument.value
+            gauges[key] = instrument.value
         elif isinstance(instrument, Histogram):
             snap = instrument.snapshot()
             bounds = [_prom_bound(b) for b in snap.bounds] + ["+Inf"]
-            histograms[instrument.name] = {
+            histograms[key] = {
                 "buckets": [[le, count] for le, count in zip(bounds, snap.counts)],
                 "sum": snap.sum,
                 "count": snap.count,

@@ -60,7 +60,9 @@ class Event:
     payload (batch sizes, heat statistics, error strings, ...).
     """
 
-    __slots__ = ("seq", "ts", "kind", "thread", "txn_id", "block_id", "attrs")
+    __slots__ = (
+        "seq", "ts", "kind", "thread", "txn_id", "block_id", "attrs", "process",
+    )
 
     def __init__(
         self,
@@ -71,6 +73,7 @@ class Event:
         txn_id: int | None,
         block_id: int | None,
         attrs: dict[str, Any] | None,
+        process: str | None = None,
     ) -> None:
         self.seq = seq
         self.ts = ts
@@ -79,6 +82,9 @@ class Event:
         self.txn_id = txn_id
         self.block_id = block_id
         self.attrs = attrs
+        #: Which process emitted this (``None`` = the coordinator); relayed
+        #: worker events carry ``"worker<i>"`` so forensics stay attributable.
+        self.process = process
 
     @property
     def component(self) -> str:
@@ -97,6 +103,8 @@ class Event:
             out["txn_id"] = self.txn_id
         if self.block_id is not None:
             out["block_id"] = self.block_id
+        if self.process is not None:
+            out["process"] = self.process
         if self.attrs:
             out["attrs"] = self.attrs
         return out
@@ -161,6 +169,9 @@ class Recorder:
         #: renderers can map monotonic timestamps to calendar time.
         self.wall_base = (time.time(), perf_counter())
         self._slow_log: deque[dict[str, Any]] = deque(maxlen=slow_log_capacity)
+        #: Optional live :class:`~repro.obs.profiler.SamplingProfiler`; when
+        #: set, slow-transaction captures get ``top_stack`` attribution.
+        self.profiler = None
         self._registry = registry
         self._m_dropped: Counter | None = None
         if registry is not None:
@@ -234,6 +245,30 @@ class Recorder:
             ring.extend(staged)
             buf.events.clear()
 
+    def ingest(self, events: list[Event]) -> None:
+        """Merge externally built events (the telemetry relay's worker
+        batches) into the ring, re-sequencing them in arrival order.
+
+        Timestamps must already be on this process's ``perf_counter`` axis
+        (the relay clock-aligns before calling).  The same capacity and
+        drop-accounting rules apply as for locally recorded events.
+        """
+        if not events:
+            return
+        with self._lock:
+            for event in events:
+                event.seq = next(self._seq)
+            ring = self._ring
+            overflow = len(ring) + len(events) - self.capacity
+            if overflow > 0:
+                evict = min(overflow, len(ring))
+                for _ in range(evict):
+                    ring.popleft()
+                if len(events) > self.capacity:
+                    events = events[-self.capacity:]
+                self._dropped_counter().inc(overflow)
+            ring.extend(events)
+
     def _dropped_counter(self) -> Counter:
         if self._m_dropped is None:
             if self._registry is None:
@@ -245,6 +280,16 @@ class Recorder:
                 "journal events evicted from the ring under pressure",
             )
         return self._m_dropped
+
+    def count_dropped(self, count: int) -> None:
+        """Fold externally lost events into ``obs.events_dropped_total``.
+
+        The telemetry relay calls this when a worker dies with staged
+        events it never shipped: those events are journal losses exactly
+        like ring evictions, and the drop counter must say so.
+        """
+        if count > 0:
+            self._dropped_counter().inc(count)
 
     @property
     def events_dropped(self) -> int:
@@ -381,20 +426,33 @@ class Recorder:
             tracer = get_tracer()
         end_ts = ended.ts if ended is not None else float("inf")
         threads = {e.thread for e in events}
+        # Events that ran under a propagated trace (2PC, parallel
+        # fragments) carry the trace id; spans sharing it are causally
+        # part of this transaction even on other threads/processes.
+        trace_ids = {
+            e.attrs["trace_id"]
+            for e in events
+            if e.attrs and e.attrs.get("trace_id") is not None
+        }
         out = []
         for span in tracer.spans():
-            if span.thread in threads and span.start < end_ts and (
+            by_thread = span.thread in threads and span.start < end_ts and (
                 span.start + span.duration > began.ts
-            ):
-                out.append(
-                    {
-                        "name": span.name,
-                        "start": span.start,
-                        "duration_seconds": span.duration,
-                        "self_seconds": span.self_seconds,
-                        "thread": span.thread,
-                    }
-                )
+            )
+            by_trace = span.trace_id is not None and span.trace_id in trace_ids
+            if by_thread or by_trace:
+                entry = {
+                    "name": span.name,
+                    "start": span.start,
+                    "duration_seconds": span.duration,
+                    "self_seconds": span.self_seconds,
+                    "thread": span.thread,
+                }
+                if span.trace_id is not None:
+                    entry["trace_id"] = span.trace_id
+                if span.process is not None:
+                    entry["process"] = span.process
+                out.append(entry)
         return out
 
     # ------------------------------------------------------------------ #
@@ -412,6 +470,11 @@ class Recorder:
         entry = self.timeline(txn_id)
         entry["captured_status"] = status
         entry["captured_duration_seconds"] = duration
+        profiler = self.profiler
+        if profiler is not None and profiler.running:
+            top = profiler.top_of_stack(threading.current_thread().name)
+            if top is not None:
+                entry["top_stack"] = top
         self._slow_log.append(entry)
 
     def slow_transactions(self) -> list[dict[str, Any]]:
@@ -467,8 +530,13 @@ def render_chrome_trace(
 
     Spans become complete (``ph: "X"``) slices; journal events become
     thread-scoped instants (``ph: "i"``).  Timestamps are microseconds on
-    the shared ``perf_counter`` axis, so the two interleave correctly.
-    Load the output in ``chrome://tracing`` or https://ui.perfetto.dev.
+    the shared ``perf_counter`` axis, so the two interleave correctly —
+    relayed worker records were clock-aligned onto that axis at merge time
+    and carry a ``process`` tag, so each worker process renders as its own
+    Perfetto process track (the coordinator is pid 1).  Span slices carry
+    ``trace_id``/``span_id``/``parent_id`` in ``args``, so one distributed
+    transaction is greppable across every track.  Load the output in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
     """
     if recorder is None:
         recorder = get_recorder()
@@ -482,29 +550,45 @@ def render_chrome_trace(
         [e.ts for e in events] + [s.start for s in spans],
         default=recorder.wall_base[1],
     )
-    tids: dict[str, int] = {}
+    pids: dict[str, int] = {"coordinator": 1}
+    tids: dict[tuple[int, str], int] = {}
 
-    def tid(thread: str) -> int:
-        if thread not in tids:
-            tids[thread] = len(tids) + 1
-        return tids[thread]
+    def pid(process: str | None) -> int:
+        key = process or "coordinator"
+        if key not in pids:
+            pids[key] = len(pids) + 1
+        return pids[key]
+
+    def tid(process: str | None, thread: str) -> int:
+        key = (pid(process), thread)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+        return tids[key]
 
     trace_events: list[dict[str, Any]] = []
     for span in spans:
+        args: dict[str, Any] = {"self_seconds": span.self_seconds}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.attrs:
+            args.update(span.attrs)
         trace_events.append(
             {
                 "ph": "X",
                 "name": span.name,
                 "cat": span.name.partition(".")[0],
-                "pid": 1,
-                "tid": tid(span.thread),
+                "pid": pid(span.process),
+                "tid": tid(span.process, span.thread),
                 "ts": (span.start - base) * 1e6,
                 "dur": span.duration * 1e6,
-                "args": {"self_seconds": span.self_seconds},
+                "args": args,
             }
         )
     for event in events:
-        args: dict[str, Any] = dict(event.attrs or {})
+        args = dict(event.attrs or {})
         if event.txn_id is not None:
             args["txn_id"] = event.txn_id
         if event.block_id is not None:
@@ -514,20 +598,30 @@ def render_chrome_trace(
                 "ph": "i",
                 "name": event.kind,
                 "cat": event.component,
-                "pid": 1,
-                "tid": tid(event.thread),
+                "pid": pid(event.process),
+                "tid": tid(event.process, event.thread),
                 "ts": (event.ts - base) * 1e6,
                 "s": "t",
                 "args": args,
             }
         )
-    for thread, mapped in tids.items():
+    for process, mapped_pid in pids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": mapped_pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    for (mapped_pid, thread), mapped_tid in tids.items():
         trace_events.append(
             {
                 "ph": "M",
                 "name": "thread_name",
-                "pid": 1,
-                "tid": mapped,
+                "pid": mapped_pid,
+                "tid": mapped_tid,
                 "args": {"name": thread},
             }
         )

@@ -16,6 +16,14 @@ branch, measured by ``benchmarks/bench_ablation_obs_overhead.py``.
 Naming convention (enforced): ``<component>.<event>[_seconds|_bytes|_total]``
 — e.g. ``txn.commit_seconds``, ``wal.written_bytes``, ``gc.pass_total``.
 Dots become underscores in the Prometheus exposition.
+
+Instruments may carry **labels** (``registry.counter("parallel.tasks_total",
+labels={"worker_id": "0"})``): each distinct label set is its own series
+with its own shards, all series of a name form one *family* (same kind,
+same exposition HELP/TYPE block), and the registry keys series by
+``name + canonical-label-suffix`` so unlabeled lookups are untouched.
+This is how relayed worker/shard telemetry stays attributable
+(``process``/``worker_id``/``shard``) without inventing per-worker names.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import math
 import re
 import threading
 from bisect import bisect_left
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 
 class _ObsState:
@@ -40,6 +48,7 @@ class _ObsState:
 STATE = _ObsState()
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_LABEL_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
 
 #: Latency buckets in seconds: 1 µs → 10 s, roughly logarithmic.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -63,6 +72,33 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _check_labels(labels: Mapping[str, Any] | None) -> dict[str, str]:
+    """Normalise ``labels`` to a plain ``{str: str}`` dict (sorted keys)."""
+    if not labels:
+        return {}
+    out: dict[str, str] = {}
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(str(key)):
+            raise ValueError(
+                f"invalid label name {key!r}; use lowercase letters, "
+                "digits, and underscores"
+            )
+        out[str(key)] = str(labels[key])
+    return out
+
+
+def label_suffix(labels: Mapping[str, str] | None) -> str:
+    """Canonical series suffix: ``{k="v",...}`` with sorted keys, or ``""``.
+
+    Used as part of the registry key and in JSON snapshots; the Prometheus
+    exposition rebuilds (and escapes) its own label string from the dict.
+    """
+    if not labels:
+        return ""
+    parts = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + parts + "}"
+
+
 class Counter:
     """A monotonically increasing count, sharded per thread.
 
@@ -72,11 +108,15 @@ class Counter:
     contribution remains correct forever).
     """
 
-    __slots__ = ("name", "help", "_local", "_shards", "_lock")
+    __slots__ = ("name", "help", "labels", "_local", "_shards", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._local = threading.local()
         self._shards: list[list[float]] = []
         self._lock = threading.Lock()
@@ -114,13 +154,16 @@ class Gauge:
     zero write-path cost.
     """
 
-    __slots__ = ("name", "help", "callback", "_value")
+    __slots__ = ("name", "help", "labels", "callback", "_value")
 
     def __init__(
-        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+        self, name: str, help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: Mapping[str, str] | None = None,
     ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self.callback = callback
         self._value = 0.0
 
@@ -185,16 +228,18 @@ class Histogram:
     writes — no allocation after a thread's first observation.
     """
 
-    __slots__ = ("name", "help", "_bounds", "_local", "_shards", "_lock")
+    __slots__ = ("name", "help", "labels", "_bounds", "_local", "_shards", "_lock")
 
     def __init__(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Mapping[str, str] | None = None,
     ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds or list(bounds) != sorted(set(bounds)):
             raise ValueError("histogram buckets must be sorted, unique, non-empty")
@@ -214,19 +259,38 @@ class Histogram:
     def bounds(self) -> tuple[float, ...]:
         return self._bounds
 
-    def observe(self, value: float) -> None:
-        """Record one sample; values above the last bound go to +Inf."""
-        if not STATE.enabled:
-            return
+    def _shard(self) -> _HistogramShard:
         try:
-            shard = self._local.shard
+            return self._local.shard
         except AttributeError:
             shard = _HistogramShard(len(self._bounds) + 1)
             with self._lock:
                 self._shards.append(shard)
             self._local.shard = shard
+            return shard
+
+    def observe(self, value: float) -> None:
+        """Record one sample; values above the last bound go to +Inf."""
+        if not STATE.enabled:
+            return
+        shard = self._shard()
         shard.counts[bisect_left(self._bounds, value)] += 1
         shard.total += value
+
+    def merge_counts(self, counts: Sequence[int], total: float) -> None:
+        """Fold pre-binned counts in (telemetry relay: worker deltas).
+
+        ``counts`` must come from a histogram with the same bounds; a
+        longer vector (bounds drift) folds the excess into +Inf rather
+        than dropping samples.
+        """
+        if not STATE.enabled:
+            return
+        shard = self._shard()
+        last = len(shard.counts) - 1
+        for i, c in enumerate(counts):
+            shard.counts[min(i, last)] += c
+        shard.total += total
 
     def snapshot(self) -> HistogramSnapshot:
         """Merge every shard into one immutable view."""
@@ -260,30 +324,54 @@ class MetricRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[str, Instrument] = {}
+        self._family_kind: dict[str, type] = {}
 
-    def _get_or_create(self, name: str, kind: type, factory: Callable[[], Any]):
+    def _get_or_create(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None,
+        kind: type,
+        factory: Callable[[], Any],
+    ):
+        key = name + label_suffix(_check_labels(labels))
         with self._lock:
-            existing = self._metrics.get(name)
+            existing = self._metrics.get(key)
             if existing is not None:
                 if type(existing) is not kind:
                     raise TypeError(
-                        f"metric {name!r} already registered as "
+                        f"metric {key!r} already registered as "
                         f"{type(existing).__name__}, not {kind.__name__}"
                     )
                 return existing
+            family = self._family_kind.get(name)
+            if family is not None and family is not kind:
+                raise TypeError(
+                    f"metric family {name!r} already registered as "
+                    f"{family.__name__}, not {kind.__name__}"
+                )
             instrument = factory()
-            self._metrics[name] = instrument
+            self._metrics[key] = instrument
+            self._family_kind[name] = kind
             return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create the counter ``name``."""
-        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+    def counter(
+        self, name: str, help: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Counter:
+        """Get or create the counter series ``name`` + ``labels``."""
+        return self._get_or_create(
+            name, labels, Counter, lambda: Counter(name, help, labels)
+        )
 
     def gauge(
-        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+        self, name: str, help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: Mapping[str, str] | None = None,
     ) -> Gauge:
         """Get or create the gauge ``name`` (optionally callback-backed)."""
-        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, help, callback))
+        gauge = self._get_or_create(
+            name, labels, Gauge, lambda: Gauge(name, help, callback, labels)
+        )
         if callback is not None and gauge.callback is None:
             gauge.callback = callback
         return gauge
@@ -293,26 +381,43 @@ class MetricRegistry:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Mapping[str, str] | None = None,
     ) -> Histogram:
         """Get or create the histogram ``name`` with fixed ``buckets``."""
         return self._get_or_create(
-            name, Histogram, lambda: Histogram(name, help, buckets)
+            name, labels, Histogram, lambda: Histogram(name, help, buckets, labels)
         )
 
-    def get(self, name: str) -> Instrument | None:
-        """The instrument registered under ``name``, or ``None``."""
+    def get(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Instrument | None:
+        """The instrument registered under ``name`` + ``labels``, or ``None``."""
+        key = name + label_suffix(_check_labels(labels))
         with self._lock:
-            return self._metrics.get(name)
+            return self._metrics.get(key)
+
+    def series(self, name: str) -> list[Instrument]:
+        """Every series of the family ``name`` (labeled and unlabeled)."""
+        with self._lock:
+            return sorted(
+                (m for m in self._metrics.values() if m.name == name),
+                key=lambda m: label_suffix(m.labels),
+            )
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._metrics
 
     def __iter__(self) -> Iterator[Instrument]:
-        """Instruments in stable (name-sorted) order."""
+        """Instruments in stable order: by family name, then label set.
+
+        Family-contiguous ordering is what lets the Prometheus exposition
+        emit one HELP/TYPE block followed by every series of the family.
+        """
         with self._lock:
-            items = sorted(self._metrics.items())
-        return iter(instrument for _, instrument in items)
+            instruments = list(self._metrics.values())
+        instruments.sort(key=lambda m: (m.name, label_suffix(m.labels)))
+        return iter(instruments)
 
     def __len__(self) -> int:
         with self._lock:

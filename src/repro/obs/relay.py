@@ -1,0 +1,559 @@
+"""Cross-process telemetry relay: worker metrics/events/spans → coordinator.
+
+Worker processes (:mod:`repro.parallel.worker`) cannot write into the
+coordinator's metric registry or flight recorder — those are thread-local
+sharded, in-process structures.  Instead each worker runs a
+:class:`WorkerTelemetry`: its own tiny :class:`MetricRegistry`, a bounded
+event staging buffer, its own :class:`Tracer` (span ids salted with the
+worker pid so they are globally unique and need no remapping), and an
+optional in-worker sampling profiler.  ``flush()`` packages the *deltas*
+since the last flush — counter increments, histogram bucket deltas, staged
+events, drained spans, profile stacks — plus a ``(wall, perf)`` clock pair,
+and the pool piggybacks that payload on the worker's result queue (one
+flush per completed task, one final flush at shutdown).
+
+Coordinator-side, :class:`TelemetryRelay.merge` folds a payload in:
+
+- metrics land in the main registry as labeled series
+  (``process="worker"``, ``worker_id="<i>"``),
+- events are clock-aligned and ingested into the flight recorder with a
+  ``worker<i>`` process tag,
+- spans are clock-aligned and ingested into the coordinator tracer —
+  worker roots already carry the dispatching span's trace context
+  (:func:`repro.obs.trace.Tracer.activate` runs around every task), so the
+  result is one causal tree spanning processes,
+- profile stacks accumulate under a ``worker<i>;`` prefix for ``/pprof``.
+
+**Clock alignment**: worker timestamps are the *worker's*
+``perf_counter()``, whose epoch is arbitrary per process.  Each flush
+carries ``(time.time(), perf_counter())`` sampled together; wall clocks
+are shared across processes, so ``offset = (w_wall - w_perf) -
+(c_wall - c_perf)`` maps worker perf timestamps onto the coordinator's
+perf axis (error is bounded by wall-clock skew ≈ 0 on one host plus
+sampling jitter, microseconds — fine for trace rendering).
+
+**Exact drop accounting across SIGKILL**: a worker that dies mid-task
+takes its staged-but-unshipped events with it, and the coordinator cannot
+ask a corpse how many there were.  So the pool owns a tiny shared-memory
+:class:`TelemetryPage` (one cacheline of uint64 slots per worker); the
+worker increments its ``events staged`` slot on *every* record, before
+the event is shippable.  The page survives the worker, so on reap::
+
+    dropped = page.events_staged[i] - relay.events_acked[i]
+
+is exact, and the relay folds it into ``obs.events_dropped_total`` —
+the same counter ring evictions use, preserving the PR 4 invariant that
+the drop counter accounts for every journal loss.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from time import perf_counter
+from typing import Any
+
+from repro.obs.recorder import Event, Recorder
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    STATE,
+    label_suffix,
+)
+from repro.obs.trace import Span, TraceContext, Tracer, get_tracer
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
+    HAVE_SHARED_MEMORY = False
+
+#: Process-wide page sequence so two pools never collide on names.
+_PAGE_SEQ = itertools.count()
+
+#: uint64 slots per worker — one 64-byte cacheline, no false sharing.
+SLOTS_PER_WORKER = 8
+IDX_EVENTS_STAGED = 0
+IDX_SPANS_STAGED = 1
+
+DEFAULT_EVENT_CAPACITY = 2048
+DEFAULT_PROFILE_INTERVAL = 0.01
+
+#: Relayed worker metric series get these labels (plus ``worker_id``).
+WORKER_PROCESS_LABEL = "worker"
+
+
+def _worker_span_id_base(pid: int) -> int:
+    """Salt worker-local span ids with the pid: globally unique, so the
+    relay ingests spans verbatim and cross-flush parent links stay valid."""
+    return ((pid & 0xFFFFF) << 40) + 1
+
+
+class TelemetryPage:
+    """Per-worker uint64 counters in shared memory that outlive the worker.
+
+    Single-writer per slot (the worker), single-reader (the coordinator);
+    8-byte aligned stores are atomic on every platform CPython runs on,
+    and the exactness argument only needs the value *after* the worker is
+    dead, when no writer exists at all.
+    """
+
+    def __init__(self, num_workers: int, name: str | None = None) -> None:
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.num_workers = num_workers
+        self._owner = name is None
+        size = num_workers * SLOTS_PER_WORKER * 8
+        if self._owner:
+            name = f"repro-{os.getpid():x}-tel-{next(_PAGE_SEQ)}"
+            self._shm = _shm.SharedMemory(name=name, create=True, size=size)
+            self._shm.buf[:size] = bytes(size)
+        else:
+            self._shm = _shm.SharedMemory(name=name)
+        self.name = name
+        self._view = memoryview(self._shm.buf).cast("Q")
+        self._closed = False
+        if self._owner:
+            # A bound method would keep the page alive through atexit even
+            # after close(); register a handle we can unregister instead.
+            self._atexit_cb = self.close
+            atexit.register(self._atexit_cb)
+
+    @classmethod
+    def attach(cls, name: str, num_workers: int) -> "TelemetryPage":
+        return cls(num_workers, name=name)
+
+    def _slot(self, worker: int, idx: int) -> int:
+        return worker * SLOTS_PER_WORKER + idx
+
+    def add(self, worker: int, idx: int, amount: int = 1) -> None:
+        self._view[self._slot(worker, idx)] += amount
+
+    def read(self, worker: int, idx: int) -> int:
+        return int(self._view[self._slot(worker, idx)])
+
+    def reset_worker(self, worker: int) -> None:
+        base = worker * SLOTS_PER_WORKER
+        for i in range(SLOTS_PER_WORKER):
+            self._view[base + i] = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            atexit.unregister(self._atexit_cb)
+        self._view.release()
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ---------------------------------------------------------------------- #
+# worker side                                                             #
+# ---------------------------------------------------------------------- #
+
+
+class WorkerTelemetry:
+    """The worker-process end of the relay.
+
+    Owns the worker's registry/tracer/event staging, and packages deltas
+    for shipping.  Everything here runs on the worker's task loop thread
+    (plus, optionally, its sampler thread), so no locking beyond what the
+    instruments themselves do.
+    """
+
+    def __init__(
+        self,
+        worker_index: int,
+        page_name: str | None = None,
+        num_workers: int | None = None,
+        profile: bool = False,
+        profile_interval: float = DEFAULT_PROFILE_INTERVAL,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+    ) -> None:
+        self.worker_index = worker_index
+        self.registry = MetricRegistry()
+        self.tracer = Tracer()
+        self.tracer._ids = itertools.count(_worker_span_id_base(os.getpid()))
+        self.event_capacity = event_capacity
+        self._events: deque[tuple] = deque()
+        self._events_dropped = 0
+        self._last_shipped: dict[str, Any] = {}
+        self.page: TelemetryPage | None = None
+        if page_name is not None and HAVE_SHARED_MEMORY:
+            try:
+                self.page = TelemetryPage.attach(
+                    page_name, num_workers or worker_index + 1
+                )
+            except Exception:  # pragma: no cover - page raced with shutdown
+                self.page = None
+        self.profiler = None
+        if profile:
+            from repro.obs.profiler import SamplingProfiler
+
+            self.profiler = SamplingProfiler(interval=profile_interval)
+            self.profiler.start()
+
+    # ------------------------------------------------------------------ #
+    # recording                                                            #
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        kind: str,
+        txn_id: int | None = None,
+        block_id: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Stage one event for the next flush.
+
+        The shared-memory staged counter is bumped *first*: an event is
+        accounted the moment it exists, so a SIGKILL between staging and
+        shipping shows up as an exact drop on the coordinator.
+        """
+        if not STATE.enabled:
+            return
+        if self.page is not None:
+            self.page.add(self.worker_index, IDX_EVENTS_STAGED, 1)
+        if len(self._events) >= self.event_capacity:
+            self._events.popleft()
+            self._events_dropped += 1
+        self._events.append(
+            (
+                perf_counter(),
+                kind,
+                threading.current_thread().name,
+                txn_id,
+                block_id,
+                attrs or None,
+            )
+        )
+
+    def span(self, name: str, **attrs):
+        if self.page is not None:
+            self.page.add(self.worker_index, IDX_SPANS_STAGED, 1)
+        return self.tracer.span(name, **attrs)
+
+    def activated(self, ctx: tuple | None):
+        """Scope a task under the coordinator's dispatch trace context."""
+        return self.tracer.activate(
+            TraceContext(*ctx) if ctx is not None else None
+        )
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(name, help)
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+        if buckets is None:
+            return self.registry.histogram(name, help)
+        return self.registry.histogram(name, help, buckets)
+
+    # ------------------------------------------------------------------ #
+    # shipping                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _metric_deltas(self) -> dict[str, list]:
+        counters: list[tuple] = []
+        gauges: list[tuple] = []
+        histograms: list[tuple] = []
+        last = self._last_shipped
+        for inst in self.registry:
+            key = inst.name + label_suffix(inst.labels)
+            if isinstance(inst, Counter):
+                value = inst.value
+                delta = value - last.get(key, 0.0)
+                if delta:
+                    counters.append((inst.name, inst.help, delta))
+                    last[key] = value
+            elif isinstance(inst, Gauge):
+                value = inst.value
+                if value != last.get(key):
+                    gauges.append((inst.name, inst.help, value))
+                    last[key] = value
+            elif isinstance(inst, Histogram):
+                snap = inst.snapshot()
+                prev_counts, prev_sum = last.get(
+                    key, ([0] * len(snap.counts), 0.0)
+                )
+                delta_counts = [
+                    c - p for c, p in zip(snap.counts, prev_counts)
+                ]
+                if any(delta_counts):
+                    histograms.append(
+                        (
+                            inst.name,
+                            inst.help,
+                            snap.bounds,
+                            delta_counts,
+                            snap.sum - prev_sum,
+                        )
+                    )
+                    last[key] = (snap.counts, snap.sum)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def flush(self, ctx: tuple | None = None) -> dict[str, Any]:
+        """Everything staged since the last flush, as one picklable dict."""
+        events = list(self._events)
+        self._events.clear()
+        dropped, self._events_dropped = self._events_dropped, 0
+        profile = None
+        if self.profiler is not None:
+            profile = self.profiler.drain()
+        return {
+            "worker": self.worker_index,
+            "wall": time.time(),
+            "perf": perf_counter(),
+            "ctx": tuple(ctx) if ctx is not None else None,
+            "events": events,
+            "events_dropped": dropped,
+            "spans": [
+                (
+                    s.span_id,
+                    s.parent_id,
+                    s.name,
+                    s.start,
+                    s.duration,
+                    s.child_seconds,
+                    s.thread,
+                    s.trace_id,
+                    s.attrs,
+                )
+                for s in self.tracer.drain()
+            ],
+            "metrics": self._metric_deltas(),
+            "profile": profile or None,
+        }
+
+    def close(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.page is not None:
+            # Attach-side close only (never unlink — the coordinator owns
+            # the page and must still read it after we are gone).
+            self.page.close()
+            self.page = None
+
+
+# ---------------------------------------------------------------------- #
+# coordinator side                                                        #
+# ---------------------------------------------------------------------- #
+
+
+class TelemetryRelay:
+    """The coordinator end: owns the page, merges worker payloads."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        registry: MetricRegistry,
+        recorder: Recorder | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.num_workers = num_workers
+        self.registry = registry
+        self.recorder = recorder
+        # Not ``tracer or ...``: Tracer defines __len__, so an *empty*
+        # tracer is falsy and would be silently swapped for the default.
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.page: TelemetryPage | None = None
+        if HAVE_SHARED_MEMORY:
+            try:
+                self.page = TelemetryPage(num_workers)
+            except Exception:  # pragma: no cover - /dev/shm exhausted
+                self.page = None
+        #: Events per worker this relay has accounted for (shipped or
+        #: reported dropped by the worker itself).
+        self.events_acked = [0] * num_workers
+        #: Latest per-worker clock offset (worker perf → coordinator perf).
+        self.clock_offsets: list[float | None] = [None] * num_workers
+        self._profile_stacks: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._m_batches = registry.counter(
+            "obs.relay_batches_total", "telemetry payloads merged from workers"
+        )
+        self._m_events = registry.counter(
+            "obs.relay_events_total", "worker events relayed into the journal"
+        )
+        self._m_spans = registry.counter(
+            "obs.relay_spans_total", "worker spans relayed into the tracer"
+        )
+
+    def worker_args(self) -> dict[str, Any]:
+        """Constructor kwargs for the worker-side :class:`WorkerTelemetry`."""
+        return {
+            "page_name": self.page.name if self.page is not None else None,
+            "num_workers": self.num_workers,
+        }
+
+    # ------------------------------------------------------------------ #
+    # merge                                                                #
+    # ------------------------------------------------------------------ #
+
+    def merge(self, payload: dict[str, Any]) -> None:
+        """Fold one worker flush into the coordinator's registry,
+        recorder, tracer, and profile accumulator."""
+        index = payload["worker"]
+        offset = (payload["wall"] - payload["perf"]) - (
+            time.time() - perf_counter()
+        )
+        labels = {
+            "process": WORKER_PROCESS_LABEL,
+            "worker_id": str(index),
+        }
+        process = f"worker{index}"
+        ctx = payload.get("ctx")
+        with self._lock:
+            self.clock_offsets[index] = offset
+            self._m_batches.inc()
+
+            metrics = payload.get("metrics") or {}
+            for name, help_, delta in metrics.get("counters", ()):
+                self.registry.counter(name, help_, labels=labels).inc(delta)
+            for name, help_, value in metrics.get("gauges", ()):
+                self.registry.gauge(name, help_, labels=labels).set(value)
+            for name, help_, bounds, counts, total in metrics.get(
+                "histograms", ()
+            ):
+                self.registry.histogram(
+                    name, help_, buckets=bounds, labels=labels
+                ).merge_counts(counts, total)
+
+            events = payload.get("events") or ()
+            dropped = payload.get("events_dropped", 0)
+            if 0 <= index < len(self.events_acked):
+                self.events_acked[index] += len(events) + dropped
+            if self.recorder is not None:
+                if dropped:
+                    self.recorder.count_dropped(dropped)
+                    self.recorder.record(
+                        "obs.relay_dropped",
+                        worker=index,
+                        events=dropped,
+                        reason="worker_staging_overflow",
+                    )
+                if events:
+                    ingested = []
+                    for ts, kind, thread, txn_id, block_id, attrs in events:
+                        if ctx is not None:
+                            attrs = dict(attrs or {})
+                            attrs.setdefault("trace_id", ctx[0])
+                        ingested.append(
+                            Event(
+                                0,
+                                ts + offset,
+                                kind,
+                                thread,
+                                txn_id,
+                                block_id,
+                                attrs,
+                                process=process,
+                            )
+                        )
+                    self.recorder.ingest(ingested)
+                    self._m_events.inc(len(ingested))
+
+            spans = payload.get("spans") or ()
+            if spans:
+                # Worker span ids are pid-salted (globally unique) and
+                # worker roots were parented to the dispatch context by
+                # ``Tracer.activate`` inside the worker, so ingest verbatim
+                # — only the clock needs aligning.
+                self.tracer.ingest(
+                    [
+                        Span(
+                            span_id,
+                            parent_id,
+                            name,
+                            start + offset,
+                            duration,
+                            child_seconds,
+                            thread,
+                            trace_id,
+                            attrs,
+                            process=process,
+                        )
+                        for (
+                            span_id,
+                            parent_id,
+                            name,
+                            start,
+                            duration,
+                            child_seconds,
+                            thread,
+                            trace_id,
+                            attrs,
+                        ) in spans
+                    ]
+                )
+                self._m_spans.inc(len(spans))
+
+            profile = payload.get("profile")
+            if profile:
+                stacks = self._profile_stacks
+                for stack, count in profile.items():
+                    key = f"{process};{stack}"
+                    stacks[key] = stacks.get(key, 0) + count
+
+    # ------------------------------------------------------------------ #
+    # death accounting                                                     #
+    # ------------------------------------------------------------------ #
+
+    def note_worker_death(self, index: int) -> int:
+        """Settle a dead (or cleanly exited) worker's event account.
+
+        Returns the number of staged-but-never-shipped events, which are
+        charged to ``obs.events_dropped_total``.  Exact: the shm staged
+        counter was written by the worker before each event existed, and
+        ``events_acked`` counts everything that reached us.  Zero for a
+        clean shutdown (the final flush drains everything first).
+        """
+        if self.page is None or not (0 <= index < self.num_workers):
+            return 0
+        staged = self.page.read(index, IDX_EVENTS_STAGED)
+        with self._lock:
+            dropped = staged - self.events_acked[index]
+            self.page.reset_worker(index)
+            self.events_acked[index] = 0
+        if dropped > 0:
+            if self.recorder is not None:
+                self.recorder.count_dropped(dropped)
+                self.recorder.record(
+                    "obs.relay_dropped",
+                    worker=index,
+                    events=dropped,
+                    reason="worker_died",
+                )
+        return max(0, dropped)
+
+    # ------------------------------------------------------------------ #
+    # reads                                                                #
+    # ------------------------------------------------------------------ #
+
+    def profile_stacks(self) -> dict[str, int]:
+        """Accumulated ``worker<i>;thread;frames...`` stacks (a copy)."""
+        with self._lock:
+            return dict(self._profile_stacks)
+
+    def clock_offset(self, index: int) -> float | None:
+        return self.clock_offsets[index]
+
+    def close(self) -> None:
+        if self.page is not None:
+            self.page.close()
+            self.page = None

@@ -9,11 +9,17 @@
   ``?component=wal&kind=wal.flush&txn=123&block=7&limit=100``,
 - ``/timeline/<txn_id>`` — the causal timeline of one transaction,
 - ``/trace``    — the Chrome-trace document (drop into chrome://tracing),
+- ``/pprof``    — collapsed-stack wall-clock profile (``?seconds=N``),
 - ``/``         — an endpoint index.
 
 Scrapes run on short-lived handler threads (``ThreadingHTTPServer``) and
 only ever *read*: a merge of metric shards, a snapshot of the journal ring.
-Nothing on the transaction critical path waits for a scrape.
+Nothing on the transaction critical path waits for a scrape.  The one
+exception is ``/pprof``, which *samples*: it runs a
+:class:`~repro.obs.profiler.SamplingProfiler` on the handler thread for
+the requested window (default 1 s, capped at 30 s), then folds in
+whatever stacks the worker relays shipped during the window.  The output
+is collapsed-stack text — feed it straight to a flamegraph renderer.
 """
 
 from __future__ import annotations
@@ -36,7 +42,11 @@ _ENDPOINTS = {
     "/events": "recent journal events (?component=&kind=&txn=&block=&limit=)",
     "/timeline/<txn_id>": "causal timeline of one transaction",
     "/trace": "Chrome-trace document of spans + events",
+    "/pprof": "collapsed-stack wall-clock profile (?seconds=N&interval=MS)",
 }
+
+#: Longest profiling window one request may hold a handler thread for.
+MAX_PPROF_SECONDS = 30.0
 
 
 def _int_param(params: dict[str, list[str]], name: str) -> int | None:
@@ -47,6 +57,45 @@ def _int_param(params: dict[str, list[str]], name: str) -> int | None:
         return int(values[0])
     except ValueError:
         raise ValueError(f"query parameter {name!r} must be an integer")
+
+
+def _float_param(params: dict[str, list[str]], name: str) -> float | None:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        return float(values[0])
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be a number")
+
+
+def _relay_pools(db: Any) -> list[Any]:
+    """Every started worker pool reachable from ``db`` (never spawns one).
+
+    A plain :class:`~repro.db.Database` has at most one; a sharded cluster
+    has one per shard that ever ran a parallel fragment.
+    """
+    pools = []
+    pool = getattr(db, "_parallel_pool", None)
+    if pool is not None:
+        pools.append(pool)
+    for shard in getattr(db, "shards", ()) or ():
+        pool = getattr(shard, "_parallel_pool", None)
+        if pool is not None:
+            pools.append(pool)
+    return pools
+
+
+def _worker_profile_totals(db: Any) -> dict[str, int]:
+    """Cumulative relayed worker stacks, summed across every pool."""
+    totals: dict[str, int] = {}
+    for pool in _relay_pools(db):
+        relay = getattr(pool, "relay", None)
+        if relay is None:
+            continue
+        for stack, count in relay.profile_stacks().items():
+            totals[stack] = totals.get(stack, 0) + count
+    return totals
 
 
 class _ObsHandler(BaseHTTPRequestHandler):
@@ -92,6 +141,8 @@ class _ObsHandler(BaseHTTPRequestHandler):
                     render_chrome_trace(db.recorder),
                     "application/json; charset=utf-8",
                 )
+            elif path == "/pprof":
+                self._serve_pprof(parse_qs(parsed.query))
             elif path == "/":
                 self._respond_json(200, {"endpoints": _ENDPOINTS})
             else:
@@ -118,6 +169,47 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 "dropped_total": db.recorder.events_dropped,
             },
         )
+
+    def _serve_pprof(self, params: dict[str, list[str]]) -> None:
+        """Profile the coordinator for ``?seconds=N`` and respond with
+        collapsed stacks (coordinator threads sampled here, worker stacks
+        from whatever the relays shipped during the window)."""
+        import time as _time
+
+        from repro.obs.profiler import SamplingProfiler, render_collapsed
+
+        db = self.server.db
+        seconds = _float_param(params, "seconds")
+        seconds = 1.0 if seconds is None else seconds
+        if seconds <= 0:
+            raise ValueError("query parameter 'seconds' must be positive")
+        seconds = min(seconds, MAX_PPROF_SECONDS)
+        interval_ms = _float_param(params, "interval")
+        interval = (interval_ms / 1000.0) if interval_ms else 0.005
+        if interval <= 0:
+            raise ValueError("query parameter 'interval' must be positive")
+
+        worker_before = _worker_profile_totals(db)
+        profiler = SamplingProfiler(interval=interval)
+        recorder = getattr(db, "recorder", None)
+        previous = getattr(recorder, "profiler", None) if recorder else None
+        # Publish the live profiler so slow-txn events recorded during the
+        # window pick up top-of-stack attribution.
+        if recorder is not None:
+            recorder.profiler = profiler
+        try:
+            profiler.start()
+            _time.sleep(seconds)
+            profiler.stop()
+        finally:
+            if recorder is not None:
+                recorder.profiler = previous
+        stacks = dict(profiler.snapshot())
+        for stack, count in _worker_profile_totals(db).items():
+            delta = count - worker_before.get(stack, 0)
+            if delta > 0:
+                stacks[stack] = stacks.get(stack, 0) + delta
+        self._respond(200, render_collapsed(stacks), "text/plain; charset=utf-8")
 
     def _serve_timeline(self, raw_id: str) -> None:
         try:

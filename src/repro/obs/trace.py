@@ -7,6 +7,14 @@ so every record knows its parent and every parent accumulates its
 children's time; ``self_seconds`` is the span's *exclusive* duration —
 the number Figure 12b's phase-breakdown series wants.
 
+Spans also carry a **trace id**: the outermost span of a nest mints one,
+every descendant inherits it, and a compact :class:`TraceContext`
+``(trace_id, span_id)`` can be shipped across a process or shard boundary
+and re-activated there (``with tracer.activate(ctx): ...``), so the 2PC
+coordinator, per-shard participant work, and scan/export fragments in
+worker processes all land in one causal tree.  Remote spans come back via
+:meth:`Tracer.ingest`, which re-ids them into the local id space.
+
 When observability is disabled (``obs.configure(enabled=False)``) the
 ``span`` call returns a shared no-op context manager: no clock reads, no
 allocation, no buffer traffic.
@@ -15,14 +23,31 @@ allocation, no buffer traffic.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from collections import deque
 from time import perf_counter
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 from repro.obs.registry import STATE
 
 DEFAULT_CAPACITY = 4096
+
+#: Process-wide trace-id sequence, salted with the pid so ids minted in
+#: different processes (coordinator vs. workers) can never collide.
+_TRACE_IDS = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    return ((os.getpid() & 0xFFFFF) << 40) | next(_TRACE_IDS)
+
+
+class TraceContext(NamedTuple):
+    """The compact wire form of "where in the tree am I": a trace id and
+    the span id of the remote parent.  Picklable, cheap, immutable."""
+
+    trace_id: int
+    span_id: int
 
 
 class Span:
@@ -30,7 +55,7 @@ class Span:
 
     __slots__ = (
         "span_id", "parent_id", "name", "start", "duration",
-        "child_seconds", "thread",
+        "child_seconds", "thread", "trace_id", "attrs", "process",
     )
 
     def __init__(
@@ -42,6 +67,9 @@ class Span:
         duration: float,
         child_seconds: float,
         thread: str,
+        trace_id: int | None = None,
+        attrs: dict | None = None,
+        process: str | None = None,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -50,6 +78,9 @@ class Span:
         self.duration = duration
         self.child_seconds = child_seconds
         self.thread = thread
+        self.trace_id = trace_id
+        self.attrs = attrs
+        self.process = process
 
     @property
     def self_seconds(self) -> float:
@@ -85,39 +116,66 @@ class SpanSummary:
 class _ActiveSpan:
     """Context manager for one live scope (class-based: no generator cost)."""
 
-    __slots__ = ("_tracer", "name", "start", "child_seconds", "_parent", "span_id")
+    __slots__ = (
+        "_tracer", "name", "start", "child_seconds", "_parent",
+        "span_id", "trace_id", "attrs", "_remote_parent_id",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str) -> None:
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict | None) -> None:
         self._tracer = tracer
         self.name = name
         self.child_seconds = 0.0
+        self.attrs = attrs
 
     def __enter__(self) -> "_ActiveSpan":
         tracer = self._tracer
         self.span_id = next(tracer._ids)
         stack = tracer._stack()
-        self._parent = stack[-1] if stack else None
+        self._parent = parent = stack[-1] if stack else None
+        self._remote_parent_id = None
+        if parent is not None:
+            self.trace_id = parent.trace_id
+        else:
+            remote = tracer._remote()
+            if remote is not None:
+                self.trace_id = remote.trace_id
+                self._remote_parent_id = remote.span_id
+            else:
+                self.trace_id = new_trace_id()
         stack.append(self)
         self.start = perf_counter()
         return self
 
+    def set_attr(self, key: str, value) -> None:
+        """Attach/overwrite one attribute on the live span (e.g. a 2PC
+        decision known only at exit time)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
     def __exit__(self, *exc_info) -> None:
         duration = perf_counter() - self.start
-        stack = self._tracer._stack()
+        tracer = self._tracer
+        stack = tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
         parent = self._parent
         if parent is not None:
             parent.child_seconds += duration
-        self._tracer._buffer.append(
+            parent_id = parent.span_id
+        else:
+            parent_id = self._remote_parent_id
+        tracer._buffer.append(
             Span(
                 self.span_id,
-                parent.span_id if parent is not None else None,
+                parent_id,
                 self.name,
                 self.start,
                 duration,
                 self.child_seconds,
                 threading.current_thread().name,
+                self.trace_id,
+                self.attrs,
             )
         )
 
@@ -133,8 +191,30 @@ class _NullSpan:
     def __exit__(self, *exc_info) -> None:
         return None
 
+    def set_attr(self, key: str, value) -> None:
+        return None
+
 
 _NULL_SPAN = _NullSpan()
+
+
+class _ActivatedContext:
+    """Scope during which new root spans parent to a remote context."""
+
+    __slots__ = ("_tracer", "_ctx", "_prev")
+
+    def __init__(self, tracer: "Tracer", ctx: TraceContext | None) -> None:
+        self._tracer = tracer
+        self._ctx = ctx
+
+    def __enter__(self) -> "_ActivatedContext":
+        local = self._tracer._local
+        self._prev = getattr(local, "remote", None)
+        local.remote = self._ctx
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._local.remote = self._prev
 
 
 class Tracer:
@@ -156,11 +236,37 @@ class Tracer:
             self._local.stack = stack
             return stack
 
-    def span(self, name: str) -> "_ActiveSpan | _NullSpan":
+    def _remote(self) -> TraceContext | None:
+        return getattr(self._local, "remote", None)
+
+    def span(self, name: str, **attrs) -> "_ActiveSpan | _NullSpan":
         """A context manager timing ``name`` (no-op while disabled)."""
         if not STATE.enabled:
             return _NULL_SPAN
-        return _ActiveSpan(self, name)
+        return _ActiveSpan(self, name, attrs or None)
+
+    def activate(self, ctx: TraceContext | None) -> _ActivatedContext:
+        """Adopt a remote parent: root spans opened inside the scope join
+        ``ctx.trace_id`` with ``ctx.span_id`` as parent.  ``None`` is a
+        no-op scope, so call sites can pass an optional context through."""
+        return _ActivatedContext(self, ctx)
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost live span on this thread as a shippable
+        :class:`TraceContext` (falls back to an activated remote one)."""
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            return TraceContext(top.trace_id, top.span_id)
+        return self._remote()
+
+    def next_span_id(self) -> int:
+        return next(self._ids)
+
+    def ingest(self, spans: list[Span]) -> None:
+        """Append externally built spans (the telemetry relay re-ids
+        worker spans into this tracer's id space before calling)."""
+        self._buffer.extend(spans)
 
     def spans(self) -> list[Span]:
         """Snapshot of the buffer, oldest first."""
@@ -198,11 +304,25 @@ def get_tracer() -> Tracer:
     return _DEFAULT_TRACER
 
 
-def span(name: str, tracer: Tracer | None = None) -> "_ActiveSpan | _NullSpan":
+def span(
+    name: str, tracer: Tracer | None = None, **attrs
+) -> "_ActiveSpan | _NullSpan":
     """Open a timing scope on ``tracer`` (default: the process tracer)."""
     if not STATE.enabled:
         return _NULL_SPAN
-    return (tracer or _DEFAULT_TRACER).span(name)
+    return (tracer or _DEFAULT_TRACER).span(name, **attrs)
+
+
+def activate(
+    ctx: TraceContext | None, tracer: Tracer | None = None
+) -> _ActivatedContext:
+    """Module-level :meth:`Tracer.activate` on the default tracer."""
+    return (tracer or _DEFAULT_TRACER).activate(ctx)
+
+
+def current_context(tracer: Tracer | None = None) -> TraceContext | None:
+    """Module-level :meth:`Tracer.current_context` on the default tracer."""
+    return (tracer or _DEFAULT_TRACER).current_context()
 
 
 def set_capacity(capacity: int) -> None:

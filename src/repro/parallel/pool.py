@@ -23,6 +23,16 @@ for graceful degradation, never correctness-by-parallelism:
   With dedicated queues a kill only strands that worker's own plumbing,
   which the respawn replaces wholesale.
 
+The pool is also a telemetry conduit (see :mod:`repro.obs.relay`): when
+built with a registry, every worker runs a :class:`WorkerTelemetry` whose
+flush payloads ride the result queues home — metric deltas become
+``process``/``worker_id``-labeled series, events and spans land in the
+coordinator's flight recorder and tracer clock-aligned, and a
+shared-memory staged-event page keeps ``obs.events_dropped_total`` exact
+even when a worker is SIGKILLed with unshipped events.  Dispatch captures
+the caller's trace context, so worker spans join the dispatching scan's
+causal tree.
+
 Start method defaults to ``fork`` where available (cheap, inherits the
 import state) and can be forced with ``REPRO_PARALLEL_START_METHOD`` or the
 constructor — the CI matrix runs the suite under both ``fork`` and
@@ -38,11 +48,16 @@ import queue as queue_mod
 import time
 from typing import Any
 
+from repro.obs import trace as _trace
 from repro.obs.recorder import broadcast as _record_event
+from repro.obs.relay import TelemetryRelay
 from repro.parallel.worker import worker_main
 
 #: Environment override for the multiprocessing start method.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+#: Environment opt-in for the in-worker sampling profiler.
+WORKER_PROFILE_ENV = "REPRO_WORKER_PROFILE"
 
 
 def default_start_method() -> str:
@@ -50,6 +65,13 @@ def default_start_method() -> str:
     if method:
         return method
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _hottest_stack(profile: dict[str, int] | None) -> str | None:
+    """The most-sampled collapsed stack in a worker's profile delta."""
+    if not profile:
+        return None
+    return max(profile.items(), key=lambda kv: (kv[1], kv[0]))[0]
 
 
 class WorkerPool:
@@ -61,6 +83,11 @@ class WorkerPool:
         start_method: str | None = None,
         registry=None,
         task_timeout: float = 60.0,
+        recorder=None,
+        tracer=None,
+        profile_workers: bool | None = None,
+        profile_interval: float = 0.01,
+        slow_fragment_threshold: float | None = None,
     ) -> None:
         self.num_workers = max(1, int(num_workers))
         self.start_method = start_method or default_start_method()
@@ -73,6 +100,21 @@ class WorkerPool:
         self._task_seq = itertools.count()
         self._started = False
         self._broken = False
+        self._registry = registry
+        self._recorder = recorder
+        self._tracer = tracer
+        if profile_workers is None:
+            profile_workers = bool(os.environ.get(WORKER_PROFILE_ENV))
+        self.profile_workers = profile_workers
+        self.profile_interval = profile_interval
+        #: Fragments slower than this (seconds) emit a
+        #: ``parallel.slow_fragment`` event with top-of-stack attribution.
+        self.slow_fragment_threshold = slow_fragment_threshold
+        self._relay: TelemetryRelay | None = None
+        #: task_id -> (dispatch monotonic ts, fragment kind); liveness reads
+        #: this to expose the oldest outstanding task's age.
+        self._outstanding: dict[int, tuple[float, str]] = {}
+        self._restart_count = 0
         if registry is not None:
             self._m_dispatched = registry.counter(
                 "parallel.tasks_dispatched_total", "fragments sent to workers"
@@ -98,10 +140,21 @@ class WorkerPool:
                 "parallel.workers_alive", "workers currently alive",
                 callback=lambda: sum(1 for w in self._workers if w.is_alive()),
             )
+            registry.gauge(
+                "parallel.outstanding_tasks",
+                "fragments dispatched and not yet answered",
+                callback=lambda: float(len(self._outstanding)),
+            )
+            registry.gauge(
+                "parallel.oldest_outstanding_age_seconds",
+                "age of the oldest unanswered fragment (0 when idle)",
+                callback=lambda: self.oldest_outstanding_age() or 0.0,
+            )
             self._m_worker_tasks = [
                 registry.counter(
-                    f"parallel.worker_{i}.tasks_total",
-                    f"fragments completed by worker {i}",
+                    "parallel.worker_tasks_total",
+                    "fragments completed per worker",
+                    labels={"process": "worker", "worker_id": str(i)},
                 )
                 for i in range(self.num_workers)
             ]
@@ -117,15 +170,36 @@ class WorkerPool:
     def start(self) -> None:
         if self._started:
             return
+        if self._registry is not None and self._relay is None:
+            self._relay = TelemetryRelay(
+                self.num_workers,
+                self._registry,
+                recorder=self._recorder,
+                tracer=self._tracer,
+            )
         self._task_queues = [self._ctx.Queue() for _ in range(self.num_workers)]
         self._result_queues = [self._ctx.Queue() for _ in range(self.num_workers)]
         self._workers = [self._spawn(i) for i in range(self.num_workers)]
         self._started = True
 
+    def _telemetry_args(self) -> dict[str, Any] | None:
+        if self._relay is None:
+            return None
+        args = self._relay.worker_args()
+        if self.profile_workers:
+            args["profile"] = True
+            args["profile_interval"] = self.profile_interval
+        return args
+
     def _spawn(self, index: int):
         process = self._ctx.Process(
             target=worker_main,
-            args=(index, self._task_queues[index], self._result_queues[index]),
+            args=(
+                index,
+                self._task_queues[index],
+                self._result_queues[index],
+                self._telemetry_args(),
+            ),
             name=f"repro-parallel-{index}",
             daemon=True,
         )
@@ -169,6 +243,7 @@ class WorkerPool:
             if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=1.0)
+        self._drain_final_telemetry()
         self._workers = []
         for q in [*self._task_queues, *self._result_queues]:
             try:
@@ -178,6 +253,27 @@ class WorkerPool:
                 pass
         self._task_queues = []
         self._result_queues = []
+        self._outstanding.clear()
+        if self._relay is not None:
+            self._relay.close()
+            self._relay = None
+
+    def _drain_final_telemetry(self) -> None:
+        """After workers exited: merge their shutdown flushes, then settle
+        each worker's staged-event account (exactly zero drops for clean
+        exits; the unshipped remainder for terminated ones)."""
+        if self._relay is None:
+            return
+        for result_queue in self._result_queues:
+            while True:
+                try:
+                    entry = result_queue.get_nowait()
+                except Exception:
+                    break
+                if len(entry) >= 5 and entry[4] is not None:
+                    self._relay.merge(entry[4])
+        for index in range(self.num_workers):
+            self._relay.note_worker_death(index)
 
     def warm(self, timeout: float = 30.0) -> bool:
         """Round-trip a ping through every worker (benchmarks use this to
@@ -208,16 +304,23 @@ class WorkerPool:
             self._count_fallbacks(len(payloads), reason="pool_unavailable")
             return [None] * len(payloads)
         self._reap_and_respawn()  # don't deal fragments to known-dead workers
+        ctx = _trace.current_context(self._tracer)
+        wire_ctx = tuple(ctx) if ctx is not None else None
         ids: dict[int, int] = {}
+        now = time.monotonic()
         for position, payload in enumerate(payloads):
             task_id = next(self._task_seq)
             ids[task_id] = position
+            self._outstanding[task_id] = (now, kind)
             index = self._next_worker % self.num_workers
             self._next_worker += 1
-            self._task_queues[index].put((task_id, kind, payload))
+            self._task_queues[index].put((task_id, kind, payload, wire_ctx))
         if self._m_dispatched is not None:
             self._m_dispatched.inc(len(payloads))
-        _record_event("parallel.dispatch", fragment_kind=kind, fragments=len(payloads))
+        _record_event(
+            "parallel.dispatch", fragment_kind=kind, fragments=len(payloads),
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
 
         results: list[Any] = [None] * len(payloads)
         pending = set(ids)
@@ -226,7 +329,7 @@ class WorkerPool:
             progressed = False
             for result_queue in self._result_queues:
                 try:
-                    task_id, worker_index, ok, payload = result_queue.get_nowait()
+                    entry = result_queue.get_nowait()
                 except queue_mod.Empty:
                     continue
                 except Exception:  # pragma: no cover - truncated pickle
@@ -234,10 +337,20 @@ class WorkerPool:
                     # (private) result pipe; the reap below replaces it.
                     continue
                 progressed = True
+                task_id, worker_index, ok, payload = entry[:4]
+                flushed = entry[4] if len(entry) >= 5 else None
+                if flushed is not None and self._relay is not None:
+                    self._relay.merge(flushed)
+                if task_id is None:
+                    continue  # telemetry-only message (worker shutdown)
                 position = ids.get(task_id)
                 if position is None or task_id not in pending:
+                    self._outstanding.pop(task_id, None)
                     continue  # stale: a fragment from an abandoned query
                 pending.discard(task_id)
+                dispatched_at, _ = self._outstanding.pop(
+                    task_id, (None, None)
+                )
                 if ok:
                     results[position] = payload
                     if self._m_completed is not None:
@@ -246,6 +359,9 @@ class WorkerPool:
                             self._m_worker_tasks[worker_index].inc()
                     _record_event(
                         "parallel.complete", fragment_kind=kind, worker=worker_index
+                    )
+                    self._note_slow_fragment(
+                        kind, worker_index, dispatched_at, flushed
                     )
                 else:
                     if self._m_failures is not None:
@@ -265,6 +381,8 @@ class WorkerPool:
             if time.monotonic() > deadline:
                 break
             time.sleep(0.01)
+        for task_id in pending:
+            self._outstanding.pop(task_id, None)
         if pending:
             self._count_fallbacks(len(pending), reason="incomplete")
         failed = sum(1 for r in results if r is None) - len(pending)
@@ -272,6 +390,28 @@ class WorkerPool:
             self._count_fallbacks(failed, reason="task_failed", record=False)
         self._reap_and_respawn()
         return results
+
+    def _note_slow_fragment(
+        self,
+        kind: str,
+        worker_index: int,
+        dispatched_at: float | None,
+        flushed: dict | None,
+    ) -> None:
+        threshold = self.slow_fragment_threshold
+        if threshold is None or dispatched_at is None:
+            return
+        elapsed = time.monotonic() - dispatched_at
+        if elapsed < threshold:
+            return
+        top = _hottest_stack(flushed.get("profile") if flushed else None)
+        _record_event(
+            "parallel.slow_fragment",
+            fragment_kind=kind,
+            worker=worker_index,
+            seconds=elapsed,
+            top_stack=top,
+        )
 
     def _count_fallbacks(self, count: int, reason: str, record: bool = True) -> None:
         if self._m_fallbacks is not None:
@@ -285,8 +425,13 @@ class WorkerPool:
         for index, worker in enumerate(self._workers):
             if worker.is_alive():
                 continue
+            self._restart_count += 1
             if self._m_restarts is not None:
                 self._m_restarts.inc()
+            if self._relay is not None:
+                # Settle the corpse's staged-event account: everything it
+                # recorded but never shipped becomes an exact drop count.
+                self._relay.note_worker_death(index)
             _record_event(
                 "parallel.worker_respawn", worker=index, exitcode=worker.exitcode
             )
@@ -306,6 +451,34 @@ class WorkerPool:
 
     def alive_count(self) -> int:
         return sum(1 for w in self._workers if w.is_alive())
+
+    def oldest_outstanding_age(self) -> float | None:
+        """Age (seconds) of the longest-unanswered dispatched fragment,
+        ``None`` when nothing is in flight.  A wedged pool shows up here
+        long before a scan's timeout expires."""
+        # Snapshot: dict values() can mutate under us from the dispatch
+        # thread; list() is atomic enough under the GIL.
+        stamps = [ts for ts, _ in list(self._outstanding.values())]
+        if not stamps:
+            return None
+        return max(0.0, time.monotonic() - min(stamps))
+
+    def liveness(self) -> dict[str, Any]:
+        """Pool health for ``db.health()`` / ``/healthz``."""
+        return {
+            "configured": self.num_workers,
+            "alive": self.alive_count(),
+            "started": self._started,
+            "broken": self._broken,
+            "restarts": self._restart_count,
+            "outstanding_tasks": len(self._outstanding),
+            "oldest_outstanding_age_seconds": self.oldest_outstanding_age(),
+        }
+
+    @property
+    def relay(self) -> TelemetryRelay | None:
+        """The coordinator-side telemetry relay (``None`` without a registry)."""
+        return self._relay
 
     def __repr__(self) -> str:
         state = "broken" if self._broken else (

@@ -18,7 +18,9 @@ code, so scan results and IPC payloads are byte-identical to serial output.
 from __future__ import annotations
 
 import io
+import os
 import signal
+from time import perf_counter
 from typing import Any
 
 import numpy as np
@@ -187,28 +189,69 @@ def run_serialize_fragment(
 # ---------------------------------------------------------------------- #
 
 
-def _execute(cache: _SegmentCache, kind: str, payload: tuple) -> Any:
+def _execute(cache: _SegmentCache, kind: str, payload: tuple, telemetry=None) -> Any:
     if kind == "scan":
         descriptors, column_ids, range_filters = payload
-        return run_scan_fragment(cache, descriptors, column_ids, range_filters)
+        result = run_scan_fragment(cache, descriptors, column_ids, range_filters)
+        if telemetry is not None:
+            telemetry.counter(
+                "parallel.fragment_blocks_total",
+                "blocks processed by worker fragments",
+            ).inc(len(descriptors))
+            telemetry.counter(
+                "parallel.fragment_rows_total",
+                "rows materialized by worker scan fragments",
+            ).inc(sum(r.get("num_rows", 0) for r in result if not r["pruned"]))
+        return result
     if kind == "serialize":
         (descriptors,) = payload
-        return run_serialize_fragment(cache, descriptors)
+        result = run_serialize_fragment(cache, descriptors)
+        if telemetry is not None:
+            telemetry.counter(
+                "parallel.fragment_blocks_total",
+                "blocks processed by worker fragments",
+            ).inc(len(descriptors))
+            telemetry.counter(
+                "parallel.fragment_bytes_total",
+                "Arrow IPC bytes encoded by worker fragments",
+            ).inc(sum(len(r["payload"]) for r in result))
+        return result
     if kind == "ping":
         return "pong"
     if kind == "crash":  # test hook: simulate a worker dying mid-task
-        import os
-
         os._exit(1)
+    if kind == "telemetry_burst":  # test hook: stage N events, ship normally
+        (count,) = payload
+        if telemetry is not None:
+            for index in range(count):
+                telemetry.record("test.relay_burst", index=index)
+        return count
+    if kind == "telemetry_crash":  # test hook: stage N events, die unshipped
+        (count,) = payload
+        if telemetry is not None:
+            for index in range(count):
+                telemetry.record("test.relay_doomed", index=index)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return None  # pragma: no cover - unreachable
     raise ValueError(f"unknown fragment kind {kind!r}")
 
 
-def worker_main(worker_index: int, task_queue, result_queue) -> None:
+def worker_main(
+    worker_index: int, task_queue, result_queue, telemetry_args=None
+) -> None:
     """Run fragments until a ``None`` sentinel arrives.
 
-    Results are ``(task_id, worker_index, ok, result_or_error)``; the
-    coordinator matches them by task id and treats anything it cannot match
-    (results of abandoned queries) as stale.
+    Results are ``(task_id, worker_index, ok, result_or_error, telemetry)``;
+    the coordinator matches them by task id and treats anything it cannot
+    match (results of abandoned queries) as stale.  ``telemetry`` is the
+    :meth:`~repro.obs.relay.WorkerTelemetry.flush` payload covering the
+    task — metric deltas, staged events, drained spans — or ``None`` when
+    the pool runs without a relay; a final telemetry-only message with
+    ``task_id=None`` is sent at shutdown so nothing staged is lost.
+
+    Tasks are ``(task_id, kind, payload, trace_ctx)``: the trace context
+    captured at dispatch is activated around execution, so worker spans
+    join the coordinator's causal tree.
     """
     # The coordinator owns shutdown; a Ctrl-C aimed at it should not kill
     # workers mid-IPC (they exit via sentinel or pool stop instead).
@@ -216,20 +259,80 @@ def worker_main(worker_index: int, task_queue, result_queue) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    telemetry = None
+    if telemetry_args is not None:
+        try:
+            from repro.obs.relay import WorkerTelemetry
+
+            telemetry = WorkerTelemetry(worker_index, **telemetry_args)
+        except Exception:  # pragma: no cover - telemetry must never wedge work
+            telemetry = None
     cache: _SegmentCache = {}
     while True:
         task = task_queue.get()
         if task is None:
             break
-        task_id, kind, payload = task
+        if len(task) == 4:
+            task_id, kind, payload, ctx = task
+        else:  # pragma: no cover - compatibility with 3-tuple dispatchers
+            task_id, kind, payload = task
+            ctx = None
+        flushed = None
         try:
-            result = _execute(cache, kind, payload)
+            if telemetry is not None:
+                started = perf_counter()
+                with telemetry.activated(ctx):
+                    with telemetry.span(
+                        f"parallel.{kind}_fragment", task_id=task_id
+                    ):
+                        result = _execute(cache, kind, payload, telemetry)
+                duration = perf_counter() - started
+                telemetry.histogram(
+                    "parallel.fragment_seconds", "worker-side fragment latency"
+                ).observe(duration)
+                telemetry.record(
+                    "parallel.fragment", fragment_kind=kind, seconds=duration
+                )
+                flushed = telemetry.flush(ctx)
+            else:
+                result = _execute(cache, kind, payload)
         except BaseException as exc:  # noqa: BLE001 - report, don't die
             try:
+                if telemetry is not None:
+                    flushed = telemetry.flush(ctx)
                 result_queue.put(
-                    (task_id, worker_index, False, f"{type(exc).__name__}: {exc}")
+                    (
+                        task_id,
+                        worker_index,
+                        False,
+                        f"{type(exc).__name__}: {exc}",
+                        flushed,
+                    )
                 )
             except Exception:  # pragma: no cover - queue torn down
                 pass
             continue
-        result_queue.put((task_id, worker_index, True, result))
+        result_queue.put((task_id, worker_index, True, result, flushed))
+    if telemetry is not None:
+        # Shutdown flush: whatever the last task left behind (idle-period
+        # events, profiler stacks) rides out on a telemetry-only message.
+        try:
+            result_queue.put((None, worker_index, True, None, telemetry.flush()))
+        except Exception:  # pragma: no cover - queue torn down
+            pass
+        telemetry.close()
+    # Drop every view over the segments before closing them, or SharedMemory
+    # raises BufferError ("exported pointers exist") at interpreter exit.
+    # The last task's locals (result arrays are slices of the cached view)
+    # and any reference cycles pin buffers, so clear those first.
+    task = result = flushed = payload = None  # noqa: F841
+    import gc
+
+    gc.collect()
+    while cache:
+        _, (segment, view) = cache.popitem()
+        del view
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - still referenced elsewhere
+            pass

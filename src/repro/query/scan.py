@@ -314,10 +314,14 @@ class TableScanner:
         if owns_txn:
             txn = self.txn_manager.begin()
         try:
-            if self.pool is not None:
-                yield from self._batches_parallel(txn)
-            else:
-                yield from self._batches_serial(txn)
+            # One root span per scan: fragment dispatch captures this
+            # span's trace context, so worker-process spans join the same
+            # causal tree (and a caller's enclosing span adopts the scan).
+            with trace.span("query.scan", parallel=self.pool is not None):
+                if self.pool is not None:
+                    yield from self._batches_parallel(txn)
+                else:
+                    yield from self._batches_serial(txn)
         finally:
             if owns_txn:
                 self.txn_manager.commit(txn)

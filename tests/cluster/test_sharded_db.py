@@ -169,8 +169,8 @@ class TestHealthAndObs:
             body = resp.read().decode()
         assert "cluster_shards 2" in body
         assert "cluster_txn_cross_shard_total 1" in body
-        assert "cluster_shard_0_healthy 1" in body
-        assert "cluster_shard_1_healthy 1" in body
+        assert 'cluster_shard_healthy{shard="0"} 1' in body
+        assert 'cluster_shard_healthy{shard="1"} 1' in body
 
     def test_recorder_sees_2pc_events(self, cluster):
         with cluster.transaction() as txn:

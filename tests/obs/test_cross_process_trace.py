@@ -1,0 +1,176 @@
+"""Acceptance: one distributed trace spanning coordinator, shards, workers.
+
+A two-shard cluster with two parallel workers per shard runs a TPC-C
+cross-shard payment (2PC) and a parallel scan under one root span.  The
+single ``render_chrome_trace()`` document must then contain coordinator
+spans, participant-shard 2PC spans, and worker-process spans all linked by
+the root's trace id — and the shard's ``/metrics`` exposition must carry
+nonzero worker-labeled counter series relayed from the worker processes.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cluster import ShardedDatabase
+from repro.obs.relay import HAVE_SHARED_MEMORY
+from repro.query.scan import TableScanner
+from repro.workloads.tpcc.driver import TpccDriver
+from repro.workloads.tpcc.schema import TPCC_SHARD_KEYS, TpccConfig
+from repro.workloads.tpcc.transactions import TpccTransactions
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    obs.get_tracer().reset()
+    yield
+    obs.configure(enabled=was)
+
+
+def _tiny_config() -> TpccConfig:
+    return TpccConfig(
+        warehouses=2,
+        districts_per_warehouse=2,
+        customers_per_district=12,
+        items=80,
+        initial_orders_per_district=8,
+        stock_per_warehouse=40,
+        payment_remote_rate=1.0,  # every payment pays a remote warehouse
+        block_size=1 << 12,
+    )
+
+
+@pytest.fixture
+def cluster():
+    config = _tiny_config()
+    db = ShardedDatabase(
+        n_shards=2,
+        shard_keys=TPCC_SHARD_KEYS,
+        cold_threshold_epochs=1,
+        parallel_workers=2,
+        logging_enabled=False,
+    )
+    TpccDriver(db, config).setup()
+    yield db, config
+    db.close()
+
+
+def test_cross_shard_payment_and_parallel_scan_share_one_trace(cluster):
+    db, config = cluster
+    executor = TpccTransactions(db, config, seed=7)
+
+    with obs.span("acceptance.root") as root:
+        trace_id = root.trace_id
+        assert executor.payment(1), "cross-shard payment must commit"
+        # A parallel scan on shard 0's stock table rides the same trace.
+        shard = db.shards[0]
+        shard.freeze_table("stock")
+        table = shard.catalog.table("stock")
+        scanner = TableScanner(
+            shard.txn_manager, table, pool=shard.parallel_pool
+        )
+        rows = sum(batch.num_rows for batch in scanner.batches())
+        assert rows > 0
+
+    # The pool really dispatched fragments to worker processes.
+    completed = shard.obs.counter("parallel.tasks_completed_total").value
+    assert completed >= 1, "no fragments reached the workers"
+
+    doc = json.loads(obs.render_chrome_trace(db.recorder))
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    in_trace = [
+        e for e in slices if e["args"].get("trace_id") == trace_id
+    ]
+    names = {e["name"] for e in in_trace}
+
+    # Coordinator 2PC spans.
+    assert "cluster.2pc" in names
+    assert "cluster.2pc.decide" in names
+    # Participant-shard spans: one prepare + one commit_prepared per shard.
+    prepares = [e for e in in_trace if e["name"] == "cluster.2pc.prepare"]
+    assert {e["args"]["shard"] for e in prepares} == {0, 1}
+    assert "cluster.2pc.commit_prepared" in names
+    # The scan root and its dispatch joined the same trace.
+    assert "query.scan" in names
+    # Worker-process spans: rendered on their own process tracks (pid != 1
+    # = not the coordinator) and parented into the same trace.
+    worker_spans = [
+        e
+        for e in in_trace
+        if e["name"] == "parallel.scan_fragment" and e["pid"] != 1
+    ]
+    assert worker_spans, "no worker-process spans joined the trace"
+    assert all(e["args"].get("parent_id") is not None for e in worker_spans)
+
+    # Worker processes render as named Perfetto process tracks.
+    processes = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "coordinator" in processes
+    assert processes & {"worker0", "worker1"}
+
+    # The 2PC journal events carry the trace id too, so db.timeline()
+    # attaches the remote spans.
+    decide = db.recorder.events(kind="cluster.decide")[-1]
+    assert decide.attrs["trace_id"] == trace_id
+
+
+def test_shard_metrics_expose_worker_labeled_series(cluster):
+    db, config = cluster
+    shard = db.shards[0]
+    shard.freeze_table("stock")
+    table = shard.catalog.table("stock")
+    scanner = TableScanner(shard.txn_manager, table, pool=shard.parallel_pool)
+    assert sum(batch.num_rows for batch in scanner.batches()) > 0
+
+    server = shard.serve_obs()
+    try:
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as resp:
+            body = resp.read().decode()
+    finally:
+        shard.stop_serving_obs()
+
+    worker_lines = [
+        line
+        for line in body.splitlines()
+        if 'process="worker"' in line and 'worker_id="' in line
+        and not line.startswith("#")
+    ]
+    assert worker_lines, "no worker-labeled series in /metrics"
+    nonzero = [
+        line
+        for line in worker_lines
+        if line.startswith("parallel_fragment_blocks_total")
+        and float(line.rsplit(" ", 1)[1]) > 0
+    ]
+    assert nonzero, f"no nonzero relayed worker counters: {worker_lines[:10]}"
+
+
+def test_cluster_health_reports_worker_pools(cluster):
+    db, config = cluster
+    shard = db.shards[0]
+    shard.freeze_table("stock")
+    table = shard.catalog.table("stock")
+    scanner = TableScanner(shard.txn_manager, table, pool=shard.parallel_pool)
+    assert sum(batch.num_rows for batch in scanner.batches()) > 0
+
+    health = shard.health()
+    workers = health["workers"]
+    assert workers["configured"] == 2
+    assert workers["alive"] == 2
+    assert workers["restarts"] == 0
+    assert workers["outstanding_tasks"] == 0
+
+    rollup = db.health()["workers"]
+    assert rollup is not None
+    assert rollup["alive"] >= 2

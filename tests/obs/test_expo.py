@@ -249,6 +249,158 @@ def test_prometheus_family_collision_skipped():
     assert len(samples) == 1
 
 
+# ---------------------------------------------------------------------- #
+# labeled families (relay-style process/worker_id/shard series)           #
+# ---------------------------------------------------------------------- #
+
+
+def _relay_style_registry():
+    """Coordinator series plus relayed worker series in one family, the
+    shape :class:`~repro.obs.relay.TelemetryRelay` merges produce."""
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter("test.relay_total", "fragments").inc(2)
+    for wid in ("0", "1"):
+        reg.counter(
+            "test.relay_total",
+            "fragments",
+            labels={"process": "worker", "worker_id": wid},
+        ).inc(3 + int(wid))
+    hist = reg.histogram(
+        "test.relay_seconds",
+        "latency",
+        buckets=(0.1, 1.0),
+        labels={"process": "worker", "worker_id": "0"},
+    )
+    hist.observe(0.05)
+    hist.observe(5.0)
+    return reg
+
+
+def _assert_families_well_formed(text):
+    """The block-structure checks the unlabeled tests make, reusable for
+    labeled output: every line parses, HELP/TYPE once per family, and all
+    samples of a family are contiguous under its comment block."""
+    seen_type = {}
+    closed = set()
+    current = None
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert _COMMENT_LINE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert _METRIC_LINE.match(line), f"bad metric line: {line!r}"
+        family = _family_of(line)
+        if line.startswith("# HELP "):
+            assert family not in closed, f"family {family} reopened"
+            if current is not None and current != family:
+                closed.add(current)
+            current = family
+        elif line.startswith("# TYPE "):
+            seen_type[family] = seen_type.get(family, 0) + 1
+            assert seen_type[family] == 1, f"TYPE {family} repeated"
+        else:
+            assert family == current, f"sample {line!r} strays from {current}"
+
+
+def test_labeled_series_share_one_family_block():
+    text = obs.render_prometheus(_relay_style_registry())
+    _assert_families_well_formed(text)
+    lines = text.splitlines()
+    samples = [l for l in lines if l.startswith("test_relay_total")]
+    assert samples == [
+        "test_relay_total 2",
+        'test_relay_total{process="worker",worker_id="0"} 3',
+        'test_relay_total{process="worker",worker_id="1"} 4',
+    ]
+    assert lines.count("# TYPE test_relay_total counter") == 1
+
+
+def test_labeled_histogram_bucket_lines_compose_le_last():
+    text = obs.render_prometheus(_relay_style_registry())
+    lines = text.splitlines()
+    buckets = [l for l in lines if l.startswith("test_relay_seconds_bucket")]
+    assert [l.rsplit(" ", 1)[0] for l in buckets] == [
+        'test_relay_seconds_bucket{process="worker",worker_id="0",le="0.1"}',
+        'test_relay_seconds_bucket{process="worker",worker_id="0",le="1"}',
+        'test_relay_seconds_bucket{process="worker",worker_id="0",le="+Inf"}',
+    ]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    count_line = next(
+        l for l in lines if l.startswith("test_relay_seconds_count")
+    )
+    assert count_line == (
+        'test_relay_seconds_count{process="worker",worker_id="0"} 2'
+    )
+    assert counts[-1] == 2  # +Inf bucket equals _count
+    assert (
+        'test_relay_seconds_sum{process="worker",worker_id="0"}'
+        in next(l for l in lines if l.startswith("test_relay_seconds_sum"))
+    )
+
+
+def test_label_values_escaped_per_spec():
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter(
+        "test.escaped_total",
+        "odd label values",
+        labels={"path": 'a\\b"c\nd'},
+    ).inc(1)
+    text = obs.render_prometheus(reg)
+    assert (
+        'test_escaped_total{path="a\\\\b\\"c\\nd"} 1' in text.splitlines()
+    )
+
+
+def test_shard_labeled_gauges_render_as_one_family():
+    """Cluster shard gauges (``{shard="N"}``) obey the same family rules."""
+    from repro.cluster import ShardedDatabase
+
+    cluster = ShardedDatabase(n_shards=2, logging_enabled=False)
+    try:
+        text = obs.render_prometheus(cluster.obs)
+    finally:
+        cluster.close()
+    _assert_families_well_formed(text)
+    healthy = [
+        l for l in text.splitlines() if l.startswith("cluster_shard_healthy")
+    ]
+    assert healthy == [
+        'cluster_shard_healthy{shard="0"} 1',
+        'cluster_shard_healthy{shard="1"} 1',
+    ]
+
+
+def test_worker_relayed_series_conform(worked_db):
+    """End-to-end: merge real relay payload shapes, then lint the text."""
+    from repro.obs.recorder import Recorder
+    from repro.obs.registry import MetricRegistry
+    from repro.obs.relay import HAVE_SHARED_MEMORY, TelemetryRelay, WorkerTelemetry
+
+    if not HAVE_SHARED_MEMORY:
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    registry = MetricRegistry()
+    recorder = Recorder(registry=registry)
+    relay = TelemetryRelay(1, registry, recorder)
+    try:
+        telemetry = WorkerTelemetry(0, **relay.worker_args())
+        telemetry.counter("parallel.tasks_total", "tasks").inc(4)
+        telemetry.histogram("parallel.fragment_seconds", "latency").observe(0.02)
+        relay.merge(telemetry.flush(None))
+        telemetry.close()
+    finally:
+        relay.close()
+    text = obs.render_prometheus(registry)
+    _assert_families_well_formed(text)
+    assert (
+        'parallel_tasks_total{process="worker",worker_id="0"} 4'
+        in text.splitlines()
+    )
+
+
 def test_wal_counter_matches_log_manager(worked_db):
     assert (
         worked_db.obs.counter("wal.written_bytes").value

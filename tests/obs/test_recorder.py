@@ -239,7 +239,9 @@ def test_chrome_trace_document_shape(recorder):
     # Every timestamp is relative to the earliest — all non-negative.
     assert all(e.get("ts", 0) >= 0 for e in doc["traceEvents"])
     meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-    assert all(e["name"] == "thread_name" for e in meta)
+    assert all(e["name"] in ("thread_name", "process_name") for e in meta)
+    # Single-process capture: everything lives on the coordinator track.
+    assert {e["pid"] for e in doc["traceEvents"]} == {1}
 
 
 # ---------------------------------------------------------------------- #

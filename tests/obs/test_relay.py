@@ -1,0 +1,359 @@
+"""Cross-process telemetry relay: delta shipping, clock alignment, merge
+labeling, and exact drop accounting through worker death.
+
+The SIGKILL tests are the PR's hard invariant: a worker killed with staged
+but unshipped events must surface *exactly* that many drops in
+``obs.events_dropped_total`` — no estimate, no double count — under both
+``fork`` and ``spawn`` start methods.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import Recorder
+from repro.obs.registry import MetricRegistry
+from repro.obs.relay import (
+    HAVE_SHARED_MEMORY,
+    IDX_EVENTS_STAGED,
+    TelemetryPage,
+    TelemetryRelay,
+    WorkerTelemetry,
+    _worker_span_id_base,
+)
+from repro.obs.trace import TraceContext, Tracer
+from repro.parallel.pool import WorkerPool
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+def _harness():
+    registry = MetricRegistry()
+    recorder = Recorder(registry=registry)
+    tracer = Tracer()
+    relay = TelemetryRelay(2, registry, recorder=recorder, tracer=tracer)
+    return registry, recorder, tracer, relay
+
+
+class TestTelemetryPage:
+    def test_add_read_reset(self):
+        page = TelemetryPage(2)
+        try:
+            page.add(0, IDX_EVENTS_STAGED, 3)
+            page.add(1, IDX_EVENTS_STAGED, 7)
+            assert page.read(0, IDX_EVENTS_STAGED) == 3
+            assert page.read(1, IDX_EVENTS_STAGED) == 7
+            page.reset_worker(0)
+            assert page.read(0, IDX_EVENTS_STAGED) == 0
+            assert page.read(1, IDX_EVENTS_STAGED) == 7
+        finally:
+            page.close()
+
+    def test_attach_sees_owner_writes(self):
+        owner = TelemetryPage(1)
+        try:
+            attached = TelemetryPage.attach(owner.name, 1)
+            attached.add(0, IDX_EVENTS_STAGED, 5)
+            assert owner.read(0, IDX_EVENTS_STAGED) == 5
+            attached.close()
+            # The attach-side close must not unlink: the owner still reads.
+            assert owner.read(0, IDX_EVENTS_STAGED) == 5
+        finally:
+            owner.close()
+
+    def test_close_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        page = TelemetryPage(1)
+        name = page.name
+        page.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestWorkerTelemetry:
+    def test_flush_ships_events_once(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            wt.record("test.one", txn_id=7, detail="a")
+            wt.record("test.two")
+            payload = wt.flush()
+            assert len(payload["events"]) == 2
+            assert payload["events_dropped"] == 0
+            # A second flush is empty: everything shipped exactly once.
+            assert wt.flush()["events"] == []
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_staging_overflow_counts_drops(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, event_capacity=4, **relay.worker_args())
+            for i in range(10):
+                wt.record("test.burst", index=i)
+            payload = wt.flush()
+            assert len(payload["events"]) == 4
+            assert payload["events_dropped"] == 6
+            # Staged counter saw all 10; shipped + dropped account for them.
+            assert relay.page.read(0, IDX_EVENTS_STAGED) == 10
+            relay.merge(payload)
+            assert relay.events_acked[0] == 10
+            assert registry.counter("obs.events_dropped_total").value == 6
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_metric_deltas_ship_incrementally(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            wt.counter("test.c_total", "c").inc(3)
+            first = wt.flush()["metrics"]
+            assert ("test.c_total", "c", 3.0) in first["counters"]
+            # Unchanged since: not re-shipped.
+            assert wt.flush()["metrics"]["counters"] == []
+            wt.counter("test.c_total", "c").inc(2)
+            second = wt.flush()["metrics"]
+            assert ("test.c_total", "c", 2.0) in second["counters"]
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_span_ids_are_pid_salted(self):
+        import os
+
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            with wt.span("test.work"):
+                pass
+            (span,) = wt.tracer.drain()
+            base = _worker_span_id_base(os.getpid())
+            assert span.span_id >= base
+            wt.close()
+        finally:
+            relay.close()
+
+
+class TestRelayMerge:
+    def test_counters_land_as_labeled_series(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(1, **relay.worker_args())
+            wt.counter("parallel.fragment_rows_total", "rows").inc(42)
+            relay.merge(wt.flush())
+            labeled = registry.get(
+                "parallel.fragment_rows_total",
+                labels={"process": "worker", "worker_id": "1"},
+            )
+            assert labeled.value == 42
+            # The unlabeled family name alone does not exist.
+            assert registry.get("parallel.fragment_rows_total") is None
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_histogram_deltas_merge(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            wt.histogram("test.lat_seconds", "lat").observe(0.01)
+            relay.merge(wt.flush())
+            wt.histogram("test.lat_seconds", "lat").observe(0.02)
+            relay.merge(wt.flush())
+            merged = registry.get(
+                "test.lat_seconds",
+                labels={"process": "worker", "worker_id": "0"},
+            )
+            snap = merged.snapshot()
+            assert snap.count == 2
+            assert snap.sum == pytest.approx(0.03)
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_events_clock_aligned_and_process_tagged(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            before = time.perf_counter()
+            wt.record("test.aligned", txn_id=3)
+            relay.merge(wt.flush())
+            after = time.perf_counter()
+            (event,) = recorder.events(kind="test.aligned")
+            assert event.process == "worker0"
+            assert event.txn_id == 3
+            # Same process ⇒ offset ≈ 0; the aligned ts must sit inside the
+            # bracketing coordinator timestamps (generous slack for wall
+            # clock jitter between time.time() samples).
+            assert before - 0.25 <= event.ts <= after + 0.25
+            assert relay.clock_offset(0) == pytest.approx(0.0, abs=0.25)
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_events_inherit_dispatch_trace_id(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            ctx = TraceContext(trace_id=777, span_id=12)
+            with wt.activated(tuple(ctx)):
+                wt.record("test.traced")
+            relay.merge(wt.flush(tuple(ctx)))
+            (event,) = recorder.events(kind="test.traced")
+            assert event.attrs["trace_id"] == 777
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_spans_ingest_verbatim_with_parent_links(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            ctx = TraceContext(trace_id=555, span_id=99)
+            with wt.activated(tuple(ctx)):
+                with wt.span("test.outer"):
+                    with wt.span("test.inner"):
+                        pass
+            relay.merge(wt.flush(tuple(ctx)))
+            spans = {s.name: s for s in tracer.spans() if s.process == "worker0"}
+            assert set(spans) == {"test.outer", "test.inner"}
+            assert spans["test.outer"].parent_id == 99  # dispatch ctx
+            assert spans["test.outer"].trace_id == 555
+            assert spans["test.inner"].parent_id == spans["test.outer"].span_id
+            assert spans["test.inner"].trace_id == 555
+            wt.close()
+        finally:
+            relay.close()
+
+    def test_profile_stacks_accumulate_with_worker_prefix(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            payload = {
+                "worker": 1,
+                "wall": time.time(),
+                "perf": time.perf_counter(),
+                "ctx": None,
+                "events": [],
+                "events_dropped": 0,
+                "spans": [],
+                "metrics": {},
+                "profile": {"MainThread;f.py:work": 5},
+            }
+            relay.merge(payload)
+            assert relay.profile_stacks() == {
+                "worker1;MainThread;f.py:work": 5
+            }
+        finally:
+            relay.close()
+
+
+class TestDeathAccounting:
+    def test_clean_account_settles_to_zero(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            for i in range(5):
+                wt.record("test.clean", index=i)
+            relay.merge(wt.flush())
+            wt.close()
+            assert relay.note_worker_death(0) == 0
+            assert registry.counter("obs.events_dropped_total").value == 0
+        finally:
+            relay.close()
+
+    def test_unshipped_events_become_exact_drops(self):
+        registry, recorder, tracer, relay = _harness()
+        try:
+            wt = WorkerTelemetry(0, **relay.worker_args())
+            for i in range(5):
+                wt.record("test.shipped", index=i)
+            relay.merge(wt.flush())
+            for i in range(3):  # staged but never flushed: the "SIGKILL" set
+                wt.record("test.doomed", index=i)
+            assert relay.note_worker_death(0) == 3
+            assert registry.counter("obs.events_dropped_total").value == 3
+            (note,) = recorder.events(kind="obs.relay_dropped")
+            assert note.attrs == {
+                "worker": 0, "events": 3, "reason": "worker_died",
+            }
+            # Settling resets the account: a respawned worker starts clean.
+            assert relay.note_worker_death(0) == 0
+            wt.close()
+        finally:
+            relay.close()
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+class TestSigkillAccounting:
+    """End-to-end through real worker processes and a real kill."""
+
+    def _pool(self, method):
+        if method not in mp.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        registry = MetricRegistry()
+        recorder = Recorder(registry=registry)
+        pool = WorkerPool(
+            1, start_method=method, registry=registry, recorder=recorder
+        )
+        return registry, recorder, pool
+
+    def test_sigkill_mid_task_drops_exactly_staged_events(self, method):
+        registry, recorder, pool = self._pool(method)
+        try:
+            # A normal burst first: staged AND shipped, so it must not be
+            # counted as dropped when the worker later dies.
+            (shipped,) = pool.run_fragments(
+                "telemetry_burst", [(17,)], timeout=60.0
+            )
+            assert shipped == 17
+            assert registry.counter("obs.events_dropped_total").value == 0
+            burst = recorder.events(kind="test.relay_burst")
+            assert len(burst) == 17
+            assert all(e.process == "worker0" for e in burst)
+
+            # Now stage 23 events and SIGKILL before the flush can ship.
+            (result,) = pool.run_fragments(
+                "telemetry_crash", [(23,)], timeout=60.0
+            )
+            assert result is None  # fragment fell back
+            deadline = time.monotonic() + 10.0
+            while (
+                registry.counter("obs.events_dropped_total").value < 23
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert registry.counter("obs.events_dropped_total").value == 23
+            notes = recorder.events(kind="obs.relay_dropped")
+            assert [n.attrs["events"] for n in notes] == [23]
+            assert notes[0].attrs["reason"] == "worker_died"
+            # None of the doomed events leaked into the journal.
+            assert recorder.events(kind="test.relay_doomed") == []
+        finally:
+            pool.stop()
+
+    def test_clean_shutdown_drops_nothing(self, method):
+        registry, recorder, pool = self._pool(method)
+        try:
+            (shipped,) = pool.run_fragments(
+                "telemetry_burst", [(9,)], timeout=60.0
+            )
+            assert shipped == 9
+        finally:
+            pool.stop()
+        assert registry.counter("obs.events_dropped_total").value == 0
+        assert recorder.events(kind="obs.relay_dropped") == []
