@@ -1,0 +1,104 @@
+"""Service front-door load curve: latency and shed rate vs offered rate.
+
+Boots the asyncio transactional server over real sockets with a fixed
+admission limit and sweeps an open-loop (constant-arrival-rate) YCSB-style
+workload across offered rates from well under the limit to 2x over it.
+The robustness claim is the shape of the curve:
+
+* under the limit, nothing sheds and p99 stays flat;
+* over the limit, the server sheds the excess *explicitly* (typed
+  too-busy / rate-limit responses, never timeouts or errors) and p99 of
+  the admitted requests stays bounded because the queue is bounded;
+* no request ever observes an unhandled server exception.
+
+Latency is measured from each request's scheduled arrival (open loop),
+so queueing delay is not hidden by coordinated omission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnSpec, Database
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.cluster import ShardedDatabase
+from repro.service.loadgen import LoadgenConfig, run_loadgen_sync
+from repro.service.server import ServerThread, ServiceConfig
+
+from conftest import publish, scaled
+from repro.bench.reporting import format_table
+
+#: Admission limit the sweep is defined against (requests/second).
+LIMIT = 200.0
+#: Offered load as a multiple of the admission limit.
+RATE_MULTIPLES = (0.25, 0.5, 1.0, 1.5, 2.0)
+DURATION = max(1.0, scaled(2) / 2.0)
+KEYS = scaled(500, minimum=100)
+
+
+def _make_db(shards: int):
+    columns = [ColumnSpec("key", INT64), ColumnSpec("field0", UTF8)]
+    if shards > 1:
+        db = ShardedDatabase(n_shards=shards)
+        db.create_table("usertable", columns, shard_key="key")
+    else:
+        db = Database()
+        db.create_table("usertable", columns)
+    db.create_index("usertable", "by_key", ["key"])
+    info = db.catalog.get("usertable")
+    with db.transaction() as txn:
+        for key in range(KEYS):
+            info.table.insert(txn, {0: key, 1: f"value-{key}"})
+    return db
+
+
+def _sweep(db) -> list[list]:
+    config = ServiceConfig(
+        max_inflight=8, max_queue=16,
+        tenant_rate=LIMIT, tenant_burst=LIMIT / 10.0,
+    )
+    rows = []
+    with ServerThread(db, config) as server:
+        for multiple in RATE_MULTIPLES:
+            rate = LIMIT * multiple
+            result = run_loadgen_sync(LoadgenConfig(
+                port=server.port, rate=rate, duration=DURATION,
+                connections=16, keys=KEYS, deadline_ms=2000.0,
+                seed=int(multiple * 100),
+            ))
+            assert result.errors == 0, "typed sheds only, never errors"
+            assert server.server.unhandled_exceptions == 0
+            rows.append([
+                f"{multiple:.2f}x",
+                result.offered,
+                result.ok,
+                result.shed,
+                f"{result.shed_rate * 100.0:.1f}%",
+                f"{result.p50_ms:.1f}",
+                f"{result.p99_ms:.1f}",
+            ])
+            if multiple <= 0.5:
+                assert result.shed == 0, f"shed below the limit at {rate}/s"
+            if multiple >= 2.0:
+                assert result.shed > 0, f"no sheds at {rate}/s (2x limit)"
+                assert result.p99_ms < 2000.0, "p99 unbounded under overload"
+    return rows
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_service_load_curve(benchmark, shards):
+    db = _make_db(shards)
+    try:
+        rows = benchmark.pedantic(_sweep, args=(db,), rounds=1, iterations=1)
+    finally:
+        db.close()
+    label = "1 node" if shards == 1 else f"{shards} shards"
+    publish(
+        f"service_load_{shards}shard",
+        format_table(
+            f"Service front door under open-loop load ({label}, "
+            f"admission limit {LIMIT:.0f}/s)",
+            ["offered", "requests", "ok", "shed", "shed%", "p50 ms", "p99 ms"],
+            rows,
+        ),
+    )

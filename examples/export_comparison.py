@@ -56,6 +56,11 @@ def main() -> None:
         "\nThe zero-copy paths win because the storage format IS the wire "
         "format:\nno per-value serialization on the server, no parsing on the client."
     )
+    print(
+        "\nTo serve these exports over a real socket (with admission control,"
+        "\nhealth-gated writes, and graceful drain), see examples/"
+        "service_frontdoor.py\nor run:  python -m repro.service serve"
+    )
 
 
 if __name__ == "__main__":

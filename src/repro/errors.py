@@ -87,6 +87,27 @@ class SerializationError(ReproError):
     """A wire protocol failed to encode or decode a message."""
 
 
+class ServiceError(ReproError):
+    """The transactional network service could not process a request."""
+
+
+class ServiceOverload(ServiceError):
+    """The service shed this request instead of queuing it unboundedly.
+
+    Raised by the admission controller (connection/in-flight limits,
+    per-tenant rate limits, a full accept queue, an expired deadline) and
+    by the health gate while writes are rejected.  ``reason`` is the
+    machine-readable shed code that also labels the
+    ``service.shed_total`` metric and travels on the wire as the
+    explicit too-busy error response — overload produces fast rejections,
+    never unbounded queues.
+    """
+
+    def __init__(self, reason: str, message: str | None = None) -> None:
+        super().__init__(message or f"request shed: {reason}")
+        self.reason = reason
+
+
 class WorkloadError(ReproError):
     """A workload generator or driver was configured inconsistently."""
 

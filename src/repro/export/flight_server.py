@@ -6,6 +6,13 @@ module reproduces that call pattern over the engine so downstream tools
 program against a service, not against engine internals.  Tickets can name
 a whole table or a block range, enabling partitioned parallel consumption
 — the "client fetches shards concurrently" pattern Flight was designed for.
+
+This module is the in-process codec/ticket layer only.  To actually serve
+tables over a network socket, use the transactional front door
+(:mod:`repro.service`): ``python -m repro.service serve`` exposes the same
+Arrow-IPC stream as the ``export`` operation — with admission control,
+health-gated writes, deadlines, and graceful drain — and
+``python -m repro.service loadgen`` drives it open-loop.
 """
 
 from __future__ import annotations

@@ -16,6 +16,12 @@ CPU entirely.  The two challenges it names are implemented here:
 
 Time is injectable (a callable clock) so tests drive lease expiry
 deterministically.
+
+Like :mod:`repro.export.flight_server`, this is a codec/protocol layer,
+not a network server; the socket-facing entry point for exports is the
+transactional front door (``python -m repro.service serve``, operation
+``export``), which layers admission control and graceful drain on top of
+these same mechanisms.
 """
 
 from __future__ import annotations

@@ -396,6 +396,37 @@ class MetricRegistry:
         with self._lock:
             return self._metrics.get(key)
 
+    def unregister(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> bool:
+        """Drop one series; ``True`` if it existed (idempotent).
+
+        Components with a bounded lifetime (the obs HTTP server, the
+        transactional service) register callback gauges that capture
+        ``self``; unregistering on stop keeps repeated start/stop cycles
+        from accumulating dead series — and dead object references —
+        in a long-lived registry.
+        """
+        key = name + label_suffix(_check_labels(labels))
+        with self._lock:
+            removed = self._metrics.pop(key, None) is not None
+            if removed and not any(
+                m.name == name for m in self._metrics.values()
+            ):
+                self._family_kind.pop(name, None)
+        return removed
+
+    def unregister_family(self, name: str) -> int:
+        """Drop every series of the family ``name``; returns the count
+        removed (0 when none existed — idempotent)."""
+        with self._lock:
+            keys = [k for k, m in self._metrics.items() if m.name == name]
+            for key in keys:
+                del self._metrics[key]
+            if keys:
+                self._family_kind.pop(name, None)
+        return len(keys)
+
     def series(self, name: str) -> list[Instrument]:
         """Every series of the family ``name`` (labeled and unlabeled)."""
         with self._lock:

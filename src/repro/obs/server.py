@@ -282,12 +282,24 @@ class ObsServer:
             name="obs-server",
         )
         self._thread.start()
+        # Registered on start, unregistered on stop: a start/stop cycle
+        # must leave the registry exactly as it found it (each restart
+        # would otherwise strand a gauge whose callback pins a dead
+        # server object).
+        self.db.obs.gauge(
+            "obs.server_up",
+            "1 while the monitoring HTTP server accepts scrapes",
+            callback=lambda: 1.0 if self._thread is not None else 0.0,
+        )
         return self
 
     def stop(self) -> None:
-        """Shut down and release the socket (idempotent)."""
+        """Shut down, release the socket, and unregister the gauges this
+        server added (idempotent — repeated stops, or stop after a failed
+        start, are no-ops)."""
         thread, self._thread = self._thread, None
         if thread is not None:
             self._httpd.shutdown()
             thread.join()
+            self.db.obs.unregister("obs.server_up")
         self._httpd.server_close()

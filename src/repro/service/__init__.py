@@ -1,0 +1,40 @@
+"""The transactional network service (the repo's robust "front door").
+
+Everything upstream of the engine that a client on a socket touches:
+
+- :mod:`repro.service.protocol` — the framed wire protocol (postgres-wire
+  rows, Arrow-IPC exports, explicit shed/error codes),
+- :mod:`repro.service.admission` — bounded connections, bounded in-flight
+  slots with a bounded FIFO accept queue, per-tenant token buckets,
+- :mod:`repro.service.gate` — the hysteretic write gate keyed off
+  ``db.health()`` (WAL backlog / degraded mode ⇒ writes shed, reads flow),
+- :mod:`repro.service.server` — the asyncio server tying it together with
+  deadline propagation and graceful SIGTERM drain,
+- :mod:`repro.service.client` — sync and async clients,
+- :mod:`repro.service.loadgen` — the YCSB-style open-loop load generator.
+
+CLI: ``python -m repro.service serve|loadgen|smoke``.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.gate import HealthGate
+from repro.service.loadgen import LoadgenConfig, LoadgenResult, run_loadgen_sync
+from repro.service.protocol import Request, Response
+from repro.service.server import ServerThread, ServiceConfig, TransactionalServer
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServiceClient",
+    "HealthGate",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "Request",
+    "Response",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "TokenBucket",
+    "TransactionalServer",
+    "run_loadgen_sync",
+]

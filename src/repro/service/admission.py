@@ -1,0 +1,291 @@
+"""Admission control: bounded concurrency, bounded queueing, explicit sheds.
+
+The robustness contract of the front door is that *overload produces fast
+rejections, not collapse*: every resource a client can consume is bounded,
+and crossing a bound raises :class:`~repro.errors.ServiceOverload` with a
+machine-readable reason that travels to the client as the explicit
+too-busy response.  Three bounds:
+
+- **connections** — checked at accept; over the limit the server writes
+  one error frame and closes instead of keeping the socket,
+- **in-flight transactions** — a slot pool sized to the executor; when
+  full, requests wait in a *bounded* FIFO queue (the "accept queue"), and
+  a full queue sheds immediately,
+- **per-tenant rate** — a token bucket per tenant, so one aggressive
+  tenant exhausts its own budget, not the server.
+
+Queued requests respect their deadline: a waiter whose deadline expires
+before a slot frees is shed with ``deadline`` having held no resources.
+Every admission decision is counted (``service.admitted_total``,
+``service.shed_total{reason=...}``, per-tenant ``service.requests_total``)
+and journaled to the flight recorder, so a shed spike is attributable
+after the fact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ServiceOverload
+from repro.obs.registry import MetricRegistry
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Recorder
+
+
+class TokenBucket:
+    """The standard token bucket: ``rate`` tokens/sec, ``burst`` capacity.
+
+    ``clock`` is injectable so tests drive refill deterministically.
+    Single-threaded by design — the admission controller calls it only
+    from the event loop.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self.tokens = self.burst
+        self.clock = clock
+        self._last = clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        now = self.clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def seconds_until(self, n: float = 1.0) -> float:
+        """How long until ``n`` tokens will have refilled (retry hint)."""
+        deficit = n - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class AdmissionTicket:
+    """One admitted request's slot; release exactly once."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release_slot()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded connection/in-flight admission with per-tenant rate limits.
+
+    All async methods must run on one event loop (the server's); the
+    bookkeeping is deliberately lock-free because of that.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 32,
+        max_queue: int = 64,
+        max_connections: int = 256,
+        tenant_rate: float | None = None,
+        tenant_burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry: MetricRegistry | None = None,
+        recorder: "Recorder | None" = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.max_connections = max_connections
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.clock = clock
+        self.recorder = recorder
+        self._inflight = 0
+        self._connections = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_admitted = reg.counter(
+            "service.admitted_total", "requests admitted past the front door"
+        )
+        self._m_shed = {
+            reason: reg.counter(
+                "service.shed_total",
+                "requests shed with an explicit too-busy response",
+                labels={"reason": reason},
+            )
+            for reason in (
+                "too_busy", "queue_timeout", "tenant_rate",
+                "connections", "deadline",
+            )
+        }
+        self._m_queue_wait = reg.histogram(
+            "service.queue_wait_seconds", "time admitted requests spent queued"
+        )
+        reg.gauge(
+            "service.inflight",
+            "requests holding an execution slot",
+            callback=lambda: self._inflight,
+        )
+        reg.gauge(
+            "service.queue_depth",
+            "requests waiting for an execution slot",
+            callback=lambda: len(self._waiters),
+        )
+        reg.gauge(
+            "service.connections",
+            "open client connections",
+            callback=lambda: self._connections,
+        )
+
+    # ------------------------------------------------------------------ #
+    # connection accounting                                               #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def connections(self) -> int:
+        return self._connections
+
+    def try_connection(self) -> bool:
+        """Claim a connection slot at accept time; ``False`` = shed."""
+        if self._connections >= self.max_connections:
+            self._shed("connections", tenant=None)
+            return False
+        self._connections += 1
+        return True
+
+    def release_connection(self) -> None:
+        self._connections = max(0, self._connections - 1)
+
+    # ------------------------------------------------------------------ #
+    # request admission                                                   #
+    # ------------------------------------------------------------------ #
+
+    async def admit(
+        self, tenant: str = "default", deadline: float | None = None
+    ) -> AdmissionTicket:
+        """Admit one request or raise :class:`ServiceOverload`.
+
+        ``deadline`` is an absolute ``clock()`` timestamp.  Order of the
+        checks matters: an already-dead request must not consume rate
+        tokens, and a rate-limited one must not occupy queue space.
+        """
+        if deadline is not None and self.clock() >= deadline:
+            raise self._shed("deadline", tenant)
+        if self.tenant_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, self.clock
+                )
+            if not bucket.try_take():
+                raise self._shed(
+                    "tenant_rate", tenant,
+                    retry_after=bucket.seconds_until(),
+                )
+        if self._inflight < self.max_inflight:
+            self._inflight += 1
+        else:
+            if len(self._waiters) >= self.max_queue:
+                raise self._shed("too_busy", tenant)
+            waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            queued_at = self.clock()
+            timeout = None if deadline is None else max(0.0, deadline - queued_at)
+            try:
+                await asyncio.wait_for(waiter, timeout)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                # wait_for cancelled the future; a cancelled entry is
+                # skipped by _release_slot, and one may already have been
+                # popped for us — if the slot was handed over in the race,
+                # give it back.
+                if waiter.cancelled() or not waiter.done():
+                    try:
+                        self._waiters.remove(waiter)
+                    except ValueError:
+                        pass
+                    reason = "deadline" if timeout is not None else "queue_timeout"
+                    raise self._shed(reason, tenant) from None
+                # The slot arrived between timeout and cleanup: keep it.
+            self._m_queue_wait.observe(self.clock() - queued_at)
+        self._m_admitted.inc()
+        self.registry.counter(
+            "service.requests_total",
+            "admitted requests per tenant",
+            labels={"tenant": tenant},
+        ).inc()
+        return AdmissionTicket(self)
+
+    def _release_slot(self) -> None:
+        # Hand the slot to the oldest live waiter (FIFO): the in-flight
+        # count is unchanged because the slot never becomes free.
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        self._inflight = max(0, self._inflight - 1)
+
+    def _shed(
+        self, reason: str, tenant: str | None, retry_after: float | None = None
+    ) -> ServiceOverload:
+        self._m_shed[reason].inc()
+        if tenant is not None:
+            self.registry.counter(
+                "service.shed_by_tenant_total",
+                "sheds per tenant",
+                labels={"tenant": tenant, "reason": reason},
+            ).inc()
+        if self.recorder is not None:
+            self.recorder.record(
+                "service.shed", reason=reason, tenant=tenant,
+                inflight=self._inflight, queued=len(self._waiters),
+            )
+        exc = ServiceOverload(reason)
+        if retry_after is not None:
+            exc.retry_after = retry_after  # type: ignore[attr-defined]
+        return exc
+
+    def unregister_metrics(self) -> None:
+        """Drop this controller's callback gauges from the registry
+        (idempotent) — they capture ``self`` and must not outlive the
+        server that owns the controller."""
+        for name in (
+            "service.inflight", "service.queue_depth", "service.connections",
+        ):
+            self.registry.unregister(name)

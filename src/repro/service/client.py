@@ -1,0 +1,197 @@
+"""Clients for the transactional front door.
+
+Two flavours over the same framed protocol:
+
+- :class:`ServiceClient` — synchronous, one blocking socket.  The shape
+  tests and simple scripts want: ``client.write(...)`` returns a decoded
+  :class:`~repro.service.protocol.Response`, ``response.shed`` says
+  whether the server rejected it for load.
+- :class:`AsyncServiceClient` — asyncio streams, used by the open-loop
+  load generator where thousands of requests are in flight at once.
+
+Neither client retries: the service's whole point is that overload is
+*explicitly visible* to callers, and auto-retrying inside the client
+would hide exactly the signal (shed codes, ``retry_after_ms``) the
+robustness story is about.  Callers that want retry semantics layer it
+on top, honouring ``retry_after_ms``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any
+
+from repro.errors import SerializationError, ServiceError
+from repro.service import protocol
+from repro.service.protocol import Request, Response
+
+
+def _parse_response(kind: bytes, payload: bytes) -> Response:
+    try:
+        body = json.loads(payload)
+    except ValueError as exc:
+        raise SerializationError(f"response header is not JSON: {exc}") from exc
+    if kind == protocol.KIND_ERROR:
+        return Response(
+            status="error",
+            code=body.get("code", "internal"),
+            message=body.get("message"),
+            retry_after_ms=body.get("retry_after_ms"),
+        )
+    if kind != protocol.KIND_RESULT:
+        raise SerializationError(f"expected result frame, got {kind!r}")
+    return Response(
+        status="ok", meta={k: v for k, v in body.items() if k != "status"}
+    )
+
+
+class ServiceClient:
+    """Blocking client over one TCP connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buf = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._buf.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _read_frame(self) -> tuple[bytes, bytes] | None:
+        header = self._buf.read(5)
+        if not header:
+            return None
+        if len(header) < 5:
+            raise SerializationError("connection closed mid-frame-header")
+        kind, length = protocol._HEADER.unpack(header)
+        if length > protocol.MAX_FRAME_BYTES:
+            raise SerializationError(f"frame of {length} bytes exceeds limit")
+        payload = self._buf.read(length) if length else b""
+        if len(payload) < length:
+            raise SerializationError("connection closed mid-frame")
+        return kind, payload
+
+    def request(self, request: Request) -> Response:
+        """Send one request and read its full response."""
+        self._sock.sendall(request.encode())
+        frame = self._read_frame()
+        if frame is None:
+            raise ServiceError("server closed the connection")
+        response = _parse_response(*frame)
+        if response.ok and response.meta.get("rows", 0):
+            payload_frame = self._read_frame()
+            if payload_frame is None:
+                raise SerializationError("connection closed before payload frame")
+            response.payload_kind, response.payload = payload_frame
+        return response
+
+    # Convenience wrappers ------------------------------------------------
+
+    def ping(self) -> Response:
+        return self.request(Request(op="ping"))
+
+    def read(
+        self,
+        table: str,
+        index: str,
+        key: tuple,
+        columns: list[str] | None = None,
+        deadline_ms: float | None = None,
+        tenant: str = "default",
+    ) -> Response:
+        return self.request(Request(
+            op="read", table=table, index=index, key=key,
+            columns=columns, deadline_ms=deadline_ms, tenant=tenant,
+        ))
+
+    def scan(
+        self,
+        table: str,
+        columns: list[str] | None = None,
+        limit: int | None = None,
+        deadline_ms: float | None = None,
+        tenant: str = "default",
+    ) -> Response:
+        return self.request(Request(
+            op="scan", table=table, columns=columns, limit=limit,
+            deadline_ms=deadline_ms, tenant=tenant,
+        ))
+
+    def write(
+        self,
+        table: str,
+        index: str,
+        key: tuple,
+        values: dict[str, Any],
+        deadline_ms: float | None = None,
+        tenant: str = "default",
+    ) -> Response:
+        return self.request(Request(
+            op="write", table=table, index=index, key=key, values=values,
+            deadline_ms=deadline_ms, tenant=tenant,
+        ))
+
+    def delete(
+        self,
+        table: str,
+        index: str,
+        key: tuple,
+        deadline_ms: float | None = None,
+        tenant: str = "default",
+    ) -> Response:
+        return self.request(Request(
+            op="delete", table=table, index=index, key=key,
+            deadline_ms=deadline_ms, tenant=tenant,
+        ))
+
+    def export(self, table: str, deadline_ms: float | None = None) -> Response:
+        return self.request(Request(
+            op="export", table=table, deadline_ms=deadline_ms,
+        ))
+
+
+class AsyncServiceClient:
+    """Asyncio client over one connection; one request in flight at a time
+    per instance (the load generator opens a pool of these)."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncServiceClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        return client
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, request: Request) -> Response:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(request.encode())
+        await self._writer.drain()
+        response = await protocol.read_response(self._reader)
+        if response is None:
+            raise ServiceError("server closed the connection")
+        return response

@@ -1,0 +1,173 @@
+"""Open-loop (constant-arrival-rate) load generation for the front door.
+
+The YCSB measurement discipline: a *closed-loop* client (issue, wait,
+issue) slows down exactly when the server does, hiding overload behind
+coordinated omission.  This generator is **open-loop** — request start
+times are fixed on a constant-rate schedule before the server's behaviour
+is known, every scheduled request fires whether or not earlier ones have
+returned, and latency is measured from the *scheduled* start.  Pushed
+past the admission limit, the offered rate keeps arriving and the server
+must shed; the interesting outputs are therefore
+
+- admitted-request p50/p99 latency (does the bounded queue keep latency
+  bounded?), and
+- the shed rate (is overload rejected explicitly rather than absorbed?).
+
+Run it against a live server with ``python -m repro.service loadgen``;
+:func:`run_loadgen` is the library entry the benchmark and the CI smoke
+job call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import Request
+from repro.workloads.ycsb import ZipfianGenerator
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Offered load shape."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    rate: float = 200.0          # offered requests/second (open loop)
+    duration: float = 2.0        # seconds of offered load
+    connections: int = 16        # client connection pool size
+    read_fraction: float = 0.5   # rest are writes
+    keys: int = 1000             # key space (zipfian-skewed)
+    zipf_theta: float = 0.9
+    table: str = "usertable"
+    index: str = "by_key"
+    key_column: str = "key"
+    value_column: str = "field0"
+    deadline_ms: float = 1000.0
+    tenant: str = "default"
+    seed: int = 1
+
+
+@dataclass
+class LoadgenResult:
+    """What one run measured."""
+
+    offered: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile (ms) over *admitted, completed* requests."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(0.99)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": round(self.shed_rate, 4),
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
+    """Offer ``rate`` req/s for ``duration`` seconds; return measurements."""
+    loop = asyncio.get_running_loop()
+    rng = random.Random(config.seed)
+    zipf = ZipfianGenerator(config.keys, config.zipf_theta, seed=config.seed)
+    result = LoadgenResult()
+
+    # A fixed pool of connections handed out round-robin; a request whose
+    # connection is still busy waits on that connection's lock — the wait
+    # counts against its latency, exactly as a stalled driver would.
+    pool = [
+        await AsyncServiceClient.connect(config.host, config.port)
+        for _ in range(config.connections)
+    ]
+    locks = [asyncio.Lock() for _ in pool]
+
+    def next_request() -> Request:
+        key = zipf.next()
+        if rng.random() < config.read_fraction:
+            return Request(
+                op="read", table=config.table, index=config.index,
+                key=(key,), deadline_ms=config.deadline_ms,
+                tenant=config.tenant,
+            )
+        return Request(
+            op="write", table=config.table, index=config.index, key=(key,),
+            values={
+                config.key_column: key,
+                config.value_column: f"v{key}-{rng.randrange(1 << 30)}",
+            },
+            deadline_ms=config.deadline_ms, tenant=config.tenant,
+        )
+
+    async def fire(sequence: int, scheduled_at: float) -> None:
+        request = next_request()
+        slot = sequence % len(pool)
+        try:
+            async with locks[slot]:
+                response = await pool[slot].request(request)
+        except Exception:
+            result.errors += 1
+            return
+        finished = loop.time()
+        if response.ok:
+            result.ok += 1
+            # Open-loop latency: from the *scheduled* arrival, so time a
+            # request spent waiting to even be sent is charged too.
+            result.latencies_ms.append((finished - scheduled_at) * 1000.0)
+        elif response.shed:
+            result.shed += 1
+            code = response.code or "unknown"
+            result.shed_reasons[code] = result.shed_reasons.get(code, 0) + 1
+        else:
+            result.errors += 1
+
+    interval = 1.0 / config.rate
+    total = int(config.rate * config.duration)
+    start = loop.time()
+    tasks = []
+    for sequence in range(total):
+        scheduled_at = start + sequence * interval
+        delay = scheduled_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        result.offered += 1
+        tasks.append(loop.create_task(fire(sequence, scheduled_at)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    for client in pool:
+        await client.close()
+    return result
+
+
+def run_loadgen_sync(config: LoadgenConfig) -> LoadgenResult:
+    """:func:`run_loadgen` from synchronous code (its own event loop)."""
+    return asyncio.run(run_loadgen(config))

@@ -42,6 +42,9 @@ def retry_transaction(
     sleep: Callable[[float], None] = time.sleep,
     retry_counter: "Counter | None" = None,
     on_retry: Callable[[int], None] | None = None,
+    deadline: float | None = None,
+    max_elapsed: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
     """Run ``body(txn)`` with bounded, jittered retries on conflict aborts.
 
@@ -57,9 +60,23 @@ def retry_transaction(
     incremented and ``on_retry(attempt)`` called once per retry.  Returns
     ``body``'s result; raises :class:`TransactionAborted` once retries are
     exhausted.
+
+    Beyond the attempt *count*, the loop can carry a wall-clock budget:
+    ``deadline`` is an absolute ``clock()`` timestamp (the service front
+    door propagates per-request deadlines this way), ``max_elapsed`` a
+    relative budget measured from entry; the tighter of the two wins.
+    The first attempt always runs — the budget bounds *retrying*: when
+    the next backoff sleep would cross the deadline, the loop stops and
+    re-raises the abort immediately instead of sleeping into a deadline
+    it can no longer meet.
     """
     draw = rng.random if rng is not None else random.random
     attempts = retries + 1
+    if max_elapsed is not None:
+        elapsed_deadline = clock() + max_elapsed
+        deadline = (
+            elapsed_deadline if deadline is None else min(deadline, elapsed_deadline)
+        )
     recorder = getattr(db, "recorder", None)
     prev_txn_id: int | None = None
     for attempt in range(attempts):
@@ -79,10 +96,11 @@ def retry_transaction(
         except TransactionAborted:
             if txn.is_active:
                 db.abort(txn)
-            if attempt == attempts - 1:
+            if attempt == attempts - 1 or not _backoff(
+                attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                retry_counter, on_retry, deadline, clock,
+            ):
                 raise
-            _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
-                     retry_counter, on_retry)
             continue
         except BaseException:
             if txn.is_active:
@@ -91,12 +109,13 @@ def retry_transaction(
         if txn.must_abort:
             if txn.is_active:
                 db.abort(txn)
-            if attempt == attempts - 1:
+            if attempt == attempts - 1 or not _backoff(
+                attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                retry_counter, on_retry, deadline, clock,
+            ):
                 raise TransactionAborted(
                     f"write-write conflict persisted across {attempts} attempts"
                 )
-            _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
-                     retry_counter, on_retry)
             continue
         if txn.is_active:
             try:
@@ -108,10 +127,11 @@ def retry_transaction(
                 # transient as an in-body conflict, so they retry.
                 if txn.is_active:
                     db.abort(txn)
-                if attempt == attempts - 1:
+                if attempt == attempts - 1 or not _backoff(
+                    attempt, base_backoff, max_backoff, jitter, draw, sleep,
+                    retry_counter, on_retry, deadline, clock,
+                ):
                     raise
-                _backoff(attempt, base_backoff, max_backoff, jitter, draw, sleep,
-                         retry_counter, on_retry)
                 continue
         return result
 
@@ -125,13 +145,22 @@ def _backoff(
     sleep: Callable[[float], None],
     counter: "Counter | None",
     on_retry: Callable[[int], None] | None,
-) -> None:
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> bool:
+    """Sleep out one backoff step; ``False`` means the step would cross
+    ``deadline``, in which case nothing was slept and the caller must
+    stop retrying (the jittered delay is drawn *before* the check so a
+    lucky short draw may still fit the remaining budget)."""
+    delay = min(cap, base * (2 ** attempt))
+    if jitter:
+        delay *= 1.0 + jitter * draw()
+    if deadline is not None and clock() + delay > deadline:
+        return False
     if counter is not None:
         counter.inc()
     if on_retry is not None:
         on_retry(attempt)
-    delay = min(cap, base * (2 ** attempt))
-    if jitter:
-        delay *= 1.0 + jitter * draw()
     if delay > 0:
         sleep(delay)
+    return True

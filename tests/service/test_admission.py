@@ -1,0 +1,204 @@
+"""Tests for admission control: bounded slots, bounded queue, token buckets."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceOverload
+from repro.obs.recorder import Recorder
+from repro.obs.registry import MetricRegistry
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.now += 0.1  # one token refilled
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.now += 100.0
+        for _ in range(3):
+            assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_seconds_until_is_the_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        assert bucket.seconds_until() == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+def _shed_count(registry, reason):
+    return int(
+        registry.counter("service.shed_total", labels={"reason": reason}).value
+    )
+
+
+class TestAdmissionController:
+    def test_slots_then_queue_then_shed(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=2, max_queue=1)
+            t1 = await controller.admit()
+            t2 = await controller.admit()
+            assert controller.inflight == 2
+            # Third admit queues; fourth finds the queue full and sheds.
+            queued = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            assert controller.queue_depth == 1
+            with pytest.raises(ServiceOverload) as exc:
+                await controller.admit()
+            assert exc.value.reason == "too_busy"
+            # Releasing a slot hands it to the queued waiter, FIFO.
+            t1.release()
+            t3 = await queued
+            assert controller.inflight == 2
+            t2.release()
+            t3.release()
+            assert controller.inflight == 0
+            return controller
+
+        controller = asyncio.run(scenario())
+        assert _shed_count(controller.registry, "too_busy") == 1
+        assert int(controller.registry.counter("service.admitted_total").value) == 3
+
+    def test_queue_is_fifo(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=4)
+            first = await controller.admit()
+            order = []
+
+            async def waiter(tag):
+                ticket = await controller.admit()
+                order.append(tag)
+                ticket.release()
+
+            tasks = [asyncio.ensure_future(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            first.release()
+            await asyncio.gather(*tasks)
+            return order
+
+        assert asyncio.run(scenario()) == [0, 1, 2]
+
+    def test_queued_waiter_sheds_at_deadline_without_stealing_a_slot(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=4)
+            held = await controller.admit()
+            loop = asyncio.get_running_loop()
+            with pytest.raises(ServiceOverload) as exc:
+                await controller.admit(deadline=loop.time() + 0.02)
+            assert exc.value.reason == "deadline"
+            assert controller.queue_depth == 0
+            # The held slot is unaffected and still releasable.
+            held.release()
+            assert controller.inflight == 0
+            return controller
+
+        controller = asyncio.run(scenario())
+        assert _shed_count(controller.registry, "deadline") == 1
+
+    def test_expired_deadline_sheds_before_consuming_anything(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=4, tenant_rate=1.0, tenant_burst=1.0
+            )
+            loop = asyncio.get_running_loop()
+            with pytest.raises(ServiceOverload) as exc:
+                await controller.admit(deadline=loop.time() - 1.0)
+            assert exc.value.reason == "deadline"
+            # The tenant's single token was not consumed by the dead request.
+            ticket = await controller.admit()
+            ticket.release()
+
+        asyncio.run(scenario())
+
+    def test_tenant_rate_isolates_tenants(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=8, tenant_rate=1.0, tenant_burst=1.0
+            )
+            (await controller.admit("alpha")).release()
+            with pytest.raises(ServiceOverload) as exc:
+                await controller.admit("alpha")
+            assert exc.value.reason == "tenant_rate"
+            assert getattr(exc.value, "retry_after") > 0
+            # A different tenant has its own bucket.
+            (await controller.admit("beta")).release()
+            return controller
+
+        controller = asyncio.run(scenario())
+        assert _shed_count(controller.registry, "tenant_rate") == 1
+        by_tenant = controller.registry.counter(
+            "service.shed_by_tenant_total",
+            labels={"tenant": "alpha", "reason": "tenant_rate"},
+        )
+        assert int(by_tenant.value) == 1
+
+    def test_connection_limit(self):
+        controller = AdmissionController(max_connections=2)
+        assert controller.try_connection()
+        assert controller.try_connection()
+        assert not controller.try_connection()
+        assert _shed_count(controller.registry, "connections") == 1
+        controller.release_connection()
+        assert controller.try_connection()
+
+    def test_ticket_release_is_idempotent(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1)
+            ticket = await controller.admit()
+            ticket.release()
+            ticket.release()
+            assert controller.inflight == 0
+            with await controller.admit():
+                assert controller.inflight == 1
+            assert controller.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_shed_events_reach_the_recorder(self):
+        registry = MetricRegistry()
+        recorder = Recorder(registry=registry)
+
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, max_queue=0, registry=registry, recorder=recorder
+            )
+            ticket = await controller.admit()
+            with pytest.raises(ServiceOverload):
+                await controller.admit()
+            ticket.release()
+
+        asyncio.run(scenario())
+        events = recorder.events(kind="service.shed")
+        assert len(events) == 1
+        assert events[0].attrs["reason"] == "too_busy"
+
+    def test_unregister_metrics_is_idempotent(self):
+        registry = MetricRegistry()
+        controller = AdmissionController(registry=registry)
+        assert registry.unregister("service.inflight") is True
+        controller.unregister_metrics()  # remaining gauges + repeat is a no-op
+        controller.unregister_metrics()
+        assert registry.unregister("service.queue_depth") is False

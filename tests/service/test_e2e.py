@@ -1,0 +1,483 @@
+"""End-to-end service tests over real sockets.
+
+Covers the acceptance story of the front door: request round-trips on
+both engine flavours, explicit sheds under overload at 2x the admission
+limit, WAL-failure backpressure (writes rejected, reads served, health
+endpoint consistent, recovery un-rejects), deadline enforcement, graceful
+drain with zero acknowledged-commit loss, and idempotent metric/thread
+teardown.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ColumnSpec, Database
+from repro.arrowfmt.datatypes import INT64, UTF8
+from repro.cluster import ShardedDatabase
+from repro.fault import FaultSchedule, FaultSpec, FaultyDevice
+from repro.service import ServiceClient
+from repro.service.loadgen import LoadgenConfig, run_loadgen_sync
+from repro.service.server import ServerThread, ServiceConfig
+
+COLUMNS = [ColumnSpec("key", INT64), ColumnSpec("field0", UTF8)]
+
+
+def make_db(shards=1, keys=50, **db_kwargs):
+    if shards > 1:
+        db = ShardedDatabase(n_shards=shards, **db_kwargs)
+        db.create_table("usertable", COLUMNS, shard_key="key")
+    else:
+        db = Database(**db_kwargs)
+        db.create_table("usertable", COLUMNS)
+    db.create_index("usertable", "by_key", ["key"])
+    info = db.catalog.get("usertable")
+    with db.transaction() as txn:
+        for key in range(keys):
+            info.table.insert(txn, {0: key, 1: f"v{key}"})
+    return db
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+class TestRequestRoundTrips:
+    def test_all_operations(self, shards):
+        db = make_db(shards=shards)
+        server = ServerThread(db).start()
+        try:
+            with ServiceClient(port=server.port) as client:
+                assert client.ping().ok
+                row = client.read("usertable", "by_key", (7,))
+                assert row.meta["rows"] == 1
+                assert row.rows() == [("7", "v7")]
+
+                projected = client.read(
+                    "usertable", "by_key", (7,), columns=["field0"]
+                )
+                assert projected.rows() == [("v7",)]
+
+                wrote = client.write(
+                    "usertable", "by_key", (7,), {"key": 7, "field0": "w7"}
+                )
+                assert wrote.ok and wrote.meta["action"] == "updated"
+                assert wrote.meta["durable"] is True
+                assert client.read("usertable", "by_key", (7,)).rows() == [
+                    ("7", "w7")
+                ]
+
+                inserted = client.write(
+                    "usertable", "by_key", (1000,), {"key": 1000, "field0": "new"}
+                )
+                assert inserted.meta["action"] == "inserted"
+
+                scanned = client.scan("usertable", limit=10)
+                assert scanned.meta["rows"] == 10
+
+                exported = client.export("usertable")
+                table = exported.arrow_table()
+                assert table.num_rows == 51  # 50 preloaded + 1 inserted
+
+                deleted = client.delete("usertable", "by_key", (1000,))
+                assert deleted.ok and deleted.meta["deleted"] == 1
+                assert client.read("usertable", "by_key", (1000,)).meta["rows"] == 0
+        finally:
+            server.stop()
+            db.close()
+
+    def test_bad_requests_answer_instead_of_killing_the_connection(self, shards):
+        db = make_db(shards=shards)
+        server = ServerThread(db).start()
+        try:
+            with ServiceClient(port=server.port) as client:
+                missing = client.read("usertable", "nope", (1,))
+                assert missing.code == "bad_request"
+                no_table = client.scan("missing_table")
+                assert no_table.code == "bad_request"
+                # The connection survives request-level errors.
+                assert client.ping().ok
+        finally:
+            server.stop()
+            db.close()
+
+
+class TestOverload:
+    def test_2x_admission_limit_sheds_explicitly_with_bounded_p99(self):
+        db = make_db(keys=200)
+        config = ServiceConfig(
+            max_inflight=2, max_queue=4,
+            tenant_rate=150.0, tenant_burst=20.0,
+        )
+        server = ServerThread(db, config).start()
+        try:
+            result = run_loadgen_sync(LoadgenConfig(
+                port=server.port, rate=300.0, duration=1.0,  # 2x the limit
+                connections=8, keys=200, deadline_ms=500.0, seed=13,
+            ))
+            assert result.ok > 0
+            assert result.shed > 0
+            assert result.errors == 0
+            assert result.shed_reasons.get("tenant_rate", 0) > 0
+            # Admitted requests stay fast: the queue is bounded, so p99
+            # cannot absorb the rejected half of the offered load.
+            assert result.p99_ms < 500.0
+            assert server.server.unhandled_exceptions == 0
+            shed_metric = db.obs.counter(
+                "service.shed_total", labels={"reason": "tenant_rate"}
+            )
+            assert int(shed_metric.value) == result.shed_reasons["tenant_rate"]
+        finally:
+            server.stop()
+            db.close()
+
+    def test_full_queue_sheds_too_busy(self):
+        db = make_db()
+        config = ServiceConfig(max_inflight=1, max_queue=1)
+        server = ServerThread(db, config).start()
+        # Slow the engine down deterministically so concurrent requests
+        # pile into the bounded queue.
+        inner = server.server
+        original = inner._do_scan
+
+        def slow_scan(request):
+            time.sleep(0.3)
+            return original(request)
+
+        inner._do_scan = slow_scan
+        try:
+            barrier = threading.Barrier(6)
+            outcomes = []
+            lock = threading.Lock()
+
+            def one_scan():
+                with ServiceClient(port=server.port) as client:
+                    barrier.wait()
+                    response = client.scan("usertable", deadline_ms=5000.0)
+                    with lock:
+                        outcomes.append(response.code or "ok")
+
+            threads = [threading.Thread(target=one_scan) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outcomes.count("ok") >= 2  # slot + queue both served
+            assert outcomes.count("too_busy") >= 1
+            assert set(outcomes) <= {"ok", "too_busy"}
+        finally:
+            server.stop()
+            db.close()
+
+    def test_connection_limit_sheds_at_accept(self):
+        db = make_db()
+        config = ServiceConfig(max_connections=1)
+        server = ServerThread(db, config).start()
+        try:
+            with ServiceClient(port=server.port) as first:
+                assert first.ping().ok
+                with ServiceClient(port=server.port) as second:
+                    with pytest.raises(Exception):
+                        # The server writes one "connections" error frame
+                        # and closes; the request then fails.
+                        response = second.ping()
+                        assert response.code == "connections"
+                        raise RuntimeError("shed")
+        finally:
+            server.stop()
+            db.close()
+
+
+class TestDeadlines:
+    def test_queued_request_sheds_when_deadline_expires(self):
+        db = make_db()
+        config = ServiceConfig(max_inflight=1, max_queue=4)
+        server = ServerThread(db, config).start()
+        inner = server.server
+        original = inner._do_scan
+
+        def slow_scan(request):
+            time.sleep(0.4)
+            return original(request)
+
+        inner._do_scan = slow_scan
+        try:
+            started = threading.Event()
+
+            def hog():
+                with ServiceClient(port=server.port) as client:
+                    started.set()
+                    client.scan("usertable", deadline_ms=5000.0)
+
+            thread = threading.Thread(target=hog)
+            thread.start()
+            started.wait()
+            time.sleep(0.05)  # let the hog occupy the single slot
+            with ServiceClient(port=server.port) as client:
+                response = client.read(
+                    "usertable", "by_key", (1,), deadline_ms=50.0
+                )
+            thread.join()
+            assert response.code == "deadline"
+            assert response.shed
+        finally:
+            server.stop()
+            db.close()
+
+    def test_expired_deadline_rejected_at_admission(self):
+        db = make_db()
+        server = ServerThread(db).start()
+        inner = server.server
+        original = inner._do_scan
+
+        def slow_scan(request):
+            time.sleep(0.2)
+            return original(request)
+
+        inner._do_scan = slow_scan
+        try:
+            with ServiceClient(port=server.port) as client:
+                # The scan outlives its own deadline; write-out enforcement
+                # sheds the stale result.
+                response = client.scan("usertable", deadline_ms=100.0)
+                assert response.code == "deadline"
+        finally:
+            server.stop()
+            db.close()
+
+
+class TestWalBackpressure:
+    """Satellite: WAL flush failures must flip the service to reject
+    writes while reads and the health endpoint stay consistent, and
+    recovery must un-reject."""
+
+    def test_backlog_closes_writes_reads_flow_recovery_unrejects(self):
+        device = FaultyDevice(
+            schedule=FaultSchedule(
+                [FaultSpec("fsync", i, "io_error") for i in range(1, 10_000)]
+            )
+        )
+        db = Database(log_device=device)
+        db.log_manager.synchronous = False  # commits enqueue; flush is async
+        db.log_manager.degrade_after = 10_000_000  # keep degraded-mode out
+        db.create_table("usertable", COLUMNS)
+        db.create_index("usertable", "by_key", ["key"])
+        info = db.catalog.get("usertable")
+        with db.transaction() as txn:
+            for key in range(20):
+                info.table.insert(txn, {0: key, 1: f"v{key}"})
+        db.log_manager.start_background(0.005)
+
+        config = ServiceConfig(
+            backlog_high=4, backlog_low=0, reopen_after=2,
+            health_interval=0.01, durability_timeout=10.0,
+        )
+        server = ServerThread(db, config).start()
+        obs = db.serve_obs(port=0)
+        try:
+            # Build WAL backlog: commits pile up while every fsync fails.
+            for key in range(100, 106):
+                with db.transaction() as txn:
+                    info.table.insert(txn, {0: key, 1: "backlog"})
+            assert wait_until(lambda: not server.server.gate.open)
+
+            with ServiceClient(port=server.port) as client:
+                shed = client.write(
+                    "usertable", "by_key", (1,), {"key": 1, "field0": "no"}
+                )
+                assert shed.code == "degraded"
+                assert shed.shed
+                # Reads keep flowing while writes shed.
+                assert client.read("usertable", "by_key", (1,)).rows() == [
+                    ("1", "v1")
+                ]
+                # /healthz tells the same story the gate acted on.
+                status, raw = fetch(f"{obs.url}/healthz")
+                health = json.loads(raw)
+                assert status == 200 and health["status"] == "ok"
+                assert health["wal"]["backlog"] >= config.backlog_high
+                gate_metric = db.obs.gauge("service.write_gate_open")
+                assert gate_metric.value == 0.0
+
+            # Recovery: the device heals, the background flush drains the
+            # backlog, hysteresis reopens the gate, writes flow again.
+            device.schedule = FaultSchedule()
+            assert wait_until(lambda: server.server.gate.open, timeout=10.0)
+            with ServiceClient(port=server.port) as client:
+                recovered = client.write(
+                    "usertable", "by_key", (1,), {"key": 1, "field0": "yes"}
+                )
+                assert recovered.ok and recovered.meta["durable"] is True
+        finally:
+            server.stop()
+            obs.stop()
+            db._obs_server = None
+            db.close()
+
+    def test_sticky_degraded_rejects_writes_healthz_503(self):
+        device = FaultyDevice(
+            schedule=FaultSchedule(
+                [FaultSpec("fsync", i, "io_error") for i in range(1, 100)]
+            )
+        )
+        db = Database(log_device=device)
+        db.log_manager.synchronous = False
+        db.log_manager.degrade_after = 2
+        db.create_table("usertable", COLUMNS)
+        db.create_index("usertable", "by_key", ["key"])
+        info = db.catalog.get("usertable")
+        with db.transaction() as txn:
+            info.table.insert(txn, {0: 1, 1: "v1"})
+        server = ServerThread(db, ServiceConfig(health_interval=0.01)).start()
+        obs = db.serve_obs(port=0)
+        try:
+            # Drive the log into sticky degraded read-only mode.
+            for _ in range(3):
+                try:
+                    db.log_manager.flush()
+                except OSError:
+                    pass
+            assert db.degraded
+            assert wait_until(lambda: not server.server.gate.open)
+            with ServiceClient(port=server.port) as client:
+                shed = client.write(
+                    "usertable", "by_key", (1,), {"key": 1, "field0": "x"}
+                )
+                assert shed.code == "degraded"
+                # Reads are still served from the consistent snapshot.
+                assert client.read("usertable", "by_key", (1,)).rows() == [
+                    ("1", "v1")
+                ]
+            status, raw = fetch(f"{obs.url}/healthz")
+            assert status == 503
+            assert json.loads(raw)["status"] == "degraded"
+        finally:
+            server.stop()
+            obs.stop()
+            db._obs_server = None
+            db.stop_background()
+
+
+class TestGracefulDrain:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_drain_under_load_loses_no_acknowledged_commit(self, shards):
+        db = make_db(shards=shards)
+        server = ServerThread(db, ServiceConfig(max_inflight=4)).start()
+        acked = []
+        stop = threading.Event()
+
+        def writer(base):
+            with ServiceClient(port=server.port) as client:
+                key = base
+                while not stop.is_set():
+                    try:
+                        response = client.write(
+                            "usertable", "by_key", (key,),
+                            {"key": key, "field0": f"drain-{key}"},
+                        )
+                    except Exception:
+                        return  # connection closed by the drain: expected
+                    if response.ok:
+                        acked.append(key)
+                    elif response.code == "draining":
+                        return
+                    key += 1
+
+        threads = [
+            threading.Thread(target=writer, args=(10_000 * (i + 1),))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.25)
+        port = server.port
+        server.stop(timeout=20.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        assert len(acked) > 0
+        index = db.catalog.index("usertable", "by_key")
+        with db.transaction() as txn:
+            missing = [k for k in acked if not index.lookup(txn, (k,), [0])]
+        assert missing == []
+        # After the drain the port no longer accepts connections.
+        with pytest.raises(OSError):
+            ServiceClient(port=port, timeout=0.5)
+        db.close()
+
+    def test_requests_during_drain_get_the_draining_code(self):
+        db = make_db()
+        server = ServerThread(db).start()
+        inner = server.server
+        client = ServiceClient(port=server.port)
+        try:
+            assert client.ping().ok
+            inner._draining = True  # what drain() sets before closing
+            response = client.read("usertable", "by_key", (1,))
+            assert response.code == "draining"
+            assert response.shed
+        finally:
+            inner._draining = False
+            client.close()
+            server.stop()
+            db.close()
+
+
+class TestMetricsLifecycle:
+    """Satellite: ObsServer.stop() and the service must unregister gauges
+    and threads idempotently."""
+
+    def test_service_start_stop_leaves_registry_clean(self):
+        db = make_db()
+        service_gauges = [
+            "service.inflight", "service.queue_depth", "service.connections",
+            "service.write_gate_open", "service.draining", "service.up",
+        ]
+        before = threading.active_count()
+        server = ServerThread(db).start()
+        for name in service_gauges:
+            assert db.obs.gauge(name) is not None
+        server.stop()
+        server.stop()  # idempotent
+        for name in service_gauges:
+            assert db.obs.unregister(name) is False, name
+        assert wait_until(lambda: threading.active_count() <= before)
+        # A fresh server re-registers cleanly on the same registry.
+        second = ServerThread(db).start()
+        with ServiceClient(port=second.port) as client:
+            assert client.ping().ok
+        second.stop()
+        db.close()
+
+    def test_obs_server_stop_is_idempotent_and_unregisters(self):
+        db = make_db()
+        obs = db.serve_obs(port=0)
+        assert db.obs.gauge("obs.server_up").value == 1.0
+        db.stop_serving_obs()
+        db.stop_serving_obs()  # idempotent
+        assert db.obs.unregister("obs.server_up") is False
+        # Restart re-registers and still reports up.
+        obs2 = db.serve_obs(port=0)
+        assert db.obs.gauge("obs.server_up").value == 1.0
+        status, _ = fetch(f"{obs2.url}/healthz")
+        assert status == 200
+        db.close()

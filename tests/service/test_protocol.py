@@ -1,0 +1,152 @@
+"""Tests for the front-door wire protocol: framing and request/response."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.service import protocol
+from repro.service.protocol import Request, Response
+
+
+def _feed(*chunks: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        frame = protocol.encode_frame(protocol.KIND_ROWS, b"payload")
+
+        async def read():
+            return await protocol.read_frame(_feed(frame))
+
+        kind, payload = _run(read())
+        assert kind == protocol.KIND_ROWS
+        assert payload == b"payload"
+
+    def test_clean_eof_is_none(self):
+        async def read():
+            return await protocol.read_frame(_feed())
+
+        assert _run(read()) is None
+
+    def test_mid_header_eof_raises(self):
+        async def read():
+            return await protocol.read_frame(_feed(b"Q\x01"))
+
+        with pytest.raises(SerializationError, match="mid-frame-header"):
+            _run(read())
+
+    def test_unknown_kind_raises(self):
+        frame = b"Z" + (0).to_bytes(4, "little")
+
+        async def read():
+            return await protocol.read_frame(_feed(frame))
+
+        with pytest.raises(SerializationError, match="unknown frame kind"):
+            _run(read())
+
+    def test_oversized_length_refused_without_buffering(self):
+        header = b"Q" + (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+
+        async def read():
+            return await protocol.read_frame(_feed(header))
+
+        with pytest.raises(SerializationError, match="exceeds limit"):
+            _run(read())
+
+    def test_encode_frame_refuses_oversized_payload(self):
+        with pytest.raises(SerializationError):
+            protocol.encode_frame(protocol.KIND_ROWS, b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+class TestRequest:
+    def test_round_trip_all_fields(self):
+        request = Request(
+            op="write", table="t", index="by_key", key=(1, "a"),
+            values={"field0": "v"}, columns=["field0"], limit=10,
+            tenant="alpha", deadline_ms=250.0,
+        )
+        frame = request.encode()
+        kind, length = protocol._HEADER.unpack(frame[:5])
+        assert kind == protocol.KIND_REQUEST
+        decoded = Request.decode(frame[5:])
+        assert decoded == request
+
+    def test_defaults_round_trip(self):
+        frame = Request(op="ping").encode()
+        decoded = Request.decode(frame[5:])
+        assert decoded.op == "ping"
+        assert decoded.tenant == "default"
+        assert decoded.deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            (b"not json", "not JSON"),
+            (b"[1,2]", "JSON object"),
+            (b'{"op": "drop"}', "unknown operation"),
+            (b'{"op": "read", "key": 5}', "'key' must be"),
+            (b'{"op": "read", "values": 5}', "'values' must be"),
+            (b'{"op": "read", "columns": "a"}', "'columns' must be"),
+            (b'{"op": "read", "deadline_ms": -1}', "'deadline_ms' must be"),
+            (b'{"op": "scan", "limit": -2}', "'limit' must be"),
+        ],
+    )
+    def test_rejects_malformed(self, payload, match):
+        with pytest.raises(SerializationError, match=match):
+            Request.decode(payload)
+
+
+class TestResponse:
+    def test_shed_codes_are_the_explicit_rejections(self):
+        for code in protocol.SHED_CODES:
+            assert Response(status="error", code=code).shed
+        assert not Response(status="error", code="aborted").shed
+        assert not Response(status="ok").shed
+        assert protocol.SHED_CODES < protocol.ERROR_CODES
+
+    def test_read_response_error_frame(self):
+        frame = protocol.encode_error("too_busy", "queue full", retry_after_ms=50.0)
+
+        async def read():
+            return await protocol.read_response(_feed(frame))
+
+        response = _run(read())
+        assert response.shed
+        assert response.code == "too_busy"
+        assert response.retry_after_ms == 50.0
+
+    def test_read_response_with_row_payload(self):
+        from repro.export import postgres_wire
+
+        payload, count = postgres_wire.encode_rows([(1, "a"), (2, "b")])
+        stream = protocol.encode_result({"rows": count}) + protocol.encode_frame(
+            protocol.KIND_ROWS, payload
+        )
+
+        async def read():
+            return await protocol.read_response(_feed(stream))
+
+        response = _run(read())
+        assert response.ok
+        assert response.rows() == [("1", "a"), ("2", "b")]
+
+    def test_result_without_rows_reads_no_payload_frame(self):
+        stream = protocol.encode_result({"rows": 0, "op": "ping"})
+
+        async def read():
+            return await protocol.read_response(_feed(stream))
+
+        response = _run(read())
+        assert response.ok
+        assert response.meta["op"] == "ping"
+        assert response.rows() == []

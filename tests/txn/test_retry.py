@@ -137,3 +137,128 @@ class TestRetryTransaction:
 
         assert retry_transaction(db, body, retries=5) is None
         assert len(attempts) == 1
+
+
+class FakeClock:
+    """A clock the sleep function advances (deterministic deadlines)."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestRetryDeadline:
+    """The wall-clock budget: stop retrying when the next sleep would
+    cross the deadline (never the first attempt)."""
+
+    def _always_conflicts(self, attempts):
+        def body(txn):
+            attempts.append(1)
+            txn.must_abort = True
+
+        return body
+
+    def test_deadline_stops_retries_without_sleeping_past_it(self):
+        db = make_db()
+        clock = FakeClock()
+        attempts = []
+        # base 0.04s, no jitter: sleeps would be 0.04, 0.08, ... but the
+        # deadline allows only the first.
+        with pytest.raises(TransactionAborted):
+            retry_transaction(
+                db,
+                self._always_conflicts(attempts),
+                retries=10,
+                base_backoff=0.04,
+                max_backoff=1.0,
+                jitter=0.0,
+                sleep=clock.sleep,
+                deadline=clock.now + 0.05,
+                clock=clock,
+            )
+        assert len(attempts) == 2  # first attempt + the one retry that fit
+        assert clock.sleeps == [0.04]
+        assert clock.now <= 100.0 + 0.05
+
+    def test_max_elapsed_is_a_relative_deadline(self):
+        db = make_db()
+        clock = FakeClock()
+        attempts = []
+        with pytest.raises(TransactionAborted):
+            retry_transaction(
+                db,
+                self._always_conflicts(attempts),
+                retries=10,
+                base_backoff=0.04,
+                max_backoff=1.0,
+                jitter=0.0,
+                sleep=clock.sleep,
+                max_elapsed=0.13,
+                clock=clock,
+            )
+        # 0.04 + 0.08 fit inside 0.13; the next 0.16 would cross.
+        assert clock.sleeps == [0.04, 0.08]
+        assert len(attempts) == 3
+
+    def test_tighter_of_deadline_and_max_elapsed_wins(self):
+        db = make_db()
+        clock = FakeClock()
+        attempts = []
+        with pytest.raises(TransactionAborted):
+            retry_transaction(
+                db,
+                self._always_conflicts(attempts),
+                retries=10,
+                base_backoff=0.04,
+                jitter=0.0,
+                sleep=clock.sleep,
+                deadline=clock.now + 0.05,
+                max_elapsed=10.0,
+                clock=clock,
+            )
+        assert clock.sleeps == [0.04]
+
+    def test_first_attempt_runs_even_past_deadline(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        clock = FakeClock()
+        slot = retry_transaction(
+            db,
+            lambda txn: table.insert(txn, {0: 9, 1: "late"}),
+            deadline=clock.now - 1.0,  # already expired
+            clock=clock,
+        )
+        reader = db.begin()
+        assert table.select(reader, slot).get(0) == 9
+
+    def test_expired_deadline_skips_counter_and_hook(self):
+        db = make_db()
+        clock = FakeClock()
+        counter = db.obs.counter("workload.txn_retries_total", "test")
+        hooks = []
+        attempts = []
+        with pytest.raises(TransactionAborted):
+            retry_transaction(
+                db,
+                self._always_conflicts(attempts),
+                retries=10,
+                base_backoff=1.0,
+                max_backoff=1.0,
+                jitter=0.0,
+                sleep=clock.sleep,
+                retry_counter=counter,
+                on_retry=hooks.append,
+                deadline=clock.now + 0.5,  # no 1s sleep ever fits
+                clock=clock,
+            )
+        assert len(attempts) == 1
+        assert int(counter.value) == 0
+        assert hooks == []
+        assert clock.sleeps == []
