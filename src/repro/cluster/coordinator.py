@@ -47,6 +47,7 @@ from repro.fault.crashpoints import crash_point
 from repro.obs import trace
 from repro.obs.recorder import Recorder, get_recorder
 from repro.obs.registry import MetricRegistry
+from repro.obs.slo import stamp_phase
 from repro.txn.context import TxnState
 from repro.wal.records import (
     DECISION_ABORT,
@@ -185,25 +186,30 @@ class TwoPhaseCoordinator:
 
             # ---- phase 1: prepare every participant, in shard order ---- #
             reason: BaseException | None = None
-            for shard_id, txn in participants:
-                with trace.span("cluster.2pc.prepare", shard=shard_id):
-                    crash_point("coordinator.prepare")
-                    self._m_prepares.inc()
-                    try:
-                        self.cluster.shards[shard_id].txn_manager.prepare(
-                            txn, gid
-                        )
-                    except (TransactionAborted, DegradedError, OSError) as exc:
-                        # The failing participant rolled itself back inside
-                        # prepare; the rest are aborted below.
-                        reason = exc
-                        break
-                    crash_point("participant.ack")
+            with stamp_phase("cluster.prepare"):
+                for shard_id, txn in participants:
+                    with trace.span("cluster.2pc.prepare", shard=shard_id):
+                        crash_point("coordinator.prepare")
+                        self._m_prepares.inc()
+                        try:
+                            self.cluster.shards[shard_id].txn_manager.prepare(
+                                txn, gid
+                            )
+                        except (
+                            TransactionAborted, DegradedError, OSError
+                        ) as exc:
+                            # The failing participant rolled itself back
+                            # inside prepare; the rest are aborted below.
+                            reason = exc
+                            break
+                        crash_point("participant.ack")
 
             decision = DECISION_COMMIT if reason is None else DECISION_ABORT
 
             # ---- decide: force commit decisions before phase 2 ---- #
-            with trace.span("cluster.2pc.decide") as decide_span:
+            with stamp_phase("cluster.decide"), trace.span(
+                "cluster.2pc.decide"
+            ) as decide_span:
                 crash_point("coordinator.decide")
                 if decision == DECISION_COMMIT:
                     try:

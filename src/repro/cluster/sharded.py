@@ -41,6 +41,7 @@ from repro.db import Database
 from repro.errors import CatalogError, TransactionAborted, TwoPhaseInDoubt
 from repro.obs.recorder import Recorder
 from repro.obs.registry import MetricRegistry
+from repro.obs.slo import RequestLog, SloTracker, stamp_phase
 from repro.storage.constants import BLOCK_SIZE
 from repro.storage.layout import ColumnSpec
 from repro.storage.projection import ProjectedRow
@@ -140,7 +141,12 @@ class DistributedTransaction:
             raise first_error
 
     def wait_durable(self, timeout: float | None = None) -> bool:
-        return self._durable.wait(timeout)
+        if self._durable.is_set():
+            return True
+        # Same attribution as the single-node path: with background group
+        # commit, this wait is fsync latency on the request's critical path.
+        with stamp_phase("wal.fsync_wait"):
+            return self._durable.wait(timeout)
 
     @property
     def is_durable(self) -> bool:
@@ -425,6 +431,11 @@ class ShardedDatabase:
         self.recorder = Recorder(
             registry=self.obs, slow_txn_threshold=slow_txn_threshold
         )
+        #: Per-tenant SLO accounting + completed-request breakdowns for
+        #: the whole cluster (the service front door feeds both; the obs
+        #: server serves them at /slo and /request/<id>).
+        self.slo = SloTracker(registry=self.obs)
+        self.request_log = RequestLog()
         devices: list[BinaryIO | None] = (
             list(log_devices) if log_devices is not None else [None] * n_shards
         )
@@ -721,6 +732,7 @@ class ShardedDatabase:
             },
             "wal": None,
             "workers": workers,
+            "slo": self.slo.health_summary(),
         }
 
     def timeline(self, txn_id: int) -> dict:

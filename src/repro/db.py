@@ -27,6 +27,7 @@ from repro.catalog.catalog import Catalog, TableInfo
 from repro.gc_engine.collector import GarbageCollector
 from repro.obs.recorder import Recorder
 from repro.obs.registry import MetricRegistry
+from repro.obs.slo import RequestLog, SloTracker
 from repro.storage.block_store import BlockStore
 from repro.storage.constants import BLOCK_SIZE
 from repro.storage.layout import ColumnSpec
@@ -78,6 +79,11 @@ class Database:
             if recorder is not None
             else Recorder(registry=self.obs, slow_txn_threshold=slow_txn_threshold)
         )
+        #: Per-tenant SLO accounting + completed-request critical-path
+        #: breakdowns (fed by the service front door; served at /slo and
+        #: /request/<id> by the obs HTTP server).
+        self.slo = SloTracker(registry=self.obs)
+        self.request_log = RequestLog()
         self.block_store = BlockStore(registry=self.obs)
         self.catalog = Catalog(self.block_store)
         self.arena = None
@@ -448,6 +454,7 @@ class Database:
             "degraded_reason": self.txn_manager.degraded_reason,
             "wal": wal,
             "workers": workers,
+            "slo": self.slo.health_summary(),
         }
 
     # ------------------------------------------------------------------ #

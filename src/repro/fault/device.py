@@ -28,12 +28,19 @@ Fault kinds (see :class:`FaultSpec`):
 ``crash``
     The process dies at the operation boundary (nothing of the payload is
     written; for ``fsync``, nothing further becomes durable).
+
+Beyond discrete faults, the device can model a *slow* disk:
+``FaultyDevice(fsync_stall=0.05)`` sleeps before every fsync — no data is
+lost, every flush just takes 50 ms.  That is the forensic scenario the
+request-attribution suite injects: commits stay correct while every write
+request's critical path fills up with ``wal.fsync_wait``.
 """
 
 from __future__ import annotations
 
 import io
 import random
+import time
 from dataclasses import dataclass
 from typing import BinaryIO
 
@@ -107,9 +114,17 @@ class FaultyDevice:
     for failure rewind); everything else passes through to ``base``.
     """
 
-    def __init__(self, base: BinaryIO | None = None, schedule: FaultSchedule | None = None) -> None:
+    def __init__(
+        self,
+        base: BinaryIO | None = None,
+        schedule: FaultSchedule | None = None,
+        fsync_stall: float = 0.0,
+    ) -> None:
         self.base = base if base is not None else io.BytesIO()
         self.schedule = schedule if schedule is not None else FaultSchedule()
+        #: Seconds slept before every fsync: a uniformly slow disk (data
+        #: is never lost, durability just arrives late).
+        self.fsync_stall = fsync_stall
         self.write_ops = 0
         self.fsync_ops = 0
         #: Byte length covered by the last successful fsync.
@@ -152,6 +167,8 @@ class FaultyDevice:
     def flush(self) -> None:
         self._require_alive()
         self.fsync_ops += 1
+        if self.fsync_stall > 0.0:
+            time.sleep(self.fsync_stall)
         kind = self.schedule.fault_for(FSYNC, self.fsync_ops)
         if kind == "io_error":
             self._note(FSYNC, kind, 0)

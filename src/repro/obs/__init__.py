@@ -48,7 +48,12 @@ process defaults for component-less callers.  The naming convention is
 from __future__ import annotations
 
 from repro.obs import trace as trace
-from repro.obs.expo import render_json, render_prometheus, snapshot
+from repro.obs.expo import (
+    render_json,
+    render_openmetrics,
+    render_prometheus,
+    snapshot,
+)
 from repro.obs.profiler import SamplingProfiler, render_collapsed
 from repro.obs.recorder import (
     Event,
@@ -61,15 +66,25 @@ from repro.obs.registry import (
     DEFAULT_SIZE_BUCKETS,
     STATE,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     HistogramSnapshot,
     MetricRegistry,
 )
 from repro.obs.relay import TelemetryRelay, WorkerTelemetry
+from repro.obs.slo import (
+    RequestLifecycle,
+    RequestLog,
+    SloTracker,
+    current_lifecycle,
+    current_request_id,
+    stamp_phase,
+)
 from repro.obs.trace import (
     Span,
     SpanSummary,
+    TailSampler,
     TraceContext,
     Tracer,
     activate,
@@ -91,6 +106,7 @@ def configure(
     enabled: bool | None = None,
     trace_capacity: int | None = None,
     slow_txn_threshold: float | None | str = "unset",
+    exemplars: bool | None = None,
 ) -> None:
     """Adjust global observability behavior.
 
@@ -100,7 +116,9 @@ def configure(
     buffer.  ``slow_txn_threshold`` (seconds, or ``None`` to disable)
     sets the default recorder's slow-transaction capture threshold —
     databases own their recorders, so per-instance thresholds go through
-    ``Database(slow_txn_threshold=...)`` instead.
+    ``Database(slow_txn_threshold=...)`` instead.  ``exemplars=True``
+    lets histograms remember the trace id behind the last sample per
+    bucket (surfaced only by the OpenMetrics exposition).
     """
     if enabled is not None:
         STATE.enabled = enabled
@@ -108,6 +126,8 @@ def configure(
         trace.set_capacity(trace_capacity)
     if slow_txn_threshold != "unset":
         get_recorder().slow_txn_threshold = slow_txn_threshold
+    if exemplars is not None:
+        STATE.exemplars = exemplars
 
 
 def is_enabled() -> bool:
@@ -120,14 +140,19 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "Counter",
     "Event",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricRegistry",
     "Recorder",
+    "RequestLifecycle",
+    "RequestLog",
     "SamplingProfiler",
+    "SloTracker",
     "Span",
     "SpanSummary",
+    "TailSampler",
     "TelemetryRelay",
     "TraceContext",
     "Tracer",
@@ -135,6 +160,8 @@ __all__ = [
     "activate",
     "configure",
     "current_context",
+    "current_lifecycle",
+    "current_request_id",
     "get_recorder",
     "get_registry",
     "get_tracer",
@@ -142,8 +169,10 @@ __all__ = [
     "render_chrome_trace",
     "render_collapsed",
     "render_json",
+    "render_openmetrics",
     "render_prometheus",
     "snapshot",
     "span",
+    "stamp_phase",
     "trace",
 ]

@@ -319,8 +319,125 @@ def _smoke_cluster(args: argparse.Namespace, failures: list[str]) -> None:
             fh.write(trace_json)
         print(f"cluster chrome trace written to {args.cluster_trace_out}")
 
+    _smoke_cluster_front_door(args, cluster, failures)
+
     shard.stop_serving_obs()
     cluster.close()
+
+
+def _smoke_cluster_front_door(args, cluster, failures: list[str]) -> None:
+    """Phase three: the service front door on the cluster — `/slo` must
+    account for the traffic, and the tail sampler must keep (only) the
+    interesting traces, one of which ships as the slow-request artifact."""
+    from repro import ColumnSpec, obs
+    from repro.arrowfmt.datatypes import INT64, UTF8
+    from repro.obs.trace import get_tracer
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServerThread, ServiceConfig
+
+    print("front-door phase: /slo + tail-sampled slow-request trace ...")
+    cluster.create_table(
+        "usertable",
+        [ColumnSpec("key", INT64), ColumnSpec("field0", UTF8)],
+        shard_key="key",
+    )
+    cluster.create_index("usertable", "by_key", ["key"])
+    info = cluster.catalog.get("usertable")
+    with cluster.transaction() as txn:
+        for key in range(50):
+            info.table.insert(txn, {0: key, 1: f"v{key}"})
+
+    service = ServerThread(
+        cluster,
+        ServiceConfig(exemplars=True, tail_sample_threshold_ms=1.0),
+    ).start()
+    decided = 0
+    with ServiceClient(port=service.port) as client:
+        for key in range(30):
+            client.read("usertable", "by_key", (key % 50,))
+            decided += 1
+        client.scan("usertable", limit=50)  # the slow shape
+        decided += 1
+        errored = client.read("usertable", "nope", (1,))  # marked → kept
+        decided += 1
+    _check(errored.code == "bad_request", "errored request answered", failures)
+
+    cluster_obs = cluster.serve_obs()
+    status, raw = _fetch(f"{cluster_obs.url}/slo")
+    slo = json.loads(raw)
+    tenant = (slo.get("tenants") or {}).get("default")
+    _check(
+        status == 200 and tenant is not None
+        and tenant["windows"]["60s"]["total"] >= decided,
+        "/slo accounts for front-door traffic on the cluster",
+        failures,
+    )
+    _check(
+        tenant is not None and 0.0 <= tenant["error_budget_remaining"] <= 1.0,
+        "cluster error budget stays a fraction",
+        failures,
+    )
+    _check("slo" in cluster.health(), "db.health() carries the SLO summary", failures)
+
+    sampler = service.server._sampler
+    stats = sampler.stats()
+    _check(
+        stats["kept_traces"] >= 1,
+        f"tail sampler kept the interesting traces ({stats['kept_traces']})",
+        failures,
+    )
+    _check(
+        stats["kept_traces"] + stats["dropped_traces"] == decided,
+        f"tail sampler accounting is exact ({stats['kept_traces']} kept "
+        f"+ {stats['dropped_traces']} dropped == {decided} decided)",
+        failures,
+    )
+
+    # The artifact: the slowest request whose trace survived sampling,
+    # rendered as a single-trace Chrome document with its waterfall track.
+    kept_ids = {
+        span.trace_id
+        for span in get_tracer().spans()
+        if span.name == "service.request" and span.trace_id is not None
+    }
+    slowest = max(
+        (
+            lifecycle
+            for lifecycle in cluster.request_log.recent(limit=250)
+            if lifecycle.trace_id in kept_ids
+        ),
+        key=lambda lifecycle: lifecycle.total_seconds,
+        default=None,
+    )
+    _check(
+        slowest is not None,
+        "a kept trace resolves to a request breakdown",
+        failures,
+    )
+    if slowest is not None:
+        slow_doc = obs.render_chrome_trace(
+            cluster.recorder,
+            trace_id=slowest.trace_id,
+            requests=[slowest],
+        )
+        parsed = json.loads(slow_doc)
+        slices = [e for e in parsed["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        _check(
+            "service.request" in names and f"request:{slowest.op}" in names,
+            "slow-request trace carries the root span + waterfall track",
+            failures,
+        )
+        if args.slow_trace_out:
+            with open(args.slow_trace_out, "w") as fh:
+                fh.write(slow_doc)
+            print(
+                f"slow-request trace (request {slowest.request_id}, trace "
+                f"{slowest.trace_hex}) written to {args.slow_trace_out}"
+            )
+
+    service.stop()
+    cluster.stop_serving_obs()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -348,6 +465,11 @@ def main(argv: list[str] | None = None) -> int:
         "--cluster-trace-out",
         default=None,
         help="write the cluster phase's merged cross-process Chrome trace here",
+    )
+    smoke.add_argument(
+        "--slow-trace-out",
+        default=None,
+        help="write one tail-sampled slow-request Chrome trace here",
     )
 
     args = parser.parse_args(argv)

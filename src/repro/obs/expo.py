@@ -125,6 +125,88 @@ def render_prometheus(registry: MetricRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Content type the OpenMetrics exposition must be served under.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def _om_exemplar(exemplar) -> str:
+    """The OpenMetrics exemplar suffix: `` # {labels} value timestamp``.
+
+    The label set (a trace id) stays far under the spec's 128-rune cap.
+    """
+    return (
+        f' # {{trace_id="{_escape_label(exemplar.trace_id)}"}} '
+        f"{_prom_value(exemplar.value)} {exemplar.timestamp:.3f}"
+    )
+
+
+def render_openmetrics(registry: MetricRegistry) -> str:
+    """The registry in OpenMetrics 1.0 text exposition format.
+
+    Differences from the Prometheus v0.0.4 renderer, all spec-mandated:
+
+    - counter *families* drop any ``_total`` suffix while their samples
+      always carry one (``wal.flush_total`` → family ``wal_flush``,
+      sample ``wal_flush_total``; ``wal.written_bytes`` → family
+      ``wal_written_bytes``, sample ``wal_written_bytes_total``);
+    - histogram ``_bucket`` samples may carry an exemplar suffix
+      (`` # {trace_id="..."} value timestamp``) when one was captured —
+      this is how a p99 bucket names a real offending request;
+    - the exposition ends with ``# EOF``.
+
+    Serve under :data:`OPENMETRICS_CONTENT_TYPE`.
+    """
+    lines: list[str] = []
+    emitted: dict[str, str] = {}  # OpenMetrics family -> dotted source name
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        if isinstance(instrument, Counter) and name.endswith("_total"):
+            name = name[: -len("_total")]
+        owner = emitted.get(name)
+        if owner is None:
+            emitted[name] = instrument.name
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+            elif isinstance(instrument, Histogram):
+                lines.append(f"# TYPE {name} histogram")
+            if instrument.help:
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        elif owner != instrument.name:
+            continue
+        labels = instrument.labels
+        if isinstance(instrument, Counter):
+            lines.append(
+                f"{_labeled(name + '_total', labels)} "
+                f"{_prom_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            lines.append(
+                f"{_labeled(name, labels)} {_prom_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            snap = instrument.snapshot()
+            exemplars = instrument.exemplars()
+            body = _label_body(labels)
+            prefix = body + "," if body else ""
+            for index, (bound, cumulative) in enumerate(snap.cumulative()):
+                exemplar = exemplars.get(index)
+                suffix = _om_exemplar(exemplar) if exemplar is not None else ""
+                lines.append(
+                    f'{name}_bucket{{{prefix}le="{_prom_bound(bound)}"}} '
+                    f"{cumulative}{suffix}"
+                )
+            lines.append(
+                f"{_labeled(name + '_sum', labels)} {_prom_value(snap.sum)}"
+            )
+            lines.append(f"{_labeled(name + '_count', labels)} {snap.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def snapshot(registry: MetricRegistry) -> dict[str, Any]:
     """A stable, JSON-serializable snapshot of every instrument.
 

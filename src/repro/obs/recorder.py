@@ -38,6 +38,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.obs.registry import STATE, Counter, MetricRegistry
+from repro.obs.slo import CURRENT as _REQUEST
 
 if TYPE_CHECKING:
     from repro.obs.trace import Span, Tracer
@@ -61,7 +62,8 @@ class Event:
     """
 
     __slots__ = (
-        "seq", "ts", "kind", "thread", "txn_id", "block_id", "attrs", "process",
+        "seq", "ts", "kind", "thread", "txn_id", "block_id", "attrs",
+        "process", "request_id",
     )
 
     def __init__(
@@ -74,6 +76,7 @@ class Event:
         block_id: int | None,
         attrs: dict[str, Any] | None,
         process: str | None = None,
+        request_id: int | None = None,
     ) -> None:
         self.seq = seq
         self.ts = ts
@@ -85,6 +88,10 @@ class Event:
         #: Which process emitted this (``None`` = the coordinator); relayed
         #: worker events carry ``"worker<i>"`` so forensics stay attributable.
         self.process = process
+        #: The service request being handled when this event fired (from
+        #: the request lifecycle bound to the emitting thread), so
+        #: ``/events?request=<id>`` filters the journal end-to-end.
+        self.request_id = request_id
 
     @property
     def component(self) -> str:
@@ -105,6 +112,8 @@ class Event:
             out["block_id"] = self.block_id
         if self.process is not None:
             out["process"] = self.process
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
         if self.attrs:
             out["attrs"] = self.attrs
         return out
@@ -200,11 +209,22 @@ class Recorder:
         kind: str,
         txn_id: int | None = None,
         block_id: int | None = None,
+        request_id: int | None = None,
         **attrs: Any,
     ) -> None:
-        """Emit one event (hot path: a list append when enabled)."""
+        """Emit one event (hot path: a list append when enabled).
+
+        When the emitting thread is inside an activated request lifecycle
+        the event is tagged with that request's id automatically; an
+        explicit ``request_id`` overrides (for completion bookkeeping that
+        runs off the request thread).
+        """
         if not STATE.enabled:
             return
+        if request_id is None:
+            lifecycle = getattr(_REQUEST, "lifecycle", None)
+            if lifecycle is not None:
+                request_id = lifecycle.request_id
         try:
             buf = self._local.buf
         except AttributeError:
@@ -221,6 +241,7 @@ class Recorder:
                 txn_id,
                 block_id,
                 attrs or None,
+                request_id=request_id,
             )
         )
         if len(buf.events) >= self.local_buffer:
@@ -308,6 +329,7 @@ class Recorder:
         kind: str | None = None,
         txn_id: int | None = None,
         block_id: int | None = None,
+        request_id: int | None = None,
         limit: int | None = None,
     ) -> list[Event]:
         """Merged, filtered journal contents, oldest first.
@@ -327,6 +349,8 @@ class Recorder:
             merged = [e for e in merged if e.txn_id == txn_id]
         if block_id is not None:
             merged = [e for e in merged if e.block_id == block_id]
+        if request_id is not None:
+            merged = [e for e in merged if e.request_id == request_id]
         if limit is not None and limit >= 0:
             merged = merged[-limit:]
         return merged
@@ -525,6 +549,8 @@ def render_chrome_trace(
     recorder: Recorder | None = None,
     tracer: "Tracer | None" = None,
     indent: int | None = None,
+    trace_id: int | None = None,
+    requests: list | None = None,
 ) -> str:
     """Spans + journal events as a ``chrome://tracing`` JSON document.
 
@@ -537,6 +563,13 @@ def render_chrome_trace(
     ``trace_id``/``span_id``/``parent_id`` in ``args``, so one distributed
     transaction is greppable across every track.  Load the output in
     ``chrome://tracing`` or https://ui.perfetto.dev.
+
+    ``trace_id`` narrows the document to one trace: only spans of that
+    trace and journal events tagged with it (via attrs or the request ids
+    in ``requests``) are kept — the shape of the tail-sampled slow-request
+    artifact.  ``requests`` adds a per-request **waterfall track**: each
+    :class:`~repro.obs.slo.RequestLifecycle` renders its phase stamps as
+    slices on a dedicated ``requests`` process track.
     """
     if recorder is None:
         recorder = get_recorder()
@@ -546,8 +579,23 @@ def render_chrome_trace(
         tracer = get_tracer()
     events = recorder.events()
     spans = tracer.spans()
+    requests = requests or []
+    if trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+        request_ids = {
+            r.request_id for r in requests if r.trace_id == trace_id
+        }
+        events = [
+            e
+            for e in events
+            if (e.attrs or {}).get("trace_id") == trace_id
+            or (e.request_id is not None and e.request_id in request_ids)
+        ]
+        requests = [r for r in requests if r.trace_id == trace_id]
     base = min(
-        [e.ts for e in events] + [s.start for s in spans],
+        [e.ts for e in events]
+        + [s.start for s in spans]
+        + [r.started for r in requests],
         default=recorder.wall_base[1],
     )
     pids: dict[str, int] = {"coordinator": 1}
@@ -605,6 +653,47 @@ def render_chrome_trace(
                 "args": args,
             }
         )
+    # Per-request waterfall tracks: every lifecycle gets its own thread
+    # row under one "requests" process, phases as slices, the request as
+    # an enclosing slice so the critical path reads left to right.
+    for lifecycle in requests:
+        row = tid("requests", f"request {lifecycle.request_id}")
+        request_pid = pid("requests")
+        end = lifecycle.ended if lifecycle.ended is not None else lifecycle.started
+        args: dict[str, Any] = {
+            "request_id": lifecycle.request_id,
+            "op": lifecycle.op,
+            "tenant": lifecycle.tenant,
+            "outcome": lifecycle.outcome,
+            "dominant_phase": lifecycle.dominant_phase(),
+        }
+        if lifecycle.trace_id is not None:
+            args["trace_id"] = lifecycle.trace_id
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": f"request:{lifecycle.op}",
+                "cat": "request",
+                "pid": request_pid,
+                "tid": row,
+                "ts": (lifecycle.started - base) * 1e6,
+                "dur": max(0.0, end - lifecycle.started) * 1e6,
+                "args": args,
+            }
+        )
+        for phase_name, start, stop in lifecycle.phases:
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": phase_name,
+                    "cat": "request.phase",
+                    "pid": request_pid,
+                    "tid": row,
+                    "ts": (start - base) * 1e6,
+                    "dur": max(0.0, stop - start) * 1e6,
+                    "args": {"request_id": lifecycle.request_id},
+                }
+            )
     for process, mapped_pid in pids.items():
         trace_events.append(
             {

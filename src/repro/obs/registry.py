@@ -31,17 +31,22 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from bisect import bisect_left
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, NamedTuple, Sequence
 
 
 class _ObsState:
     """The process-wide enable switch, shared by every instrument."""
 
-    __slots__ = ("enabled",)
+    __slots__ = ("enabled", "exemplars")
 
     def __init__(self) -> None:
         self.enabled = True
+        # Exemplar capture (histograms remembering the trace id behind the
+        # last sample per bucket) is opt-in: flip via
+        # ``obs.configure(exemplars=True)`` or the service config.
+        self.exemplars = False
 
 
 #: Checked by every hot-path record call; flip via ``obs.configure``.
@@ -221,14 +226,34 @@ class HistogramSnapshot:
         return self.sum / self.count if self.count else None
 
 
+class Exemplar(NamedTuple):
+    """One remembered sample behind a histogram bucket: the observed value,
+    the trace id (hex string) of the request that produced it, and a wall
+    clock stamp — exactly what the OpenMetrics exposition needs to let a
+    p99 bucket name a real offending request."""
+
+    value: float
+    trace_id: str
+    timestamp: float
+
+
 class Histogram:
     """Fixed upper-bound buckets (``le`` semantics), sharded per thread.
 
     ``observe`` is a bisect into a precomputed bounds tuple plus two cell
     writes — no allocation after a thread's first observation.
+
+    When exemplar capture is enabled (``STATE.exemplars``) a call site may
+    pass the trace id behind a sample; the histogram keeps the **last**
+    exemplar per bucket in a plain dict (single-store writes are atomic
+    under the GIL — last-writer-wins is exactly the semantics wanted, so
+    no lock on the hot path).
     """
 
-    __slots__ = ("name", "help", "labels", "_bounds", "_local", "_shards", "_lock")
+    __slots__ = (
+        "name", "help", "labels", "_bounds", "_local", "_shards", "_lock",
+        "_exemplars",
+    )
 
     def __init__(
         self,
@@ -254,6 +279,7 @@ class Histogram:
         self._local = threading.local()
         self._shards: list[_HistogramShard] = []
         self._lock = threading.Lock()
+        self._exemplars: dict[int, Exemplar] = {}
 
     @property
     def bounds(self) -> tuple[float, ...]:
@@ -269,13 +295,20 @@ class Histogram:
             self._local.shard = shard
             return shard
 
-    def observe(self, value: float) -> None:
-        """Record one sample; values above the last bound go to +Inf."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one sample; values above the last bound go to +Inf.
+
+        ``exemplar`` is the trace id (hex string) of the request behind the
+        sample; it is kept per bucket only when exemplar capture is on.
+        """
         if not STATE.enabled:
             return
         shard = self._shard()
-        shard.counts[bisect_left(self._bounds, value)] += 1
+        index = bisect_left(self._bounds, value)
+        shard.counts[index] += 1
         shard.total += value
+        if exemplar is not None and STATE.exemplars:
+            self._exemplars[index] = Exemplar(value, exemplar, time.time())
 
     def merge_counts(self, counts: Sequence[int], total: float) -> None:
         """Fold pre-binned counts in (telemetry relay: worker deltas).
@@ -303,11 +336,17 @@ class Histogram:
                 total += shard.total
         return HistogramSnapshot(self._bounds, counts, total)
 
+    def exemplars(self) -> dict[int, Exemplar]:
+        """Bucket index → last captured exemplar (index ``len(bounds)`` is
+        the +Inf bucket)."""
+        return dict(self._exemplars)
+
     def reset(self) -> None:
         with self._lock:
             for shard in self._shards:
                 shard.counts = [0] * (len(self._bounds) + 1)
                 shard.total = 0.0
+        self._exemplars.clear()
 
 
 Instrument = Counter | Gauge | Histogram

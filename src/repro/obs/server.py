@@ -36,13 +36,22 @@ if TYPE_CHECKING:
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _ENDPOINTS = {
-    "/metrics": "Prometheus text exposition",
+    "/metrics": (
+        "Prometheus text exposition "
+        "(?format=openmetrics or Accept: application/openmetrics-text "
+        "for OpenMetrics with exemplars)"
+    ),
     "/healthz": "liveness + durability status (503 while degraded)",
     "/varz": "stable JSON metric snapshot",
-    "/events": "recent journal events (?component=&kind=&txn=&block=&limit=)",
+    "/events": (
+        "recent journal events "
+        "(?component=&kind=&txn=&block=&request=&limit=)"
+    ),
     "/timeline/<txn_id>": "causal timeline of one transaction",
-    "/trace": "Chrome-trace document of spans + events",
+    "/trace": "Chrome-trace document of spans + events (?trace=<id> filters)",
     "/pprof": "collapsed-stack wall-clock profile (?seconds=N&interval=MS)",
+    "/slo": "per-tenant SLO burn rates and error budgets",
+    "/request/<request_id>": "critical-path breakdown of one service request",
 }
 
 #: Longest profiling window one request may hold a handler thread for.
@@ -118,9 +127,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
         path = parsed.path.rstrip("/") or "/"
         try:
             if path == "/metrics":
-                from repro.obs.expo import render_prometheus
-
-                self._respond(200, render_prometheus(db.obs), PROMETHEUS_CONTENT_TYPE)
+                self._serve_metrics(parse_qs(parsed.query))
             elif path == "/healthz":
                 health = db.health()
                 status = 200 if health["status"] == "ok" else 503
@@ -134,15 +141,13 @@ class _ObsHandler(BaseHTTPRequestHandler):
             elif path.startswith("/timeline/"):
                 self._serve_timeline(path.removeprefix("/timeline/"))
             elif path == "/trace":
-                from repro.obs.recorder import render_chrome_trace
-
-                self._respond(
-                    200,
-                    render_chrome_trace(db.recorder),
-                    "application/json; charset=utf-8",
-                )
+                self._serve_trace(parse_qs(parsed.query))
             elif path == "/pprof":
                 self._serve_pprof(parse_qs(parsed.query))
+            elif path == "/slo":
+                self._serve_slo()
+            elif path.startswith("/request/"):
+                self._serve_request(path.removeprefix("/request/"))
             elif path == "/":
                 self._respond_json(200, {"endpoints": _ENDPOINTS})
             else:
@@ -152,6 +157,29 @@ class _ObsHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # never kill the handler thread silently
             self._respond_json(500, {"error": repr(exc)})
 
+    def _serve_metrics(self, params: dict[str, list[str]]) -> None:
+        """Prometheus v0.0.4 by default; OpenMetrics 1.0 (with exemplars)
+        when the scraper asks via ``?format=openmetrics`` or an ``Accept``
+        header naming ``application/openmetrics-text``."""
+        db = self.server.db
+        fmt = params.get("format", [None])[0]
+        accept = self.headers.get("Accept", "")
+        if fmt == "openmetrics" or "application/openmetrics-text" in accept:
+            from repro.obs.expo import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+
+            self._respond(
+                200, render_openmetrics(db.obs), OPENMETRICS_CONTENT_TYPE
+            )
+            return
+        if fmt is not None and fmt != "prometheus":
+            raise ValueError(
+                f"unknown metrics format {fmt!r}; use 'prometheus' or "
+                "'openmetrics'"
+            )
+        from repro.obs.expo import render_prometheus
+
+        self._respond(200, render_prometheus(db.obs), PROMETHEUS_CONTENT_TYPE)
+
     def _serve_events(self, params: dict[str, list[str]]) -> None:
         db = self.server.db
         limit = _int_param(params, "limit")
@@ -160,6 +188,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
             kind=params.get("kind", [None])[0],
             txn_id=_int_param(params, "txn"),
             block_id=_int_param(params, "block"),
+            request_id=_int_param(params, "request"),
             limit=limit if limit is not None else 250,
         )
         self._respond_json(
@@ -169,6 +198,58 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 "dropped_total": db.recorder.events_dropped,
             },
         )
+
+    def _serve_trace(self, params: dict[str, list[str]]) -> None:
+        from repro.obs.recorder import render_chrome_trace
+
+        db = self.server.db
+        request_log = getattr(db, "request_log", None)
+        requests = request_log.recent(limit=250) if request_log is not None else None
+        self._respond(
+            200,
+            render_chrome_trace(
+                db.recorder,
+                trace_id=_int_param(params, "trace"),
+                requests=requests,
+            ),
+            "application/json; charset=utf-8",
+        )
+
+    def _serve_slo(self) -> None:
+        slo = getattr(self.server.db, "slo", None)
+        if slo is None:
+            self._respond_json(
+                404, {"error": "this database has no SLO tracker"}
+            )
+            return
+        self._respond_json(200, slo.report())
+
+    def _serve_request(self, raw_id: str) -> None:
+        """The critical-path breakdown of one service request, addressable
+        by request id or by trace id (``/request/trace:<hex>`` — the form
+        an exemplar or response envelope hands you)."""
+        request_log = getattr(self.server.db, "request_log", None)
+        if request_log is None:
+            self._respond_json(
+                404, {"error": "this database has no request log"}
+            )
+            return
+        if raw_id.startswith("trace:"):
+            lifecycle = request_log.by_trace(raw_id.removeprefix("trace:"))
+        else:
+            try:
+                lifecycle = request_log.get(int(raw_id))
+            except ValueError:
+                raise ValueError(
+                    "request id must be an integer or trace:<hex>, got "
+                    f"{raw_id!r}"
+                )
+        if lifecycle is None:
+            self._respond_json(
+                404, {"error": f"no recorded request {raw_id!r}"}
+            )
+            return
+        self._respond_json(200, lifecycle.to_dict())
 
     def _serve_pprof(self, params: dict[str, list[str]]) -> None:
         """Profile the coordinator for ``?seconds=N`` and respond with

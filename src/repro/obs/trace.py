@@ -18,6 +18,17 @@ worker processes all land in one causal tree.  Remote spans come back via
 When observability is disabled (``obs.configure(enabled=False)``) the
 ``span`` call returns a shared no-op context manager: no clock reads, no
 allocation, no buffer traffic.
+
+A :class:`TailSampler` may be installed on a tracer
+(``tracer.set_tail_sampler(...)``): finished spans are then held per
+trace until the trace's **root** span closes, at which point the whole
+trace is either flushed to the ring buffer (root slower than the
+threshold, in the top-k reservoir of slowest roots, or explicitly
+``mark``-ed — how shed/errored/degraded requests are retained) or
+dropped with exact accounting.  That is tail-based sampling: the keep
+decision waits until the outcome is known, so slow/broken requests keep
+their full trace while the bulk of healthy traffic costs no buffer
+space.
 """
 
 from __future__ import annotations
@@ -165,19 +176,26 @@ class _ActiveSpan:
             parent_id = parent.span_id
         else:
             parent_id = self._remote_parent_id
-        tracer._buffer.append(
-            Span(
-                self.span_id,
-                parent_id,
-                self.name,
-                self.start,
-                duration,
-                self.child_seconds,
-                threading.current_thread().name,
-                self.trace_id,
-                self.attrs,
-            )
+        span = Span(
+            self.span_id,
+            parent_id,
+            self.name,
+            self.start,
+            duration,
+            self.child_seconds,
+            threading.current_thread().name,
+            self.trace_id,
+            self.attrs,
         )
+        sampler = tracer._sampler
+        if sampler is None:
+            tracer._buffer.append(span)
+        else:
+            # A span is the root of its local trace when it has no parent
+            # at all — neither on this thread's stack nor activated from a
+            # remote context.  Root close is the tail-sampling decision
+            # point.
+            sampler.offer(tracer, span, parent is None and parent_id is None)
 
 
 class _NullSpan:
@@ -217,6 +235,152 @@ class _ActivatedContext:
         self._tracer._local.remote = self._prev
 
 
+class TailSampler:
+    """Tail-based trace sampling with exact drop accounting.
+
+    Finished spans are buffered per trace id; when the trace's root span
+    closes the whole trace is judged at once:
+
+    - **kept** when the root's duration meets ``threshold``, when the
+      trace was :meth:`mark`-ed (the service marks shed/errored/degraded
+      requests before the root closes), or when the root lands in the
+      ``top_k`` reservoir of slowest roots seen so far;
+    - **dropped** otherwise — every buffered span counted, never silently.
+
+    Accounting is exact under concurrency: every span offered either
+    reaches the tracer buffer (``kept_spans``) or increments
+    ``dropped_spans`` (including spans of pending traces evicted at the
+    ``max_pending`` bound and spans whose root never closes by
+    :meth:`flush_pending` time), all under one lock.
+    """
+
+    def __init__(
+        self,
+        threshold: float | None = None,
+        top_k: int = 0,
+        max_pending: int = 512,
+        registry=None,
+    ) -> None:
+        if threshold is None and top_k <= 0:
+            raise ValueError(
+                "tail sampler needs a slow threshold, a top-k reservoir, "
+                "or both"
+            )
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.threshold = threshold
+        self.top_k = top_k
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._pending: dict[int, list[Span]] = {}
+        self._order: deque[int] = deque()
+        self._marked: dict[int, str] = {}
+        #: Smallest-first root durations currently holding top-k slots.
+        self._reservoir: list[float] = []
+        self.kept_traces = 0
+        self.kept_spans = 0
+        self.dropped_traces = 0
+        self.dropped_spans = 0
+        self._m_kept = self._m_dropped = None
+        if registry is not None:
+            self._m_kept = registry.counter(
+                "trace.tail_kept_total", "traces retained by the tail sampler"
+            )
+            self._m_dropped = registry.counter(
+                "trace.tail_dropped_spans_total",
+                "spans dropped at trace close by the tail sampler",
+            )
+
+    def mark(self, trace_id: int, reason: str = "marked") -> None:
+        """Force-keep ``trace_id`` when its root closes (shed / errored /
+        degraded requests).  Must be called before the root span exits."""
+        with self._lock:
+            self._marked[trace_id] = reason
+
+    def offer(self, tracer: "Tracer", span: Span, is_root: bool) -> None:
+        """Called by the tracer at span close; decides at root close."""
+        if span.trace_id is None:
+            tracer._buffer.append(span)
+            return
+        with self._lock:
+            spans = self._pending.get(span.trace_id)
+            if spans is None:
+                if len(self._order) >= self.max_pending:
+                    evicted_id = self._order.popleft()
+                    evicted = self._pending.pop(evicted_id, ())
+                    self._marked.pop(evicted_id, None)
+                    self.dropped_traces += 1
+                    self.dropped_spans += len(evicted)
+                    if self._m_dropped is not None:
+                        self._m_dropped.inc(len(evicted))
+                spans = self._pending[span.trace_id] = []
+                self._order.append(span.trace_id)
+            spans.append(span)
+            if not is_root:
+                return
+            del self._pending[span.trace_id]
+            try:
+                self._order.remove(span.trace_id)
+            except ValueError:  # pragma: no cover - evicted concurrently
+                pass
+            reason = self._decide(span)
+            if reason is not None:
+                self.kept_traces += 1
+                self.kept_spans += len(spans)
+                if self._m_kept is not None:
+                    self._m_kept.inc()
+                tracer._buffer.extend(spans)
+            else:
+                self.dropped_traces += 1
+                self.dropped_spans += len(spans)
+                if self._m_dropped is not None:
+                    self._m_dropped.inc(len(spans))
+
+    def _decide(self, root: Span) -> str | None:
+        """Keep reason for a closed root, or ``None`` to drop.  Caller
+        holds the lock."""
+        reason = self._marked.pop(root.trace_id, None)
+        if reason is not None:
+            return reason
+        if self.threshold is not None and root.duration >= self.threshold:
+            return "slow"
+        if self.top_k > 0:
+            reservoir = self._reservoir
+            if len(reservoir) < self.top_k:
+                reservoir.append(root.duration)
+                reservoir.sort()
+                return "top_k"
+            if root.duration > reservoir[0]:
+                reservoir[0] = root.duration
+                reservoir.sort()
+                return "top_k"
+        return None
+
+    def flush_pending(self) -> int:
+        """Drop every trace still waiting for its root (server shutdown);
+        returns the number of spans discarded — counted, as always."""
+        with self._lock:
+            discarded = sum(len(spans) for spans in self._pending.values())
+            self.dropped_traces += len(self._pending)
+            self.dropped_spans += discarded
+            if self._m_dropped is not None and discarded:
+                self._m_dropped.inc(discarded)
+            self._pending.clear()
+            self._order.clear()
+            self._marked.clear()
+        return discarded
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "kept_traces": self.kept_traces,
+                "kept_spans": self.kept_spans,
+                "dropped_traces": self.dropped_traces,
+                "dropped_spans": self.dropped_spans,
+                "pending_traces": len(self._pending),
+            }
+
+
 class Tracer:
     """A bounded span sink with per-thread nesting stacks."""
 
@@ -227,6 +391,13 @@ class Tracer:
         self._buffer: deque[Span] = deque(maxlen=capacity)
         self._local = threading.local()
         self._ids = itertools.count(1)
+        self._sampler: TailSampler | None = None
+
+    def set_tail_sampler(self, sampler: TailSampler | None) -> None:
+        """Install (or remove, with ``None``) tail-based sampling.  Spans
+        ingested via :meth:`ingest` bypass the sampler — the relay ships
+        only spans the remote side already chose to keep."""
+        self._sampler = sampler
 
     def _stack(self) -> list:
         try:

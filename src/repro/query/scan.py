@@ -33,6 +33,7 @@ from repro.arrowfmt.buffer import Bitmap, Buffer
 from repro.arrowfmt.datatypes import VarBinaryType
 from repro.errors import StorageError
 from repro.obs import trace
+from repro.obs.slo import stamp_phase
 from repro.storage.tuple_slot import TupleSlot
 from repro.storage.varlen import read_value
 from repro.transform.arrow_view import block_to_record_batch
@@ -402,7 +403,11 @@ class TableScanner:
                     ([d for _, d in fragment], self.column_ids, self.range_filters)
                     for fragment in fragments
                 ]
-                with trace.span("query.scan.parallel_dispatch"):
+                # Time spent waiting on worker processes is its own phase
+                # on the surrounding request's critical path.
+                with stamp_phase("worker.fragment"), trace.span(
+                    "query.scan.parallel_dispatch"
+                ):
                     answers = self.pool.run_fragments("scan", payloads)
                 for fragment, answer in zip(fragments, answers):
                     if answer is None:

@@ -191,6 +191,60 @@ def _smoke_one(shards: int, failures: list[str]) -> None:
         failures,
     )
 
+    summary = result.summary()
+    _check(
+        result.shed == 0 or "shed_p99_ms" in summary,
+        "loadgen reports shed percentiles alongside served ones",
+        failures,
+    )
+    traces = summary.get("percentile_traces") or {}
+    print(f"  percentile traces: {traces}")
+    _check(
+        bool(traces.get("p99")),
+        "a trace id stands behind the served p99",
+        failures,
+    )
+
+    # Scrape the SLO and exemplar surface over live HTTP: the loadgen
+    # just generated real traffic, so /slo must account for it and the
+    # OpenMetrics exposition must carry parseable exemplars.
+    import re
+    import urllib.request
+
+    obs_server = db.serve_obs()
+    with urllib.request.urlopen(obs_server.url + "/slo", timeout=5) as resp:
+        slo = json.loads(resp.read().decode())
+    tenant = slo["tenants"].get("default")
+    _check(
+        tenant is not None and tenant["windows"]["60s"]["total"] > 0,
+        "/slo tracks the loadgen tenant",
+        failures,
+    )
+    _check(
+        tenant is not None and 0.0 <= tenant["error_budget_remaining"] <= 1.0,
+        "error budget stays a fraction",
+        failures,
+    )
+    with urllib.request.urlopen(
+        obs_server.url + "/metrics?format=openmetrics", timeout=5
+    ) as resp:
+        om = resp.read().decode()
+    _check(
+        om.rstrip().endswith("# EOF"),
+        "OpenMetrics exposition terminates with # EOF",
+        failures,
+    )
+    exemplar_re = re.compile(
+        r'_bucket\{[^}]*\} \S+ # \{trace_id="[0-9a-f]+"\} \S+ \S+$'
+    )
+    exemplar_lines = [line for line in om.splitlines() if " # {" in line]
+    _check(
+        bool(exemplar_lines)
+        and all(exemplar_re.search(line) for line in exemplar_lines),
+        f"exemplar lines parse ({len(exemplar_lines)} found)",
+        failures,
+    )
+
     # SIGTERM-style drain under live load: acked commits must survive.
     acked: list[int] = []
     stop = threading.Event()

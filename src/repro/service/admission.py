@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ServiceOverload
@@ -34,6 +35,7 @@ from repro.obs.registry import MetricRegistry
 
 if TYPE_CHECKING:
     from repro.obs.recorder import Recorder
+    from repro.obs.slo import RequestLifecycle
 
 
 class TokenBucket:
@@ -197,13 +199,21 @@ class AdmissionController:
     # ------------------------------------------------------------------ #
 
     async def admit(
-        self, tenant: str = "default", deadline: float | None = None
+        self,
+        tenant: str = "default",
+        deadline: float | None = None,
+        lifecycle: "RequestLifecycle | None" = None,
     ) -> AdmissionTicket:
         """Admit one request or raise :class:`ServiceOverload`.
 
         ``deadline`` is an absolute ``clock()`` timestamp.  Order of the
         checks matters: an already-dead request must not consume rate
         tokens, and a rate-limited one must not occupy queue space.
+
+        ``lifecycle`` (when given) has any slot-queue wait stamped as its
+        ``admission.queue_wait`` phase — admission runs on the event loop,
+        not the request's executor thread, so the phase is stamped
+        explicitly rather than through the thread-local helper.
         """
         if deadline is not None and self.clock() >= deadline:
             raise self._shed("deadline", tenant)
@@ -226,22 +236,33 @@ class AdmissionController:
             waiter: asyncio.Future = asyncio.get_running_loop().create_future()
             self._waiters.append(waiter)
             queued_at = self.clock()
-            timeout = None if deadline is None else max(0.0, deadline - queued_at)
+            wait_began = perf_counter()
             try:
-                await asyncio.wait_for(waiter, timeout)
-            except (asyncio.TimeoutError, asyncio.CancelledError):
-                # wait_for cancelled the future; a cancelled entry is
-                # skipped by _release_slot, and one may already have been
-                # popped for us — if the slot was handed over in the race,
-                # give it back.
-                if waiter.cancelled() or not waiter.done():
-                    try:
-                        self._waiters.remove(waiter)
-                    except ValueError:
-                        pass
-                    reason = "deadline" if timeout is not None else "queue_timeout"
-                    raise self._shed(reason, tenant) from None
-                # The slot arrived between timeout and cleanup: keep it.
+                timeout = (
+                    None if deadline is None else max(0.0, deadline - queued_at)
+                )
+                try:
+                    await asyncio.wait_for(waiter, timeout)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    # wait_for cancelled the future; a cancelled entry is
+                    # skipped by _release_slot, and one may already have been
+                    # popped for us — if the slot was handed over in the race,
+                    # give it back.
+                    if waiter.cancelled() or not waiter.done():
+                        try:
+                            self._waiters.remove(waiter)
+                        except ValueError:
+                            pass
+                        reason = (
+                            "deadline" if timeout is not None else "queue_timeout"
+                        )
+                        raise self._shed(reason, tenant) from None
+                    # The slot arrived between timeout and cleanup: keep it.
+            finally:
+                if lifecycle is not None:
+                    lifecycle.stamp(
+                        "admission.queue_wait", wait_began, perf_counter()
+                    )
             self._m_queue_wait.observe(self.clock() - queued_at)
         self._m_admitted.inc()
         self.registry.counter(

@@ -39,11 +39,17 @@ def _parse_response(kind: bytes, payload: bytes) -> Response:
             code=body.get("code", "internal"),
             message=body.get("message"),
             retry_after_ms=body.get("retry_after_ms"),
+            request_id=body.get("request_id"),
+            trace_id=body.get("trace_id"),
         )
     if kind != protocol.KIND_RESULT:
         raise SerializationError(f"expected result frame, got {kind!r}")
+    meta = {k: v for k, v in body.items() if k != "status"}
     return Response(
-        status="ok", meta={k: v for k, v in body.items() if k != "status"}
+        status="ok",
+        meta=meta,
+        request_id=meta.get("request_id"),
+        trace_id=meta.get("trace_id"),
     )
 
 

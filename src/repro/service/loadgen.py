@@ -53,7 +53,15 @@ class LoadgenConfig:
 
 @dataclass
 class LoadgenResult:
-    """What one run measured."""
+    """What one run measured.
+
+    Served and shed requests are reported as *separate* latency
+    populations: a shed answers in microseconds, and folding it into the
+    served percentiles would make overload look like a latency
+    improvement.  When the server attaches trace ids to responses (the
+    exemplar flow), each served sample keeps its trace id, so the p99 line
+    can name an actual offending request to look up at ``/request/<id>``.
+    """
 
     offered: int = 0
     ok: int = 0
@@ -61,18 +69,40 @@ class LoadgenResult:
     errors: int = 0
     shed_reasons: dict[str, int] = field(default_factory=dict)
     latencies_ms: list[float] = field(default_factory=list)
+    shed_latencies_ms: list[float] = field(default_factory=list)
+    #: ``(latency_ms, trace_id_hex | None)`` per served request.
+    served_samples: list[tuple[float, str | None]] = field(default_factory=list)
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
+
+    @staticmethod
+    def _rank(ordered_len: int, q: float) -> int:
+        return min(ordered_len - 1, int(q * ordered_len))
 
     def percentile(self, q: float) -> float:
         """Latency percentile (ms) over *admitted, completed* requests."""
         if not self.latencies_ms:
             return 0.0
         ordered = sorted(self.latencies_ms)
-        rank = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[rank]
+        return ordered[self._rank(len(ordered), q)]
+
+    def shed_percentile(self, q: float) -> float:
+        """Latency percentile (ms) over *shed* requests — how fast the
+        server says no, the number the fast-rejection contract is about."""
+        if not self.shed_latencies_ms:
+            return 0.0
+        ordered = sorted(self.shed_latencies_ms)
+        return ordered[self._rank(len(ordered), q)]
+
+    def percentile_trace(self, q: float) -> str | None:
+        """The trace id of the served request sitting at percentile ``q``
+        (``None`` when the server sent no trace ids)."""
+        if not self.served_samples:
+            return None
+        ordered = sorted(self.served_samples, key=lambda s: s[0])
+        return ordered[self._rank(len(ordered), q)][1]
 
     @property
     def p50_ms(self) -> float:
@@ -83,7 +113,7 @@ class LoadgenResult:
         return self.percentile(0.99)
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "offered": self.offered,
             "ok": self.ok,
             "shed": self.shed,
@@ -92,7 +122,17 @@ class LoadgenResult:
             "shed_reasons": dict(sorted(self.shed_reasons.items())),
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
+            "shed_p50_ms": round(self.shed_percentile(0.50), 3),
+            "shed_p99_ms": round(self.shed_percentile(0.99), 3),
         }
+        traces = {
+            f"p{int(q * 100)}": trace
+            for q in (0.50, 0.99)
+            if (trace := self.percentile_trace(q)) is not None
+        }
+        if traces:
+            out["percentile_traces"] = traces
+        return out
 
 
 async def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
@@ -138,13 +178,16 @@ async def run_loadgen(config: LoadgenConfig) -> LoadgenResult:
             result.errors += 1
             return
         finished = loop.time()
+        latency_ms = (finished - scheduled_at) * 1000.0
         if response.ok:
             result.ok += 1
             # Open-loop latency: from the *scheduled* arrival, so time a
             # request spent waiting to even be sent is charged too.
-            result.latencies_ms.append((finished - scheduled_at) * 1000.0)
+            result.latencies_ms.append(latency_ms)
+            result.served_samples.append((latency_ms, response.trace_id))
         elif response.shed:
             result.shed += 1
+            result.shed_latencies_ms.append(latency_ms)
             code = response.code or "unknown"
             result.shed_reasons[code] = result.shed_reasons.get(code, 0) + 1
         else:

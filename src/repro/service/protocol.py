@@ -32,6 +32,13 @@ this repo's row codec already mimics:
 The deadline rides in the request (``deadline_ms``, relative — wire
 clients and servers share no clock) and is enforced at admission, inside
 the transaction retry loop, and on response write-out.
+
+Every response envelope — ok headers and error bodies alike — carries the
+server-assigned ``request_id`` and, when tracing is on, the hex
+``trace_id`` of the request's root span.  Those are the handles the
+observability endpoints resolve: ``/request/<id>`` returns the request's
+critical-path breakdown, ``/events?request=<id>`` its journal slice, and
+``/trace?trace=<id>`` its Chrome-trace waterfall.
 """
 
 from __future__ import annotations
@@ -173,6 +180,8 @@ class Response:
     payload_kind: bytes | None = None
     payload: bytes = b""
     retry_after_ms: float | None = None
+    request_id: int | None = None    # server-assigned; resolves /request/<id>
+    trace_id: str | None = None      # hex root-span id; resolves /trace?trace=
 
     @property
     def ok(self) -> bool:
@@ -212,11 +221,19 @@ def encode_result(meta: dict[str, Any]) -> bytes:
 
 
 def encode_error(
-    code: str, message: str, retry_after_ms: float | None = None
+    code: str,
+    message: str,
+    retry_after_ms: float | None = None,
+    request_id: int | None = None,
+    trace_id: str | None = None,
 ) -> bytes:
     body: dict[str, Any] = {"status": "error", "code": code, "message": message}
     if retry_after_ms is not None:
         body["retry_after_ms"] = retry_after_ms
+    if request_id is not None:
+        body["request_id"] = request_id
+    if trace_id is not None:
+        body["trace_id"] = trace_id
     return encode_frame(KIND_ERROR, json.dumps(body).encode("utf-8"))
 
 
@@ -257,11 +274,18 @@ async def read_response(reader: asyncio.StreamReader) -> Response | None:
             code=body.get("code", "internal"),
             message=body.get("message"),
             retry_after_ms=body.get("retry_after_ms"),
+            request_id=body.get("request_id"),
+            trace_id=body.get("trace_id"),
         )
     if kind != KIND_RESULT:
         raise SerializationError(f"expected result frame, got {kind!r}")
     meta = {k: v for k, v in body.items() if k != "status"}
-    response = Response(status="ok", meta=meta)
+    response = Response(
+        status="ok",
+        meta=meta,
+        request_id=meta.get("request_id"),
+        trace_id=meta.get("trace_id"),
+    )
     if meta.get("rows", 0):
         payload_frame = await read_frame(reader)
         if payload_frame is None:

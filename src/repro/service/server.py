@@ -31,15 +31,27 @@ Engine calls are blocking, so they run on a thread pool sized exactly to
 ``max_inflight`` — the admission controller's slot count and the
 executor's worker count are the same number, meaning an admitted request
 never queues *again* behind the executor.
+
+Every request is also *attributed*: it gets a server-assigned request id,
+a phase-stamped :class:`~repro.obs.slo.RequestLifecycle` (queue wait, slot
+wait, engine time, and the engine-internal waits stamped by deeper layers
+— retry backoff, fsync waits, worker fragments, 2PC phases — plus the
+response write), and a root ``service.request`` trace span whose id rides
+the response envelope and the latency histogram's exemplars.  Completions
+feed the engine's per-tenant :class:`~repro.obs.slo.SloTracker` and its
+request log, so ``/slo`` and ``/request/<id>`` on ``db.serve_obs()``
+answer "who is burning budget" and "where did this request's time go".
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.errors import (
@@ -51,7 +63,9 @@ from repro.errors import (
     TwoPhaseInDoubt,
 )
 from repro.export import postgres_wire
-from repro.obs.trace import span
+from repro.obs.registry import STATE
+from repro.obs.slo import RequestLifecycle, RequestLog, SloTracker
+from repro.obs.trace import TailSampler, current_context, get_tracer, span
 from repro.service import protocol
 from repro.service.admission import AdmissionController
 from repro.service.gate import HealthGate
@@ -78,6 +92,11 @@ class ServiceConfig:
     retries: int = 5                    # conflict-retry budget per write
     durability_timeout: float = 5.0     # bound on wait_durable per write
     drain_timeout: float = 10.0         # bound on SIGTERM drain
+    slo_target_ms: float = 250.0        # per-tenant latency objective
+    slo_availability: float = 0.999     # per-tenant availability objective
+    exemplars: bool = True              # trace ids on p99 histogram buckets
+    tail_sample_threshold_ms: float | None = None  # keep traces slower than
+                                        # this (None = keep every trace)
 
 
 def _layout(db: Any, table_name: str):
@@ -115,6 +134,26 @@ class TransactionalServer:
             registry=self.registry,
             recorder=self.recorder,
         )
+        # Request attribution: ids are minted here, lifecycles live in the
+        # engine's request log (so /request/<id> works on db.serve_obs()),
+        # and completions feed the engine's per-tenant SLO tracker.
+        self._request_ids = itertools.count(1)
+        # NB: ``is None`` checks — an empty RequestLog is falsy (len 0),
+        # and the whole point is sharing the engine's (initially empty) one.
+        db_request_log = getattr(db, "request_log", None)
+        self.request_log: RequestLog = (
+            db_request_log if db_request_log is not None else RequestLog()
+        )
+        db_slo = getattr(db, "slo", None)
+        self.slo: SloTracker = (
+            db_slo if db_slo is not None else SloTracker(registry=self.registry)
+        )
+        self.slo.configure_defaults(
+            target_latency=cfg.slo_target_ms / 1e3,
+            availability=cfg.slo_availability,
+        )
+        self._sampler: TailSampler | None = None
+        self._prev_exemplars: bool | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=cfg.max_inflight, thread_name_prefix="service"
         )
@@ -152,6 +191,15 @@ class TransactionalServer:
     async def start(self) -> "TransactionalServer":
         if self._server is not None:
             return self
+        if self.config.exemplars:
+            self._prev_exemplars = STATE.exemplars
+            STATE.exemplars = True
+        if self.config.tail_sample_threshold_ms is not None:
+            self._sampler = TailSampler(
+                threshold=self.config.tail_sample_threshold_ms / 1e3,
+                registry=self.registry,
+            )
+            get_tracer().set_tail_sampler(self._sampler)
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -246,6 +294,13 @@ class TransactionalServer:
             self._health_task = None
         self._server = None
         self._executor.shutdown(wait=True)
+        if self._sampler is not None:
+            get_tracer().set_tail_sampler(None)
+            self._sampler.flush_pending()
+            self._sampler = None
+        if self._prev_exemplars is not None:
+            STATE.exemplars = self._prev_exemplars
+            self._prev_exemplars = None
         self.unregister_metrics()
 
     def unregister_metrics(self) -> None:
@@ -328,22 +383,34 @@ class TransactionalServer:
                 return
             self._inflight_requests += 1
             try:
-                response = await self._handle(payload)
+                response, lifecycle = await self._handle(payload)
             finally:
                 self._inflight_requests -= 1
-            writer.write(response)
-            await writer.drain()
+            try:
+                write_began = perf_counter()
+                writer.write(response)
+                await writer.drain()
+                lifecycle.stamp(
+                    "response.write", write_began, perf_counter()
+                )
+            finally:
+                self._complete(lifecycle)
 
     # ------------------------------------------------------------------ #
     # request handling                                                    #
     # ------------------------------------------------------------------ #
 
-    async def _handle(self, payload: bytes) -> bytes:
+    async def _handle(
+        self, payload: bytes
+    ) -> tuple[bytes, RequestLifecycle]:
         started = time.monotonic()
+        lifecycle = RequestLifecycle(next(self._request_ids))
         try:
             request = Request.decode(payload)
         except SerializationError as exc:
-            return self._finish(started, "bad_request", str(exc))
+            return self._finish(lifecycle, "bad_request", str(exc))
+        lifecycle.op = request.op
+        lifecycle.tenant = request.tenant
         deadline_ms = (
             request.deadline_ms
             if request.deadline_ms is not None
@@ -356,50 +423,60 @@ class TransactionalServer:
             # Liveness probes bypass admission: they must answer precisely
             # when the server is saturated.
             return self._finish(
-                started, None, None,
+                lifecycle, None, None,
                 protocol.encode_result(
-                    {"rows": 0, "op": "ping", "draining": self._draining}
+                    {
+                        "rows": 0, "op": "ping", "draining": self._draining,
+                        "request_id": lifecycle.request_id,
+                    }
                 ),
             )
         if self._draining:
-            return self._finish(started, "draining", "server is draining")
+            return self._finish(
+                lifecycle, "draining", "server is draining",
+                terminal_phase="admission",
+            )
         if request.op in protocol.WRITE_OPS and not self.gate.open:
             # Backpressure: writes shed while the engine is unhealthy,
             # reads below keep flowing.
             return self._finish(
-                started, "degraded",
+                lifecycle, "degraded",
                 f"writes rejected: {self.gate.reason or 'engine unhealthy'}",
                 retry_after_ms=1000.0 * self.config.health_interval
                 * self.gate.reopen_after,
+                terminal_phase="admission",
             )
         try:
-            ticket = await self.admission.admit(request.tenant, deadline)
+            ticket = await self.admission.admit(
+                request.tenant, deadline, lifecycle=lifecycle
+            )
         except ServiceOverload as exc:
             retry_after = getattr(exc, "retry_after", None)
             return self._finish(
-                started, exc.reason, str(exc),
+                lifecycle, exc.reason, str(exc),
                 retry_after_ms=retry_after * 1000.0 if retry_after else None,
+                terminal_phase="admission",
             )
         loop = asyncio.get_running_loop()
         try:
-            work = self._dispatch(request, deadline)
-            response = await loop.run_in_executor(self._executor, work)
+            run = self._execute(request, deadline, lifecycle)
+            response = await loop.run_in_executor(self._executor, run)
         except ServiceOverload as exc:
-            return self._finish(started, exc.reason, str(exc))
+            return self._finish(lifecycle, exc.reason, str(exc))
         except SerializationError as exc:
-            return self._finish(started, "bad_request", str(exc))
+            return self._finish(lifecycle, "bad_request", str(exc))
         except DegradedError as exc:
-            return self._finish(started, "degraded", str(exc))
+            return self._finish(lifecycle, "degraded", str(exc))
         except TwoPhaseInDoubt as exc:
-            return self._finish(started, "unknown", str(exc))
+            return self._finish(lifecycle, "unknown", str(exc))
         except TransactionAborted as exc:
-            return self._finish(started, "aborted", str(exc))
+            return self._finish(lifecycle, "aborted", str(exc))
         except ReproError as exc:
-            return self._finish(started, "bad_request", str(exc))
+            return self._finish(lifecycle, "bad_request", str(exc))
         except Exception as exc:
             self._m_unhandled.inc()
             self.unhandled_exceptions += 1
-            return self._finish(started, "internal", repr(exc))
+            return self._finish(lifecycle, "internal", repr(exc))
         finally:
             ticket.release()
         if (
@@ -411,18 +488,64 @@ class TransactionalServer:
             # deadline is dead weight — shed it instead of shipping bytes
             # nobody waits for.  Completed *writes* still report ok: the
             # commit is durable and the client must learn that.
-            return self._finish(started, "deadline", "deadline expired")
-        return self._finish(started, None, None, response)
+            return self._finish(lifecycle, "deadline", "deadline expired")
+        return self._finish(lifecycle, None, None, response)
+
+    def _execute(
+        self,
+        request: Request,
+        deadline: float | None,
+        lifecycle: RequestLifecycle,
+    ) -> Callable[[], bytes]:
+        """Wrap the dispatched engine work with request attribution: the
+        executor handoff (``slot_wait``), the lifecycle's thread binding,
+        the root ``service.request`` span (whose trace id the envelope and
+        exemplars carry), and the ``engine`` phase window that deep stamps
+        (backoff, fsync waits, fragments, 2PC) are subtracted from."""
+        work = self._dispatch(request, deadline, lifecycle)
+        slot_granted = perf_counter()
+
+        def run() -> bytes:
+            lifecycle.stamp("slot_wait", slot_granted, perf_counter())
+            with lifecycle.activate():
+                with span(
+                    "service.request",
+                    op=request.op,
+                    tenant=request.tenant,
+                    request_id=lifecycle.request_id,
+                ):
+                    ctx = current_context()
+                    if ctx is not None:
+                        lifecycle.trace_id = ctx.trace_id
+                    try:
+                        with lifecycle.phase("engine"):
+                            response = work()
+                    except BaseException:
+                        # Mark before the root span closes: the tail
+                        # sampler decides keep/drop exactly then.
+                        self._mark_trace(lifecycle, "error")
+                        raise
+                    if deadline is not None and time.monotonic() >= deadline:
+                        self._mark_trace(lifecycle, "deadline")
+                    return response
+
+        return run
+
+    def _mark_trace(self, lifecycle: RequestLifecycle, reason: str) -> None:
+        sampler = self._sampler
+        if sampler is not None and lifecycle.trace_id is not None:
+            sampler.mark(lifecycle.trace_id, reason)
 
     def _finish(
         self,
-        started: float,
+        lifecycle: RequestLifecycle,
         code: str | None,
         message: str | None,
         response: bytes | None = None,
         retry_after_ms: float | None = None,
-    ) -> bytes:
-        self._m_latency.observe(time.monotonic() - started)
+        terminal_phase: str | None = None,
+    ) -> tuple[bytes, RequestLifecycle]:
+        lifecycle.finish(code or "ok", terminal_phase=terminal_phase)
         outcome = code or "ok"
         counter = self._m_responses.get(outcome)
         if counter is None:
@@ -434,28 +557,79 @@ class TransactionalServer:
         counter.inc()
         if code is None:
             assert response is not None
-            return response
-        return protocol.encode_error(code, message or code, retry_after_ms)
+            return response, lifecycle
+        return (
+            protocol.encode_error(
+                code, message or code, retry_after_ms,
+                request_id=lifecycle.request_id,
+                trace_id=lifecycle.trace_hex,
+            ),
+            lifecycle,
+        )
+
+    def _complete(self, lifecycle: RequestLifecycle) -> None:
+        """Post-write bookkeeping: seal the latency clock, feed the
+        histogram (with the trace id as its exemplar) and the SLO tracker,
+        journal a completion event, and file the lifecycle for
+        ``/request/<id>``.  Pings stay out of the SLO and the request log —
+        they are liveness probes, not served work."""
+        lifecycle.close()
+        outcome = lifecycle.outcome or "unknown"
+        self._m_latency.observe(
+            lifecycle.total_seconds, exemplar=lifecycle.trace_hex
+        )
+        if lifecycle.op != "ping":
+            self.slo.record(
+                lifecycle.tenant,
+                lifecycle.total_seconds,
+                ok=outcome == "ok",
+                shed=outcome in protocol.SHED_CODES,
+            )
+            self.request_log.add(lifecycle)
+        if self.recorder is not None:
+            self.recorder.record(
+                "service.response",
+                request_id=lifecycle.request_id,
+                op=lifecycle.op,
+                tenant=lifecycle.tenant,
+                outcome=outcome,
+                duration_seconds=lifecycle.total_seconds,
+                trace_id=lifecycle.trace_id,
+                dominant_phase=lifecycle.dominant_phase(),
+            )
 
     # ------------------------------------------------------------------ #
     # engine work (executor threads)                                      #
     # ------------------------------------------------------------------ #
 
     def _dispatch(
-        self, request: Request, deadline: float | None
+        self,
+        request: Request,
+        deadline: float | None,
+        lifecycle: RequestLifecycle,
     ) -> Callable[[], bytes]:
         op = request.op
         if op == "read":
-            return lambda: self._do_read(request)
+            return lambda: self._do_read(request, lifecycle)
         if op == "scan":
-            return lambda: self._do_scan(request)
+            return lambda: self._do_scan(request, lifecycle)
         if op == "export":
-            return lambda: self._do_export(request)
+            return lambda: self._do_export(request, lifecycle)
         if op == "write":
-            return lambda: self._do_write(request, deadline)
+            return lambda: self._do_write(request, deadline, lifecycle)
         if op == "delete":
-            return lambda: self._do_delete(request, deadline)
+            return lambda: self._do_delete(request, deadline, lifecycle)
         raise SerializationError(f"unknown operation {op!r}")
+
+    def _encode_result(
+        self, lifecycle: RequestLifecycle, meta: dict[str, Any]
+    ) -> bytes:
+        """An ok header carrying the request's attribution handles."""
+        meta = dict(meta)
+        meta["request_id"] = lifecycle.request_id
+        if lifecycle.trace_hex is not None:
+            meta["trace_id"] = lifecycle.trace_hex
+        return protocol.encode_result(meta)
 
     def _require(self, request: Request, *fields: str) -> None:
         for name in fields:
@@ -467,7 +641,7 @@ class TransactionalServer:
             return None
         return [info.column_id(name) for name in names]
 
-    def _do_read(self, request: Request) -> bytes:
+    def _do_read(self, request: Request, lifecycle: RequestLifecycle) -> bytes:
         self._require(request, "table", "index", "key")
         with span("service.read", table=request.table):
             info = self.db.catalog.get(request.table)
@@ -478,11 +652,11 @@ class TransactionalServer:
                 self._record_txn(request, txn)
             rows = [self._row_values(row, column_ids) for _, row in matches]
         payload, count = postgres_wire.encode_rows(rows)
-        return protocol.encode_result(
-            {"rows": count, "format": "postgres_wire"}
+        return self._encode_result(
+            lifecycle, {"rows": count, "format": "postgres_wire"}
         ) + protocol.encode_frame(protocol.KIND_ROWS, payload)
 
-    def _do_scan(self, request: Request) -> bytes:
+    def _do_scan(self, request: Request, lifecycle: RequestLifecycle) -> bytes:
         self._require(request, "table")
         with span("service.scan", table=request.table):
             info = self.db.catalog.get(request.table)
@@ -495,11 +669,11 @@ class TransactionalServer:
                         break
                 self._record_txn(request, txn)
         payload, count = postgres_wire.encode_rows(rows)
-        return protocol.encode_result(
-            {"rows": count, "format": "postgres_wire"}
+        return self._encode_result(
+            lifecycle, {"rows": count, "format": "postgres_wire"}
         ) + protocol.encode_frame(protocol.KIND_ROWS, payload)
 
-    def _do_export(self, request: Request) -> bytes:
+    def _do_export(self, request: Request, lifecycle: RequestLifecycle) -> bytes:
         """Whole-table export as one Arrow IPC stream (a transactional
         materialization — works identically on both engine flavours)."""
         from repro.arrowfmt import ipc
@@ -519,11 +693,16 @@ class TransactionalServer:
                 for start in range(0, len(rows), batch_rows)
             ]
             payload = ipc.write_table(Table(table_schema(layout), batches))
-        return protocol.encode_result(
-            {"rows": len(rows), "format": "arrow_ipc"}
+        return self._encode_result(
+            lifecycle, {"rows": len(rows), "format": "arrow_ipc"}
         ) + protocol.encode_frame(protocol.KIND_ARROW, payload)
 
-    def _do_write(self, request: Request, deadline: float | None) -> bytes:
+    def _do_write(
+        self,
+        request: Request,
+        deadline: float | None,
+        lifecycle: RequestLifecycle,
+    ) -> bytes:
         """Upsert through an index key, retried on conflict within the
         request's deadline, acknowledged only once durable."""
         self._require(request, "table", "index", "key")
@@ -562,11 +741,17 @@ class TransactionalServer:
             raise TwoPhaseInDoubt(
                 "commit applied but durability confirmation timed out"
             )
-        return protocol.encode_result(
-            {"rows": 0, "action": action, "txn_id": txn.txn_id, "durable": True}
+        return self._encode_result(
+            lifecycle,
+            {"rows": 0, "action": action, "txn_id": txn.txn_id, "durable": True},
         )
 
-    def _do_delete(self, request: Request, deadline: float | None) -> bytes:
+    def _do_delete(
+        self,
+        request: Request,
+        deadline: float | None,
+        lifecycle: RequestLifecycle,
+    ) -> bytes:
         self._require(request, "table", "index", "key")
         info = self.db.catalog.get(request.table)
         index = self.db.catalog.index(request.table, request.index)
@@ -592,8 +777,12 @@ class TransactionalServer:
             raise TwoPhaseInDoubt(
                 "commit applied but durability confirmation timed out"
             )
-        return protocol.encode_result(
-            {"rows": 0, "deleted": deleted, "txn_id": txn.txn_id, "durable": True}
+        return self._encode_result(
+            lifecycle,
+            {
+                "rows": 0, "deleted": deleted,
+                "txn_id": txn.txn_id, "durable": True,
+            },
         )
 
     def _durability_budget(self, deadline: float | None) -> float:

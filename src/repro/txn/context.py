@@ -6,6 +6,7 @@ import enum
 import threading
 from typing import Callable
 
+from repro.obs.slo import stamp_phase
 from repro.txn.redo import RedoBuffer
 from repro.txn.undo import UndoBuffer
 
@@ -115,8 +116,17 @@ class TransactionContext:
             raise first_error
 
     def wait_durable(self, timeout: float | None = None) -> bool:
-        """Block until the transaction's commit record is persistent."""
-        return self._durable.wait(timeout)
+        """Block until the transaction's commit record is persistent.
+
+        The wait is charged to ``wal.fsync_wait`` on the surrounding
+        service request (if any): with group commit running in the
+        background this is pure fsync latency on the request's critical
+        path, and the breakdown must say so.
+        """
+        if self._durable.is_set():
+            return True
+        with stamp_phase("wal.fsync_wait"):
+            return self._durable.wait(timeout)
 
     @property
     def is_durable(self) -> bool:

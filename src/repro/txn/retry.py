@@ -23,6 +23,7 @@ import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import TransactionAborted
+from repro.obs.slo import stamp_phase
 
 if TYPE_CHECKING:
     from repro.db import Database
@@ -162,5 +163,9 @@ def _backoff(
     if on_retry is not None:
         on_retry(attempt)
     if delay > 0:
-        sleep(delay)
+        # Attribute the sleep to the surrounding service request (if any):
+        # backoff is dead time on the request's critical path, and the
+        # breakdown must charge it to retrying rather than to engine work.
+        with stamp_phase("retry.backoff"):
+            sleep(delay)
     return True

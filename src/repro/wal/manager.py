@@ -181,7 +181,9 @@ class LogManager:
                             self.device.write(raw)
                             flushed_bytes += len(raw)
                     crash_point("wal.flush.pre_fsync")
+                    fsync_began = perf_counter()
                     self.device.flush()  # the fsync boundary
+                    fsync_seconds = perf_counter() - fsync_began
                     crash_point("wal.flush.post_fsync")
             except Exception as exc:
                 self._recover_from_flush_failure(batch, exc)
@@ -191,7 +193,10 @@ class LogManager:
             self.consecutive_flush_failures = 0
             self.last_fsync_at = perf_counter()
             self.recorder.record(
-                "wal.fsync", offset=self._durable_offset, bytes=flushed_bytes
+                "wal.fsync",
+                offset=self._durable_offset,
+                bytes=flushed_bytes,
+                fsync_seconds=fsync_seconds,
             )
             with self._lock:
                 self.bytes_written += flushed_bytes

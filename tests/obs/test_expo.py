@@ -410,3 +410,105 @@ def test_wal_counter_matches_log_manager(worked_db):
         worked_db.obs.counter("wal.flush_total").value
         == worked_db.log_manager.flush_count
     )
+
+
+# --------------------------------------------------------------------- #
+# OpenMetrics 1.0 exposition                                            #
+# --------------------------------------------------------------------- #
+
+# One OpenMetrics metric line: name{labels}? value [# {exemplar} value ts]
+_OM_VALUE = r"(NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)"
+_OM_LABELS = r"(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})?"
+_OM_EXEMPLAR = (
+    r"( # \{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\} "
+    + _OM_VALUE + r"( [0-9]+(\.[0-9]+)?)?)?"
+)
+_OM_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*" + _OM_LABELS + " " + _OM_VALUE
+    + _OM_EXEMPLAR + "$"
+)
+_OM_COMMENT_LINE = re.compile(
+    r"^# (HELP|TYPE|UNIT) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$"
+)
+
+
+def _assert_openmetrics_conformant(text):
+    """Line-level OpenMetrics 1.0 checks: grammar, counter sample naming,
+    the # EOF terminator, and exemplar placement (buckets only)."""
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    types = {}
+    for line in lines[:-1]:
+        if line.startswith("#"):
+            assert _OM_COMMENT_LINE.match(line), f"bad comment: {line!r}"
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                # Spec: counter family names must not end in _total.
+                assert not (kind == "counter" and name.endswith("_total")), (
+                    f"counter family keeps _total: {line!r}"
+                )
+                types[name] = kind
+        else:
+            assert _OM_METRIC_LINE.match(line), f"bad metric line: {line!r}"
+            name = re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+            if " # {" in line:
+                assert name.endswith("_bucket"), (
+                    f"exemplar outside a bucket: {line!r}"
+                )
+    # Every counter family's samples carry the _total suffix.
+    for name, kind in types.items():
+        if kind != "counter":
+            continue
+        for line in lines:
+            if line.startswith(name) and not line.startswith("#"):
+                sample = re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+                if sample in (name, name + "_total"):
+                    assert sample == name + "_total", (
+                        f"counter sample missing _total: {line!r}"
+                    )
+    return types
+
+
+def test_openmetrics_lines_all_parse(worked_db):
+    text = obs.render_openmetrics(worked_db.obs)
+    types = _assert_openmetrics_conformant(text)
+    # The same components the Prometheus exposition covers are present.
+    assert types.get("txn_commit") == "counter"
+    assert types.get("wal_flush_seconds") == "histogram"
+    assert types.get("txn_active") == "gauge"
+
+
+def test_openmetrics_exemplars_attach_to_buckets(worked_db):
+    registry = worked_db.obs
+    obs.configure(exemplars=True)
+    try:
+        hist = registry.histogram("test.exemplar_seconds", "exemplar demo")
+        hist.observe(0.004, exemplar="deadbeef")
+        text = obs.render_openmetrics(registry)
+        _assert_openmetrics_conformant(text)
+        exemplar_lines = [
+            line for line in text.splitlines()
+            if line.startswith("test_exemplar_seconds_bucket")
+            and 'trace_id="deadbeef"' in line
+        ]
+        assert exemplar_lines, "no bucket carried the exemplar"
+        # Exactly the bucket the observation fell into (0.004 → le=0.005),
+        # not every bucket above it.
+        assert len(exemplar_lines) == 1
+        assert 'le="0.005"' in exemplar_lines[0]
+        assert " 0.004 " in exemplar_lines[0]
+    finally:
+        obs.configure(exemplars=False)
+        registry.unregister("test.exemplar_seconds")
+
+
+def test_exemplars_off_by_default(worked_db):
+    registry = worked_db.obs
+    hist = registry.histogram("test.no_exemplar_seconds", "no exemplars")
+    try:
+        hist.observe(0.004, exemplar="cafe")
+        assert hist.exemplars() == {}
+        text = obs.render_openmetrics(registry)
+        assert "cafe" not in text
+    finally:
+        registry.unregister("test.no_exemplar_seconds")

@@ -182,3 +182,88 @@ def test_close_stops_server():
     db.close()
     with pytest.raises((urllib.error.URLError, ConnectionError)):
         urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+# --------------------------------------------------------------------- #
+# request attribution endpoints                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_metrics_openmetrics_negotiation(served_db):
+    from repro.obs.expo import OPENMETRICS_CONTENT_TYPE
+
+    _, server, _ = served_db
+    status, content_type, body = _get(server, "/metrics?format=openmetrics")
+    assert status == 200
+    assert content_type == OPENMETRICS_CONTENT_TYPE
+    assert body.rstrip().endswith("# EOF")
+    assert "txn_commit_total 1" in body
+    assert "# TYPE txn_commit counter" in body
+
+    request = urllib.request.Request(
+        server.url + "/metrics",
+        headers={"Accept": "application/openmetrics-text; version=1.0.0"},
+    )
+    with urllib.request.urlopen(request, timeout=5) as resp:
+        assert resp.headers.get("Content-Type") == OPENMETRICS_CONTENT_TYPE
+
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/metrics?format=nope")
+    assert err.value.code == 400
+
+
+def test_slo_endpoint(served_db):
+    db, server, _ = served_db
+    db.slo.record("acme", 0.01, ok=True)
+    db.slo.record("acme", 9.0, ok=True)  # slow success burns budget
+    status, payload = _get_json(server, "/slo")
+    assert status == 200
+    acme = payload["tenants"]["acme"]
+    assert acme["windows"]["60s"]["total"] == 2
+    assert acme["windows"]["60s"]["bad"] == 1
+    assert acme["error_budget_remaining"] < 1.0
+
+
+def test_request_endpoint(served_db):
+    from repro.obs.slo import RequestLifecycle
+
+    db, server, _ = served_db
+    lifecycle = RequestLifecycle(7, op="read", tenant="acme")
+    lifecycle.trace_id = 0xBEEF
+    with lifecycle.phase("engine"):
+        pass
+    lifecycle.finish("ok")
+    lifecycle.close()
+    db.request_log.add(lifecycle)
+
+    status, payload = _get_json(server, "/request/7")
+    assert status == 200
+    assert payload["request_id"] == 7
+    assert payload["trace_id"] == "beef"
+    assert [p["phase"] for p in payload["waterfall"]] == ["engine"]
+
+    status, by_trace = _get_json(server, "/request/trace:beef")
+    assert status == 200 and by_trace["request_id"] == 7
+
+    for missing in ("/request/999", "/request/trace:aaaa"):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, missing)
+        assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(server, "/request/junk")  # malformed id, not an unknown one
+    assert err.value.code == 400
+
+
+def test_events_request_filter(served_db):
+    from repro.obs.slo import RequestLifecycle
+
+    db, server, _ = served_db
+    lifecycle = RequestLifecycle(42, op="write")
+    with lifecycle.activate():
+        db.recorder.record("test.tagged", txn_id=1)
+    db.recorder.record("test.untagged", txn_id=2)
+    status, payload = _get_json(server, "/events?request=42")
+    assert status == 200
+    kinds = [e["kind"] for e in payload["events"]]
+    assert "test.tagged" in kinds and "test.untagged" not in kinds
+    assert all(e["request_id"] == 42 for e in payload["events"])

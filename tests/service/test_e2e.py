@@ -158,9 +158,9 @@ class TestOverload:
         inner = server.server
         original = inner._do_scan
 
-        def slow_scan(request):
+        def slow_scan(request, lifecycle):
             time.sleep(0.3)
-            return original(request)
+            return original(request, lifecycle)
 
         inner._do_scan = slow_scan
         try:
@@ -214,9 +214,9 @@ class TestDeadlines:
         inner = server.server
         original = inner._do_scan
 
-        def slow_scan(request):
+        def slow_scan(request, lifecycle):
             time.sleep(0.4)
-            return original(request)
+            return original(request, lifecycle)
 
         inner._do_scan = slow_scan
         try:
@@ -248,9 +248,9 @@ class TestDeadlines:
         inner = server.server
         original = inner._do_scan
 
-        def slow_scan(request):
+        def slow_scan(request, lifecycle):
             time.sleep(0.2)
-            return original(request)
+            return original(request, lifecycle)
 
         inner._do_scan = slow_scan
         try:

@@ -1,0 +1,195 @@
+"""Retry-chain timelines: the flight recorder, the slow-transaction log,
+and the request lifecycle must agree about one retried transaction.
+
+The scenario is the service deadline path end to end: a request-scoped
+:class:`RequestLifecycle` is active, ``retry_transaction`` runs a body
+that conflicts before committing, and afterwards every observer tells the
+same story — the recorder's ``timeline`` reconstructs the whole
+begin→retry→retry→commit chain, the slow-txn log captured that chain, and
+the lifecycle breakdown charges the backoff sleeps to ``retry.backoff``
+rather than to ``engine`` time.
+"""
+
+import time
+
+import pytest
+
+from repro import ColumnSpec, Database, INT64, TransactionAborted, UTF8, obs
+from repro.obs.slo import RequestLifecycle
+from repro.txn.retry import retry_transaction
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    was = obs.is_enabled()
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=was)
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.create_table("t", [ColumnSpec("id", INT64), ColumnSpec("s", UTF8)])
+    return db
+
+
+class FixedRng:
+    def random(self):
+        return 0.0
+
+
+class FakeClock:
+    """A clock whose time advances only when the retry loop sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, delay):
+        self.sleeps.append(delay)
+        self.now += delay
+
+
+class TestRetryChainTimeline:
+    def test_timeline_slow_log_and_breakdown_agree(self):
+        db = make_db(slow_txn_threshold=0.0)
+        table = db.catalog.table("t")
+        attempt_ids = []
+        backoffs = [0.012, 0.012]  # jitter=0 with a flat base: fixed sleeps
+
+        def body(txn):
+            attempt_ids.append(txn.txn_id)
+            if len(attempt_ids) <= 2:
+                txn.must_abort = True  # write-write conflict, twice
+                return None
+            return table.insert(txn, {0: 1, 1: "x"})
+
+        lifecycle = RequestLifecycle(11, op="write", tenant="acme")
+        with lifecycle.activate():
+            with lifecycle.phase("engine"):
+                retry_transaction(
+                    db,
+                    body,
+                    retries=4,
+                    base_backoff=0.012,
+                    max_backoff=0.012,
+                    jitter=0.0,
+                    rng=FixedRng(),
+                    sleep=time.sleep,
+                )
+        lifecycle.finish("ok")
+        lifecycle.close()
+
+        assert len(attempt_ids) == 3
+
+        # The recorder reconstructs the full chain from *any* attempt id.
+        for probe in (attempt_ids[0], attempt_ids[-1]):
+            timeline = db.recorder.timeline(probe)
+            assert timeline["chain"] == attempt_ids
+            assert timeline["retries"] == 2
+        final = db.recorder.timeline(attempt_ids[-1])
+        assert final["status"] == "committed"
+        assert final["complete"] is True
+
+        # The txn.retry link events were recorded under the active
+        # lifecycle, so each carries the request id (satellite: request
+        # ids in flight-recorder events).
+        retry_events = [e for e in final["events"] if e["kind"] == "txn.retry"]
+        assert len(retry_events) == 2
+        assert all(e["request_id"] == 11 for e in retry_events)
+        assert [e["attrs"]["prev_txn_id"] for e in retry_events] == attempt_ids[:2]
+
+        # The slow-txn log (threshold 0) captured the committed attempt
+        # with the same chain.
+        slow = [
+            entry
+            for entry in db.recorder.slow_transactions()
+            if entry["txn_id"] == attempt_ids[-1]
+        ]
+        assert slow and slow[-1]["chain"] == attempt_ids
+        assert slow[-1]["captured_status"] == "committed"
+
+        # The lifecycle breakdown charges the two backoff sleeps to
+        # retry.backoff, carved *out of* the engine window: engine
+        # exclusive time plus backoff must not exceed the engine wall
+        # time, and backoff must cover the sleeps actually taken.
+        breakdown = lifecycle.breakdown()
+        slept = sum(backoffs)
+        assert breakdown["retry.backoff"] >= slept * 0.9
+        engine_wall = sum(
+            end - start for name, start, end in lifecycle.phases if name == "engine"
+        )
+        assert breakdown["engine"] + breakdown["retry.backoff"] <= engine_wall + 1e-6
+        assert breakdown["engine"] <= engine_wall - slept * 0.9
+        assert lifecycle.dominant_phase() == "retry.backoff"
+
+    def test_deadline_stops_retry_chain_early(self):
+        db = make_db()
+        clock = FakeClock()
+
+        def body(txn):
+            txn.must_abort = True  # never resolves
+
+        # Budget fits exactly one backoff step: delay_0 = 0.01 fits the
+        # 0.015 deadline, delay_1 = 0.02 would cross it, so the loop must
+        # re-raise after the second attempt instead of sleeping on.
+        with pytest.raises(TransactionAborted):
+            retry_transaction(
+                db,
+                body,
+                retries=5,
+                base_backoff=0.01,
+                max_backoff=0.05,
+                jitter=0.0,
+                rng=FixedRng(),
+                sleep=clock.sleep,
+                deadline=0.015,
+                clock=clock,
+            )
+        assert clock.sleeps == [0.01]
+
+        # Two attempts ran; the recorder linked them into one chain even
+        # though the chain ends in an abort.
+        retry_events = [e for e in db.recorder.events() if e.kind == "txn.retry"]
+        assert len(retry_events) == 1
+        aborted_attempt = retry_events[0].txn_id
+        timeline = db.recorder.timeline(aborted_attempt)
+        assert timeline["retries"] == 1
+        assert len(timeline["chain"]) == 2
+        assert timeline["status"] == "aborted"
+
+    def test_service_deadline_path_stamps_backoff_phase(self):
+        """A deadline-bounded retry under an active lifecycle stamps each
+        backoff it *does* take; the skipped final backoff leaves nothing."""
+        db = make_db()
+        clock = FakeClock()
+        lifecycle = RequestLifecycle(12, op="write")
+
+        def body(txn):
+            txn.must_abort = True
+
+        with lifecycle.activate():
+            with lifecycle.phase("engine"):
+                with pytest.raises(TransactionAborted):
+                    retry_transaction(
+                        db,
+                        body,
+                        retries=5,
+                        base_backoff=0.01,
+                        max_backoff=0.05,
+                        jitter=0.0,
+                        rng=FixedRng(),
+                        sleep=clock.sleep,
+                        deadline=0.035,
+                        clock=clock,
+                    )
+        lifecycle.finish("aborted")
+        lifecycle.close()
+
+        # delays 0.01 and 0.02 fit the 0.035 budget; 0.04 would not.
+        assert clock.sleeps == [0.01, 0.02]
+        stamped = [name for name, _, _ in lifecycle.phases]
+        assert stamped.count("retry.backoff") == 2
